@@ -1,0 +1,76 @@
+// Ablation — does the robustness story survive the choice of encoder?
+// Trains HDC models with three encoder families (the paper's record/ID-
+// level encoder, a thermometer variant, and a sparse random projection)
+// and reports clean accuracy plus quality loss under random flips. The
+// holographic-robustness claim is about the *binary distributed
+// representation*, not one encoder, so the loss rows should look alike.
+
+#include "bench_common.hpp"
+
+#include "robusthd/hv/alt_encoders.hpp"
+#include "robusthd/util/csv.hpp"
+
+using namespace robusthd;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double clean = 0.0;
+  double loss5 = 0.0;
+  double loss15 = 0.0;
+};
+
+Row evaluate_encoder(const std::string& name, const hv::Encoder& encoder,
+                     const data::Split& split) {
+  Row row;
+  row.name = name;
+  const auto train = encoder.encode_all(split.train);
+  const auto test = encoder.encode_all(split.test);
+  auto model = model::HdcModel::train(train, split.train.labels,
+                                      split.train.num_classes, {});
+  row.clean = model.evaluate(test, split.test.labels);
+  row.loss5 = bench::hdc_quality_loss(model, test, split.test.labels,
+                                      row.clean, 0.05,
+                                      fault::AttackMode::kRandom, 0xe5c);
+  row.loss15 = bench::hdc_quality_loss(model, test, split.test.labels,
+                                       row.clean, 0.15,
+                                       fault::AttackMode::kRandom, 0xe5d);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: encoder family vs robustness (UCIHAR)");
+  auto split = bench::load("UCIHAR");
+  const std::size_t n = split.train.feature_count();
+
+  std::vector<Row> rows;
+  {
+    hv::RecordEncoder encoder(n, hv::EncoderConfig{});
+    rows.push_back(evaluate_encoder("record (ID-level)", encoder, split));
+  }
+  {
+    hv::ThermometerEncoder encoder(n, hv::ThermometerEncoder::Config{});
+    rows.push_back(evaluate_encoder("thermometer", encoder, split));
+  }
+  {
+    hv::RandomProjectionEncoder encoder(
+        n, hv::RandomProjectionEncoder::Config{});
+    rows.push_back(evaluate_encoder("random projection", encoder, split));
+  }
+
+  util::TextTable table({"Encoder", "Clean", "Loss@5%", "Loss@15%"});
+  util::CsvWriter csv("ablation_encoders.csv",
+                      {"encoder", "clean", "loss5", "loss15"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, util::pct(row.clean, 1), util::pct(row.loss5),
+                   util::pct(row.loss15)});
+    csv.row(row.name, row.clean, row.loss5, row.loss15);
+  }
+  table.print(std::cout);
+  std::cout << "(expected: comparable low losses across encoder families —\n"
+               " the robustness belongs to the representation)\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+#pragma once
+// Shared helpers for the experiment benches (one binary per paper table /
+// figure). Each bench prints the same rows or series the paper reports,
+// and optionally writes a CSV next to the binary for re-plotting.
+//
+// Scaling: real FACE/PAMAP have 10^5-10^6 samples; benches run on
+// synthetic equivalents capped to keep the full suite in minutes. Set
+// ROBUSTHD_TRAIN / ROBUSTHD_TEST to change the caps, ROBUSTHD_REPS for the
+// number of fault-injection repetitions per cell.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "robusthd/robusthd.hpp"
+#include "robusthd/util/table.hpp"
+#include "robusthd/util/timer.hpp"
+
+namespace robusthd::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long long parsed = std::atoll(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+inline std::size_t train_cap() { return env_size("ROBUSTHD_TRAIN", 2000); }
+inline std::size_t test_cap() { return env_size("ROBUSTHD_TEST", 600); }
+inline std::size_t repetitions() { return env_size("ROBUSTHD_REPS", 3); }
+
+/// Scaled synthetic split for a named paper dataset.
+inline data::Split load(const std::string& name, std::uint64_t seed = 0x5eed) {
+  const auto spec =
+      data::scaled(data::dataset_by_name(name), train_cap(), test_cap());
+  return data::make_synthetic(spec, seed);
+}
+
+/// Mean quality loss of a trained HDC model under `reps` independent
+/// attacks at `rate`/`mode`, evaluated on pre-encoded queries.
+inline double hdc_quality_loss(const model::HdcModel& trained,
+                               std::span<const hv::BinVec> queries,
+                               std::span<const int> labels, double clean,
+                               double rate, fault::AttackMode mode,
+                               std::uint64_t seed) {
+  util::RunningStats loss;
+  for (std::size_t r = 0; r < repetitions(); ++r) {
+    model::HdcModel victim = trained;
+    util::Xoshiro256 rng(seed + 77 * r);
+    auto regions = victim.memory_regions();
+    fault::BitFlipInjector::inject(regions, rate, mode, rng);
+    loss.add(util::quality_loss(clean, victim.evaluate(queries, labels)));
+  }
+  return loss.mean();
+}
+
+/// Mean quality loss of a cloneable baseline classifier under attack.
+inline double classifier_quality_loss(const baseline::Classifier& trained,
+                                      const data::Dataset& test, double clean,
+                                      double rate, fault::AttackMode mode,
+                                      std::uint64_t seed) {
+  util::RunningStats loss;
+  for (std::size_t r = 0; r < repetitions(); ++r) {
+    auto victim = trained.clone();
+    util::Xoshiro256 rng(seed + 77 * r);
+    auto regions = victim->memory_regions();
+    fault::BitFlipInjector::inject(regions, rate, mode, rng);
+    loss.add(util::quality_loss(clean, victim->evaluate(test)));
+  }
+  return loss.mean();
+}
+
+inline void header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace robusthd::bench

@@ -1,0 +1,108 @@
+// Google-benchmark microbenchmarks of the kernels everything else is built
+// on: XOR binding, Hamming distance, record encoding, model prediction and
+// fault injection. These are the operations whose costs the DPIM mapping
+// (pim/accelerator) models analytically — keeping them measured here ties
+// the simulator's op counts to observable software behaviour.
+
+#include <benchmark/benchmark.h>
+
+#include "robusthd/robusthd.hpp"
+
+using namespace robusthd;
+
+namespace {
+
+constexpr std::size_t kDim = 10000;
+
+void BM_Bind(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  auto a = hv::BinVec::random(kDim, rng);
+  const auto b = hv::BinVec::random(kDim, rng);
+  for (auto _ : state) {
+    a.bind(b);
+    benchmark::DoNotOptimize(a.words().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kDim);
+}
+BENCHMARK(BM_Bind);
+
+void BM_Hamming(benchmark::State& state) {
+  util::Xoshiro256 rng(2);
+  const auto a = hv::BinVec::random(kDim, rng);
+  const auto b = hv::BinVec::random(kDim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv::hamming(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * kDim);
+}
+BENCHMARK(BM_Hamming);
+
+void BM_HammingRange(benchmark::State& state) {
+  util::Xoshiro256 rng(3);
+  const auto a = hv::BinVec::random(kDim, rng);
+  const auto b = hv::BinVec::random(kDim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv::hamming_range(a, b, 500, 1000));
+  }
+}
+BENCHMARK(BM_HammingRange);
+
+void BM_Encode(benchmark::State& state) {
+  const auto features = static_cast<std::size_t>(state.range(0));
+  hv::EncoderConfig config;
+  hv::RecordEncoder encoder(features, config);
+  util::Xoshiro256 rng(4);
+  std::vector<float> sample(features);
+  for (auto& v : sample) v = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(sample));
+  }
+  state.SetItemsProcessed(state.iterations() * features);
+}
+BENCHMARK(BM_Encode)->Arg(75)->Arg(561)->Arg(784);
+
+void BM_Predict(benchmark::State& state) {
+  const auto classes = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(5);
+  std::vector<hv::BinVec> encoded;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < classes * 8; ++i) {
+    encoded.push_back(hv::BinVec::random(kDim, rng));
+    labels.push_back(static_cast<int>(i % classes));
+  }
+  auto model = model::HdcModel::train(encoded, labels, classes, {});
+  const auto query = hv::BinVec::random(kDim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(query));
+  }
+}
+BENCHMARK(BM_Predict)->Arg(2)->Arg(12)->Arg(26);
+
+void BM_InjectRandom(benchmark::State& state) {
+  util::Xoshiro256 rng(6);
+  auto vec = hv::BinVec::random(kDim, rng);
+  for (auto _ : state) {
+    auto words = vec.mutable_words();
+    fault::MemoryRegion region{std::as_writable_bytes(words), 1, "hv"};
+    benchmark::DoNotOptimize(
+        fault::BitFlipInjector::flip_random_bits(region, 1000, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_InjectRandom);
+
+void BM_CrossbarRippleAdd(benchmark::State& state) {
+  pim::Crossbar xbar(64, 64);
+  std::vector<std::size_t> rows(64);
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const std::size_t scratch_cols[] = {40, 41, 42, 43, 44, 45, 46, 47};
+  for (auto _ : state) {
+    xbar.ripple_add(0, 8, 16, 30, scratch_cols, 8, rows);
+    benchmark::DoNotOptimize(xbar.nor_steps());
+  }
+}
+BENCHMARK(BM_CrossbarRippleAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

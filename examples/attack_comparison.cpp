@@ -1,0 +1,62 @@
+// Attack comparison: trains all four learners (RobustHD plus the DNN, SVM
+// and AdaBoost baselines) on the same synthetic benchmark and subjects each
+// to identical random and targeted bit-flip attacks — a command-line
+// re-enactment of the paper's Table 3 on one dataset.
+//
+// Usage: attack_comparison [dataset] [rate]   (default UCIHAR 0.10)
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "robusthd/robusthd.hpp"
+
+using namespace robusthd;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "UCIHAR";
+  const double rate = argc > 2 ? std::atof(argv[2]) : 0.10;
+
+  const auto spec = data::scaled(data::dataset_by_name(name), 2000, 600);
+  const auto split = data::make_synthetic(spec);
+  std::printf("dataset %s, attack rate %.0f%%\n\n", spec.name.c_str(),
+              rate * 100.0);
+
+  std::vector<std::unique_ptr<baseline::Classifier>> models;
+  models.push_back(std::make_unique<baseline::Mlp>(
+      baseline::Mlp::train(split.train, {})));
+  models.push_back(std::make_unique<baseline::LinearSvm>(
+      baseline::LinearSvm::train(split.train, {})));
+  models.push_back(std::make_unique<baseline::AdaBoost>(
+      baseline::AdaBoost::train(split.train, {})));
+  models.push_back(std::make_unique<core::HdcClassifier>(
+      core::HdcClassifier::train(split.train, {})));
+
+  std::printf("%-10s %8s %14s %16s\n", "model", "clean", "random loss",
+              "targeted loss");
+  for (const auto& model : models) {
+    const double clean = model->evaluate(split.test);
+    double losses[2] = {0.0, 0.0};
+    const fault::AttackMode modes[2] = {fault::AttackMode::kRandom,
+                                        fault::AttackMode::kTargeted};
+    for (int m = 0; m < 2; ++m) {
+      util::RunningStats loss;
+      for (int r = 0; r < 3; ++r) {
+        auto victim = model->clone();
+        util::Xoshiro256 rng(11 + 31 * r);
+        auto regions = victim->memory_regions();
+        fault::BitFlipInjector::inject(regions, rate, modes[m], rng);
+        loss.add(util::quality_loss(clean, victim->evaluate(split.test)));
+      }
+      losses[m] = loss.mean();
+    }
+    std::printf("%-10s %7.2f%% %13.2f%% %15.2f%%\n", model->name().c_str(),
+                clean * 100.0, losses[0] * 100.0, losses[1] * 100.0);
+  }
+
+  std::printf("\nThe binary holographic representation is why RobustHD's\n"
+              "targeted column equals its random column: there is no most-\n"
+              "significant bit to aim at.\n");
+  return 0;
+}

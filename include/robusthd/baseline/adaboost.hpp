@@ -1,0 +1,50 @@
+#pragma once
+// Multiclass AdaBoost (SAMME) over decision stumps — the boosting baseline
+// of Table 3.
+//
+// Stumps are trained on per-feature quantile buckets (fast weighted splits)
+// and deployed with quantised parameters: thresholds and stage weights as
+// 8-bit fixed point, vote classes and feature ids as integers. All of it is
+// exposed to the injector; invalid indices produced by flips are wrapped at
+// inference (hardware would fetch *some* feature/class, not crash).
+
+#include <cstdint>
+
+#include "robusthd/baseline/classifier.hpp"
+#include "robusthd/baseline/fixedpoint.hpp"
+
+namespace robusthd::baseline {
+
+struct AdaBoostConfig {
+  std::size_t rounds = 250;   ///< number of stumps (redundancy is what buys
+                              ///  the ensemble its fault tolerance)
+  std::size_t buckets = 32;   ///< quantile candidates per feature
+  Precision precision = Precision::kInt8;
+  std::uint64_t seed = 0xb005;
+};
+
+/// Deployed boosted-stump ensemble.
+class AdaBoost final : public Classifier {
+ public:
+  static AdaBoost train(const data::Dataset& train_data,
+                        const AdaBoostConfig& config);
+
+  int predict(std::span<const float> features) const override;
+  std::vector<fault::MemoryRegion> memory_regions() override;
+  std::unique_ptr<Classifier> clone() const override;
+  std::string name() const override { return "AdaBoost"; }
+
+  std::size_t round_count() const noexcept { return feature_ids_.size(); }
+  std::vector<float> scores(std::span<const float> features) const;
+
+ private:
+  std::size_t features_ = 0;
+  std::size_t num_classes_ = 0;
+  std::vector<std::int16_t> feature_ids_;  ///< one per stump
+  std::vector<std::int8_t> left_class_;    ///< vote when x[f] <= threshold
+  std::vector<std::int8_t> right_class_;   ///< vote when x[f] >  threshold
+  QuantizedTensor thresholds_;             ///< one per stump
+  QuantizedTensor alphas_;                 ///< stage weights
+};
+
+}  // namespace robusthd::baseline

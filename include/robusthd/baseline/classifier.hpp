@@ -1,0 +1,35 @@
+#pragma once
+// Common interface for all attackable classifiers (HDC wrapper and the
+// three baselines), used by the examples and integration tests.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "robusthd/data/dataset.hpp"
+#include "robusthd/fault/memory.hpp"
+
+namespace robusthd::baseline {
+
+/// A trained, deployable classifier whose stored model can be attacked.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Predicted class for one normalised sample.
+  virtual int predict(std::span<const float> features) const = 0;
+
+  /// The stored model bytes, for fault injection.
+  virtual std::vector<fault::MemoryRegion> memory_regions() = 0;
+
+  /// Deep copy (campaigns attack copies, never the trained original).
+  virtual std::unique_ptr<Classifier> clone() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Accuracy over a dataset; default loops predict().
+  virtual double evaluate(const data::Dataset& dataset) const;
+};
+
+}  // namespace robusthd::baseline

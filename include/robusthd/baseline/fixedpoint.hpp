@@ -1,0 +1,85 @@
+#pragma once
+// Fixed-point (quantised) parameter storage for the baseline learners.
+//
+// The paper's baselines store weights as 8-bit fixed point (Section 2 /
+// Section 6.2, following TPU-style int8 inference). A symmetric per-tensor
+// scheme is used: w ≈ q * scale with q in [-127, 127]. This is the
+// representation the fault injector attacks — a flip of q's MSB changes the
+// weight by ±128*scale, which is what makes the binary-representation
+// baselines fragile and targeted attacks devastating.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "robusthd/fault/memory.hpp"
+
+namespace robusthd::baseline {
+
+/// Storage precision of a deployed baseline model.
+enum class Precision {
+  kInt8,     ///< 8-bit fixed point (paper default)
+  kInt16,    ///< 16-bit fixed point (Figure 4a "higher precision")
+  kFloat32,  ///< raw IEEE floats (exponent bits attackable)
+};
+
+/// Number of bits per stored value.
+constexpr unsigned bits_of(Precision p) noexcept {
+  switch (p) {
+    case Precision::kInt8: return 8;
+    case Precision::kInt16: return 16;
+    case Precision::kFloat32: return 32;
+  }
+  return 8;
+}
+
+/// A float tensor quantised to `Precision` with a single symmetric scale.
+/// The quantised buffer is the *stored representation*: reads dequantise on
+/// the fly, so injected bit flips propagate into inference exactly as they
+/// would on real hardware.
+/// How a tensor's sign is represented in storage.
+enum class Signedness {
+  kAuto,    ///< unsigned iff every value is non-negative
+  kSigned,  ///< always two's complement (MSB is a sign bit)
+};
+
+class QuantizedTensor {
+ public:
+  QuantizedTensor() = default;
+
+  /// Quantises `values` at the given precision.
+  QuantizedTensor(std::span<const float> values, Precision precision,
+                  Signedness signedness = Signedness::kSigned);
+
+  std::size_t size() const noexcept { return count_; }
+  Precision precision() const noexcept { return precision_; }
+  float scale() const noexcept { return scale_; }
+
+  /// Dequantised read of element i. Float32 tensors read the stored float
+  /// verbatim (including any NaN/Inf an exponent flip produced — that *is*
+  /// the failure mode being studied; callers clamp at the activation level).
+  float get(std::size_t i) const noexcept;
+
+  /// The raw stored bytes, exposed for fault injection.
+  fault::MemoryRegion region(std::string name);
+
+  /// True when the tensor was all-non-negative and is stored unsigned
+  /// (full 8/16-bit magnitude range, no sign bit to flip).
+  bool is_unsigned() const noexcept { return unsigned_; }
+
+ private:
+  Precision precision_ = Precision::kInt8;
+  std::size_t count_ = 0;
+  float scale_ = 1.0f;
+  bool unsigned_ = false;
+  std::vector<std::int8_t> q8_;
+  std::vector<std::int16_t> q16_;
+  std::vector<float> f32_;
+};
+
+/// Clamps a possibly NaN/Inf value into [-limit, limit]; NaN maps to 0.
+/// Applied at layer boundaries so a single exploded weight produces a large
+/// but finite activation (mirrors saturating fixed-point MAC hardware).
+float saturate(float value, float limit) noexcept;
+
+}  // namespace robusthd::baseline

@@ -1,0 +1,62 @@
+#pragma once
+// Multilayer perceptron baseline — the "DNN" of Tables 1 and 3.
+//
+// Trained from scratch in float (mini-batch SGD, ReLU, softmax cross-
+// entropy; architecture in the spirit of the paper's LookNN-derived
+// configs), then deployed with quantised parameters (int8 by default).
+// Inference reads the quantised storage, so injected bit flips corrupt the
+// effective weights exactly as a memory attack would.
+
+#include <cstdint>
+#include <vector>
+
+#include "robusthd/baseline/classifier.hpp"
+#include "robusthd/baseline/fixedpoint.hpp"
+#include "robusthd/util/matrix.hpp"
+
+namespace robusthd::baseline {
+
+/// Training/deployment configuration.
+struct MlpConfig {
+  std::vector<std::size_t> hidden = {64};
+  std::size_t epochs = 10;
+  float learning_rate = 0.05f;
+  float lr_decay = 0.9f;       ///< multiplicative per-epoch decay
+  std::size_t batch_size = 32;
+  Precision precision = Precision::kInt8;
+  /// Activation saturation bound applied after every layer, mirroring
+  /// saturating accumulator hardware (keeps exploded weights finite).
+  float activation_limit = 1.0e6f;
+  std::uint64_t seed = 0xd2;
+};
+
+/// A deployed (quantised) fully connected network.
+class Mlp final : public Classifier {
+ public:
+  /// Trains on the dataset and quantises the result.
+  static Mlp train(const data::Dataset& train_data, const MlpConfig& config);
+
+  int predict(std::span<const float> features) const override;
+  std::vector<fault::MemoryRegion> memory_regions() override;
+  std::unique_ptr<Classifier> clone() const override;
+  std::string name() const override { return "DNN"; }
+
+  /// Raw logits (used by tests).
+  std::vector<float> logits(std::span<const float> features) const;
+
+  std::size_t parameter_count() const noexcept;
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    QuantizedTensor weights;  ///< row-major out×in
+    QuantizedTensor bias;     ///< out
+  };
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace robusthd::baseline

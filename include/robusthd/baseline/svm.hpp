@@ -1,0 +1,40 @@
+#pragma once
+// Linear multiclass SVM baseline (Table 3).
+//
+// One-vs-rest hinge loss trained with SGD and L2 regularisation; deployed
+// with quantised weights like the other baselines.
+
+#include "robusthd/baseline/classifier.hpp"
+#include "robusthd/baseline/fixedpoint.hpp"
+
+namespace robusthd::baseline {
+
+struct SvmConfig {
+  std::size_t epochs = 12;
+  float learning_rate = 0.02f;
+  float l2 = 1.0e-4f;
+  Precision precision = Precision::kInt8;
+  std::uint64_t seed = 0x57a;
+};
+
+/// Deployed linear SVM: score_c(x) = w_c · x + b_c, argmax wins.
+class LinearSvm final : public Classifier {
+ public:
+  static LinearSvm train(const data::Dataset& train_data,
+                         const SvmConfig& config);
+
+  int predict(std::span<const float> features) const override;
+  std::vector<fault::MemoryRegion> memory_regions() override;
+  std::unique_ptr<Classifier> clone() const override;
+  std::string name() const override { return "SVM"; }
+
+  std::vector<float> scores(std::span<const float> features) const;
+
+ private:
+  std::size_t features_ = 0;
+  std::size_t num_classes_ = 0;
+  QuantizedTensor weights_;  ///< row-major k×n
+  QuantizedTensor bias_;     ///< k
+};
+
+}  // namespace robusthd::baseline

@@ -1,0 +1,67 @@
+#pragma once
+// End-user facade: an HDC classifier with the same Classifier interface as
+// the baselines, bundling encoder + model (and optionally a recovery
+// engine) behind one object. This is the "RobustHD system" a downstream
+// application holds.
+
+#include <memory>
+#include <optional>
+
+#include "robusthd/baseline/classifier.hpp"
+#include "robusthd/hv/encoder.hpp"
+#include "robusthd/model/hdc_model.hpp"
+#include "robusthd/model/recovery.hpp"
+
+namespace robusthd::core {
+
+/// Facade configuration.
+struct HdcClassifierConfig {
+  hv::EncoderConfig encoder{};
+  model::HdcConfig model{};
+};
+
+/// Trained HDC classifier over raw (normalised) feature vectors.
+class HdcClassifier final : public baseline::Classifier {
+ public:
+  /// Trains encoder item memory + class hypervectors on the dataset.
+  static HdcClassifier train(const data::Dataset& train_data,
+                             const HdcClassifierConfig& config = {});
+
+  /// Reassembles a classifier from its parts (deserialisation): the
+  /// encoder is rebuilt deterministically from its config, the model is
+  /// adopted as-is.
+  static HdcClassifier assemble(const hv::EncoderConfig& encoder_config,
+                                std::size_t feature_count,
+                                model::HdcModel model);
+
+  int predict(std::span<const float> features) const override;
+  std::vector<fault::MemoryRegion> memory_regions() override;
+  std::unique_ptr<Classifier> clone() const override;
+  std::string name() const override { return "RobustHD"; }
+
+  /// Predicts and, when self-recovery is enabled, lets the RecoveryEngine
+  /// observe the query (detection + substitution happen inline).
+  int predict_and_recover(std::span<const float> features);
+
+  /// Turns on the adaptive self-recovery runtime.
+  void enable_recovery(const model::RecoveryConfig& config);
+  bool recovery_enabled() const noexcept { return engine_ != nullptr; }
+  const model::RecoveryEngine* recovery_engine() const noexcept {
+    return engine_.get();
+  }
+
+  const hv::RecordEncoder& encoder() const noexcept { return *encoder_; }
+  const hv::EncoderConfig& encoder_config() const noexcept {
+    return encoder_config_;
+  }
+  const model::HdcModel& model() const noexcept { return model_; }
+  model::HdcModel& model() noexcept { return model_; }
+
+ private:
+  hv::EncoderConfig encoder_config_{};
+  std::shared_ptr<const hv::RecordEncoder> encoder_;  ///< immutable, shared by clones
+  model::HdcModel model_;
+  std::unique_ptr<model::RecoveryEngine> engine_;
+};
+
+}  // namespace robusthd::core

@@ -1,0 +1,44 @@
+#pragma once
+// ECC-protected model deployment — the conventional alternative RobustHD
+// claims to make unnecessary (Section 6.6).
+//
+// Wraps a trained HdcModel's class planes in SECDED(72,64) protected
+// storage. Faults are injected into the *protected* representation (data
+// words + check bytes); a scrub cycle decodes every word, repairs what
+// SECDED can repair, and writes the payload back into the live model.
+// `bench/ecc_vs_recovery` races this against the unsupervised recovery
+// engine under DRAM-retention error rates.
+
+#include <vector>
+
+#include "robusthd/fault/memory.hpp"
+#include "robusthd/mem/ecc_memory.hpp"
+#include "robusthd/model/hdc_model.hpp"
+
+namespace robusthd::core {
+
+/// SECDED-protected storage for a binary HDC model.
+class EccProtectedModel {
+ public:
+  /// Snapshots the model's planes into protected storage. The model object
+  /// remains the live copy used for inference; refresh_model() re-derives
+  /// it from storage after faults + scrubbing.
+  explicit EccProtectedModel(model::HdcModel& model);
+
+  /// The protected stored representation (data + check bits) — the attack
+  /// surface. Note it is ~12.5% larger than the raw model.
+  std::vector<fault::MemoryRegion> memory_regions();
+
+  /// Runs a scrub: decode/correct every protected word, then write the
+  /// (possibly partially corrupted) payload back into the live model.
+  mem::EccProtectedMemory::ScrubReport scrub_and_refresh();
+
+  /// Total stored bits including the ECC overhead.
+  std::size_t stored_bits() const noexcept;
+
+ private:
+  model::HdcModel& model_;
+  std::vector<mem::EccProtectedMemory> planes_;  ///< one per (class, plane)
+};
+
+}  // namespace robusthd::core

@@ -1,0 +1,31 @@
+#pragma once
+// Model serialisation.
+//
+// The paper's threat model is "the trained model sits in attackable
+// memory" — which presumes models get stored and shipped. This module
+// gives RobustHD a deployable on-disk format: a small versioned header
+// (encoder configuration — the item memory rebuilds deterministically from
+// its seed — plus model shape) followed by the raw class-plane words, i.e.
+// exactly the bytes the fault injector attacks.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "robusthd/core/hdc_classifier.hpp"
+
+namespace robusthd::core {
+
+/// Serialises a trained classifier to a self-contained byte blob.
+std::vector<std::byte> serialize(const HdcClassifier& classifier);
+
+/// Reconstructs a classifier from serialize()'s output. Throws
+/// std::runtime_error on malformed or version-mismatched input.
+HdcClassifier deserialize(std::span<const std::byte> blob);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure).
+void save_model(const HdcClassifier& classifier, const std::string& path);
+HdcClassifier load_model(const std::string& path);
+
+}  // namespace robusthd::core

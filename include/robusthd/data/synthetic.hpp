@@ -1,0 +1,64 @@
+#pragma once
+// Synthetic dataset generation.
+//
+// Each class is a mixture of Gaussian clusters in feature space; a fraction
+// of features are pure noise (carry no class information), and features are
+// lightly correlated through a sparse random mixing pass. The generator is
+// deterministic in its seed so every experiment is reproducible.
+//
+// Why this is a faithful substitute: the paper's robustness results measure
+// *quality loss* — accuracy of a model whose stored bits were corrupted,
+// relative to the same model clean. That delta depends on the model
+// representation and the fault process, not on whether the features came
+// from accelerometers or a mixture model; the spec's separability knob is
+// tuned so clean accuracies are realistic for each benchmark.
+
+#include <cstdint>
+
+#include "robusthd/data/dataset.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::data {
+
+/// Tunables of the synthetic generator.
+///
+/// Features are *anchor-structured*: every (class-cluster, feature) pair
+/// picks one of `anchor_count` discrete anchor values in [0, 1], and
+/// samples scatter around their anchor with a noise small compared to the
+/// anchor spacing. This mimics the structure of the paper's benchmarks —
+/// pixel intensities, spectral bins and sensor channels are near-discrete
+/// per class — and it is what gives hyperdimensional encodings their
+/// published geometry: same-class encodings agree on ~95% of dimensions
+/// (quantisation snaps core samples to the same levels) while cross-class
+/// encodings are far. Purely Gaussian feature clouds cannot reach that
+/// regime: the within-class spread stays a fixed fraction of the dynamic
+/// range no matter the separation, capping same-class agreement near 0.92.
+struct SynthConfig {
+  std::size_t anchor_count = 4;     ///< discrete values per feature
+  /// Core sample noise as a fraction of the anchor spacing. 0.2 keeps most
+  /// core samples inside their own quantisation level.
+  double within_noise = 0.03;
+  /// Probability that a feature is *shared* (all classes use the same
+  /// anchor — carries no class signal). Plays the noise-feature role.
+  double shared_feature_fraction = 0.70;
+  std::size_t clusters_per_class = 1;
+  /// Confusable samples: this fraction of samples is a feature-wise blend
+  /// between its own class pattern and a random other class's pattern
+  /// (blend weight uniform in [lo, hi]). These are the boundary samples —
+  /// they carry thin margins, supply the task's Bayes-error floor, and are
+  /// the queries that flip first under bit-flip attack. Symmetric noise
+  /// cannot play this role in high feature counts: it averages out.
+  double confuser_fraction = 0.35;
+  double confuser_blend_lo = 0.25;
+  double confuser_blend_hi = 0.55;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Generates a train/test split to `spec` (sizes, feature count, classes),
+/// already min-max normalised to [0, 1].
+Split make_synthetic(const DatasetSpec& spec, const SynthConfig& config);
+
+/// Convenience: default config with the spec's own separability and a seed.
+Split make_synthetic(const DatasetSpec& spec, std::uint64_t seed = 0x5eed);
+
+}  // namespace robusthd::data

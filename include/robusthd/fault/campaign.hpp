@@ -1,0 +1,51 @@
+#pragma once
+// Fault-campaign runner: repeat (copy model → inject → evaluate) and report
+// quality-loss statistics. Every table/figure bench that attacks a stored
+// model goes through this so methodology is identical everywhere.
+
+#include <functional>
+
+#include "robusthd/fault/injector.hpp"
+#include "robusthd/util/stats.hpp"
+
+namespace robusthd::fault {
+
+/// Parameters of one campaign cell (one table entry).
+struct CampaignConfig {
+  double error_rate = 0.0;
+  AttackMode mode = AttackMode::kRandom;
+  std::size_t repetitions = 5;
+  std::uint64_t seed = 0xa77ac4;
+};
+
+/// Aggregated result of a campaign cell.
+struct CampaignResult {
+  double clean_accuracy = 0.0;
+  util::RunningStats faulty_accuracy;
+  double mean_quality_loss() const noexcept {
+    return util::quality_loss(clean_accuracy, faulty_accuracy.mean());
+  }
+};
+
+/// `make_victim` must return a freshly attackable copy of the trained model
+/// (cheap clone); `regions_of` exposes its memory; `evaluate` returns its
+/// test accuracy. The runner never mutates the original model.
+template <typename Model>
+CampaignResult run_campaign(
+    const CampaignConfig& config, double clean_accuracy,
+    const std::function<Model()>& make_victim,
+    const std::function<std::vector<MemoryRegion>(Model&)>& regions_of,
+    const std::function<double(const Model&)>& evaluate) {
+  CampaignResult result;
+  result.clean_accuracy = clean_accuracy;
+  util::Xoshiro256 rng(config.seed);
+  for (std::size_t r = 0; r < config.repetitions; ++r) {
+    Model victim = make_victim();
+    auto regions = regions_of(victim);
+    BitFlipInjector::inject(regions, config.error_rate, config.mode, rng);
+    result.faulty_accuracy.add(evaluate(victim));
+  }
+  return result;
+}
+
+}  // namespace robusthd::fault

@@ -1,0 +1,108 @@
+#pragma once
+// Bit-flip fault injection (Section 2 / Section 6.2 of the paper).
+//
+// Two attack models:
+//  * Random  — flips uniformly chosen distinct bits anywhere in the model
+//    memory (technology noise, relaxed-refresh DRAM, worn NVM cells).
+//  * Targeted — a worst-case adversary that spends the same flip budget on
+//    the most significant bits of the stored values (row-hammer style
+//    attacks on exponent/MSB bits, as in Rakin et al.'s bit-flip attack).
+
+#include <cstdint>
+
+#include "robusthd/fault/memory.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::fault {
+
+/// Which bits an attack selects.
+enum class AttackMode {
+  kRandom,    ///< uniform over all stored bits (technology noise)
+  kTargeted,  ///< most significant bits of stored values first (worst case)
+  /// Same total budget, but concentrated in contiguous spans — the
+  /// physical profile of row-hammer and locally worn cells, and the damage
+  /// shape RobustHD's chunk detector is built to localise.
+  kClustered,
+};
+
+/// Outcome summary of one injection pass.
+struct FlipReport {
+  std::size_t flipped = 0;
+  std::size_t total_bits = 0;
+
+  double rate() const noexcept {
+    return total_bits ? static_cast<double>(flipped) /
+                            static_cast<double>(total_bits)
+                      : 0.0;
+  }
+};
+
+/// Stateless injector; all randomness comes from the caller's generator.
+class BitFlipInjector {
+ public:
+  /// Attack entry point. `rate` is the fraction of stored *values*
+  /// corrupted (the paper's "x% error rate" on a weight memory):
+  ///  * kRandom    — each attacked value gets one uniformly chosen bit
+  ///                 flipped;
+  ///  * kTargeted  — each attacked value gets its most significant bit
+  ///                 flipped (budget spent in region order, most sensitive
+  ///                 region first);
+  ///  * kClustered — the same flip budget, but concentrated in contiguous
+  ///                 spans (row-hammer locality).
+  /// For 1-bit regions (binary hypervectors) a value is a bit, so all
+  /// modes coincide with a plain bit error rate — the holographic
+  /// representation has no preferable bits, which is the paper's point.
+  static FlipReport inject(std::span<MemoryRegion> regions, double rate,
+                           AttackMode mode, util::Xoshiro256& rng);
+
+  /// Uniform physical bit errors at the given BER over every stored bit —
+  /// the model used for DRAM retention failures and worn NVM cells
+  /// (Figures 4a/4b), where physics does not know about value boundaries.
+  static FlipReport inject_bit_errors(std::span<MemoryRegion> regions,
+                                      double bit_error_rate,
+                                      util::Xoshiro256& rng);
+
+  /// Flips exactly `count` distinct random bits in one region (building
+  /// block for continuous attack streams).
+  static std::size_t flip_random_bits(MemoryRegion& region, std::size_t count,
+                                      util::Xoshiro256& rng);
+
+  /// Flips up to `count` bits choosing most-significant-bit positions of
+  /// the region's values first, spilling to the next significance tier when
+  /// the budget exceeds the number of values.
+  static std::size_t flip_targeted_bits(MemoryRegion& region,
+                                        std::size_t count,
+                                        util::Xoshiro256& rng);
+
+  /// Flips `count` distinct bits inside one contiguous random span covering
+  /// `cluster_fraction` of the region (clamped so the span can hold them).
+  static std::size_t flip_clustered_bits(MemoryRegion& region,
+                                         std::size_t count,
+                                         double cluster_fraction,
+                                         util::Xoshiro256& rng);
+};
+
+/// Continuous attack process: on every step() call it flips a number of
+/// random bits so that the *cumulative* flipped fraction approaches the
+/// configured rate over `steps_to_full` steps. Used by the recovery
+/// experiments where faults accumulate while the model serves queries.
+class StreamAttacker {
+ public:
+  StreamAttacker(double total_rate, std::size_t steps_to_full,
+                 std::uint64_t seed);
+
+  /// Injects this step's share of flips into the regions.
+  FlipReport step(std::span<MemoryRegion> regions);
+
+  double cumulative_rate() const noexcept { return injected_rate_; }
+
+ private:
+  double total_rate_;
+  std::size_t steps_to_full_;
+  std::size_t steps_done_ = 0;
+  double injected_rate_ = 0.0;
+  double carry_bits_ = 0.0;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace robusthd::fault

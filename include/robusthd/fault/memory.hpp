@@ -1,0 +1,34 @@
+#pragma once
+// The attack surface abstraction.
+//
+// Every model in this repo (HDC class hypervectors, int8 DNN/SVM weights,
+// AdaBoost parameters) exposes its *stored representation* as raw byte
+// regions. The injector operates only on these bytes, so the comparison
+// between representations is apples-to-apples: the same flip budget lands on
+// whatever the model actually keeps in memory.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace robusthd::fault {
+
+/// One contiguous block of model memory.
+struct MemoryRegion {
+  std::span<std::byte> bytes;
+  /// Width in bits of the values stored in this region: 8 for int8 weights,
+  /// 32 for floats, 1 for packed binary hypervectors. Targeted attacks use
+  /// it to find each value's most significant bit; for value_bits == 1 all
+  /// bits are equivalent and targeted degenerates to random — exactly the
+  /// paper's observation about holographic representations.
+  unsigned value_bits = 8;
+  std::string name;
+
+  std::size_t bit_count() const noexcept { return bytes.size() * 8; }
+};
+
+/// Total bits across regions.
+std::size_t total_bits(std::span<const MemoryRegion> regions) noexcept;
+
+}  // namespace robusthd::fault

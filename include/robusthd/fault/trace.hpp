@@ -1,0 +1,53 @@
+#pragma once
+// Attack recording and replay.
+//
+// Fault forensics needs the *exact* flip pattern, not just the rate: which
+// bits flipped decides whether a campaign cell was lucky, whether two
+// models saw equivalent damage, and whether a recovery run can be
+// reproduced bit-for-bit after the fact. An AttackTrace captures flips as
+// (region, bit) pairs, replays onto any equally-shaped region set, and
+// serialises to a compact blob.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "robusthd/fault/injector.hpp"
+
+namespace robusthd::fault {
+
+/// One recorded flip.
+struct FlipEvent {
+  std::uint32_t region = 0;
+  std::uint64_t bit = 0;
+
+  bool operator==(const FlipEvent&) const = default;
+};
+
+/// A replayable record of one attack.
+class AttackTrace {
+ public:
+  AttackTrace() = default;
+
+  std::size_t size() const noexcept { return events_.size(); }
+  std::span<const FlipEvent> events() const noexcept { return events_; }
+
+  /// Records an attack by diffing the regions around an injection:
+  /// snapshots `regions`, runs `inject`, and stores every bit that
+  /// changed. Returns the injector's report.
+  FlipReport record(std::span<MemoryRegion> regions, double rate,
+                    AttackMode mode, util::Xoshiro256& rng);
+
+  /// Applies the recorded flips to another (equally shaped) region set.
+  /// Throws std::out_of_range if a recorded event does not fit.
+  void replay(std::span<MemoryRegion> regions) const;
+
+  /// Compact binary serialisation.
+  std::vector<std::byte> serialize() const;
+  static AttackTrace deserialize(std::span<const std::byte> blob);
+
+ private:
+  std::vector<FlipEvent> events_;
+};
+
+}  // namespace robusthd::fault

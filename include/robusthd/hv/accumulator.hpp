@@ -1,0 +1,80 @@
+#pragma once
+// Bundling accumulators.
+//
+// HDC bundling is per-dimension integer addition of binary vectors followed
+// by a majority threshold. Encoding a sample bundles up to ~800 bound
+// vectors (one per feature), so the encoder uses a word-parallel bit-sliced
+// counter (O(log n) word ops per 64 dimensions) instead of 10,000 scalar
+// counters. Class training bundles far fewer, larger vectors and uses plain
+// int32 counters for clarity.
+
+#include <cstdint>
+#include <vector>
+
+#include "robusthd/hv/binvec.hpp"
+
+namespace robusthd::hv {
+
+/// Word-parallel unsigned counters: plane p holds bit p of every
+/// dimension's count. Adding a binary vector is a ripple-carry add over the
+/// planes, which costs O(planes) word ops per word of input.
+class BitSliceCounter {
+ public:
+  explicit BitSliceCounter(std::size_t dimension);
+
+  std::size_t dimension() const noexcept { return dim_; }
+  std::size_t plane_count() const noexcept { return planes_.size(); }
+  std::size_t added() const noexcept { return added_; }
+
+  /// counts += bits (each dimension incremented where `bits` has a 1).
+  void add(const BinVec& bits);
+
+  /// Per-dimension count.
+  std::uint32_t count(std::size_t dim) const noexcept;
+
+  /// Majority threshold: bit i of the result is 1 iff count(i)*2 > total,
+  /// ties broken by `tie_break` (a deterministic pseudo-random vector keeps
+  /// thresholded vectors unbiased when the bundle size is even).
+  BinVec threshold_majority(const BinVec* tie_break = nullptr) const;
+
+  /// Threshold against an arbitrary cut: bit i = count(i) > cut.
+  BinVec threshold(std::uint32_t cut) const;
+
+  void reset();
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t words_ = 0;
+  std::size_t added_ = 0;
+  std::vector<std::vector<std::uint64_t>> planes_;
+};
+
+/// Plain signed per-dimension counters used for class-hypervector training
+/// and retraining (supports subtraction for perceptron-style updates).
+class SignedAccumulator {
+ public:
+  explicit SignedAccumulator(std::size_t dimension)
+      : counts_(dimension, 0) {}
+
+  std::size_t dimension() const noexcept { return counts_.size(); }
+
+  /// counts[i] += bit_i ? +1 : -1, scaled by weight (bipolar bundling).
+  void add(const BinVec& bits, std::int32_t weight = 1);
+
+  std::int32_t count(std::size_t dim) const noexcept { return counts_[dim]; }
+  std::int32_t& count(std::size_t dim) noexcept { return counts_[dim]; }
+
+  /// Sign threshold: bit i = counts[i] > 0 (ties -> tie_break bit or 0).
+  BinVec sign(const BinVec* tie_break = nullptr) const;
+
+  /// Quantises each counter into `bits`-bit magnitude levels and returns
+  /// one binary plane per bit (plane p carries weight 2^p). This is the
+  /// multi-precision model of Table 1: 1 bit == sign only, 2 bits == sign
+  /// plus one magnitude level.
+  std::vector<BinVec> quantize_planes(unsigned bits) const;
+
+ private:
+  std::vector<std::int32_t> counts_;
+};
+
+}  // namespace robusthd::hv

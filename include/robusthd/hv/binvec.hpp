@@ -1,0 +1,90 @@
+#pragma once
+// Packed binary hypervector.
+//
+// The deployed RobustHD model is binary (Section 3.2: "To ensure robustness,
+// we always use HDC with a binary model"), so the fundamental type stores D
+// bits in 64-bit words. All hot operations — XOR binding, Hamming distance,
+// permutation — are word-parallel and branch-free.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "robusthd/util/bitops.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::hv {
+
+/// A D-dimensional binary hypervector packed into uint64 words.
+///
+/// Invariant: bits at positions >= dimension() in the last word are zero;
+/// every mutating operation restores this so popcount-based distances never
+/// see garbage tail bits.
+class BinVec {
+ public:
+  BinVec() = default;
+
+  /// All-zeros vector of the given dimension.
+  explicit BinVec(std::size_t dimension)
+      : dim_(dimension), words_(util::words_for_bits(dimension), 0) {}
+
+  /// I.i.d. uniform random vector — the holographic representation's
+  /// building block (each bit is 1 with probability 1/2).
+  static BinVec random(std::size_t dimension, util::Xoshiro256& rng);
+
+  std::size_t dimension() const noexcept { return dim_; }
+  std::size_t word_count() const noexcept { return words_.size(); }
+  bool empty() const noexcept { return dim_ == 0; }
+
+  bool get(std::size_t i) const noexcept { return util::get_bit(words(), i); }
+  void set(std::size_t i, bool v) noexcept {
+    util::set_bit(mutable_words(), i, v);
+  }
+  void flip(std::size_t i) noexcept { util::flip_bit(mutable_words(), i); }
+
+  /// Number of set bits.
+  std::size_t count_ones() const noexcept { return util::popcount(words()); }
+
+  /// In-place XOR binding with another vector of equal dimension.
+  BinVec& bind(const BinVec& other) noexcept;
+
+  /// In-place bitwise NOT (tail bits re-zeroed).
+  BinVec& invert() noexcept;
+
+  /// Circular left rotation by `amount` bit positions (permutation op used
+  /// for sequence encoding).
+  BinVec rotated(std::size_t amount) const;
+
+  /// Read-only / mutable word views. The mutable view is what the fault
+  /// injector attacks: it is the literal stored representation of the model.
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+  std::span<std::uint64_t> mutable_words() noexcept { return words_; }
+
+  /// Clears bits beyond dimension() in the final word. Call after writing
+  /// raw words from outside (e.g. after a fault campaign on the raw bytes).
+  void mask_tail() noexcept;
+
+  bool operator==(const BinVec& other) const noexcept = default;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Hamming distance between two vectors of equal dimension.
+std::size_t hamming(const BinVec& a, const BinVec& b) noexcept;
+
+/// Normalised similarity in [0, 1]: 1 - hamming/D. Random vectors score
+/// ~0.5; identical vectors score 1.
+double similarity(const BinVec& a, const BinVec& b) noexcept;
+
+/// XOR binding returning a new vector.
+BinVec bind(const BinVec& a, const BinVec& b);
+
+/// Hamming distance restricted to the bit range [begin, end) — the chunk
+/// primitive of the RobustHD fault detector.
+std::size_t hamming_range(const BinVec& a, const BinVec& b, std::size_t begin,
+                          std::size_t end) noexcept;
+
+}  // namespace robusthd::hv

@@ -1,0 +1,34 @@
+#pragma once
+// Abstract feature-vector encoder interface.
+//
+// The paper uses the record-based (ID-level) encoder; the library ships two
+// more (thermometer and random-projection) so the encoder itself can be
+// ablated — robustness claims should survive the choice of encoding, and
+// `bench/ablation_encoders` checks that they do.
+
+#include <span>
+#include <vector>
+
+#include "robusthd/data/dataset.hpp"
+#include "robusthd/hv/binvec.hpp"
+
+namespace robusthd::hv {
+
+/// Maps normalised feature vectors (values in [0,1]) to binary
+/// hypervectors. Implementations are deterministic in their seed and
+/// thread-compatible (const encode).
+class Encoder {
+ public:
+  virtual ~Encoder() = default;
+
+  virtual std::size_t dimension() const noexcept = 0;
+  virtual std::size_t feature_count() const noexcept = 0;
+
+  /// Encodes one sample.
+  virtual BinVec encode(std::span<const float> features) const = 0;
+
+  /// Encodes every row of a dataset.
+  std::vector<BinVec> encode_all(const data::Dataset& dataset) const;
+};
+
+}  // namespace robusthd::hv

@@ -1,0 +1,35 @@
+#pragma once
+// Error-correction-code cost model (Sections 5.2 and 6.6).
+//
+// The conventional fix for unreliable memory is SECDED ECC: per 64-bit
+// word, 8 check bits, single-error correction. It costs storage, energy on
+// every access, and — crucially — stops helping once the raw bit error
+// rate makes double-bit words common. RobustHD's claim is that the HDC
+// representation plus self-recovery makes this machinery unnecessary; this
+// model quantifies what is being removed and where ECC breaks down.
+
+#include <cstddef>
+
+namespace robusthd::mem {
+
+/// SECDED(72,64)-style code description.
+struct EccParams {
+  std::size_t data_bits = 64;
+  std::size_t check_bits = 8;
+  /// Encode+decode energy overhead per access, relative to a raw access.
+  double access_energy_overhead = 0.20;
+
+  double storage_overhead() const noexcept {
+    return static_cast<double>(check_bits) / static_cast<double>(data_bits);
+  }
+};
+
+/// Probability that a protected word is uncorrectable (≥ 2 raw bit errors
+/// among data+check bits) at raw bit error rate `ber`.
+double uncorrectable_word_rate(double ber, const EccParams& params = {});
+
+/// Effective post-ECC *bit* error rate seen by the application: an
+/// uncorrectable word is emitted with its (≥2) raw flips intact.
+double residual_bit_error_rate(double ber, const EccParams& params = {});
+
+}  // namespace robusthd::mem

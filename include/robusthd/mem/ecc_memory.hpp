@@ -1,0 +1,71 @@
+#pragma once
+// Functional SECDED (72,64) error-correcting memory.
+//
+// The analytical model in ecc.hpp prices ECC; this module *implements* it:
+// an extended Hamming code over 64-bit words (8 check bits, single-error
+// correction + double-error detection) wrapped around a byte buffer. The
+// Figure-4b narrative — SECDED saves a conventional model at trace-level
+// BER but collapses at the percent-level BER of relaxed refresh — can then
+// be demonstrated end-to-end on real stored models, not just priced.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace robusthd::mem {
+
+/// Outcome of decoding one protected word.
+enum class EccOutcome {
+  kClean,          ///< no error detected
+  kCorrected,      ///< single-bit error corrected
+  kUncorrectable,  ///< double-bit (or worse, detected) error
+};
+
+/// Computes the 8 SECDED check bits of a 64-bit data word
+/// (7 Hamming parity bits over the 71-bit codeword + 1 overall parity).
+std::uint8_t secded_encode(std::uint64_t data) noexcept;
+
+/// Decodes a (data, check) pair in place; returns what happened. On
+/// kCorrected the flipped bit (data or check) has been repaired.
+EccOutcome secded_decode(std::uint64_t& data, std::uint8_t& check) noexcept;
+
+/// A byte buffer stored under SECDED protection, 8 data bytes per word.
+///
+/// The *stored* representation (data words + check bytes) is what a fault
+/// injector attacks; reads run the decoder, transparently correcting
+/// single-bit upsets and passing uncorrectable words through unrepaired
+/// (real hardware raises an MCE and returns the raw word; models keep
+/// running with whatever bits survive).
+class EccProtectedMemory {
+ public:
+  /// Takes a snapshot of `payload` under ECC. Size is padded up to a
+  /// multiple of 8 bytes internally.
+  explicit EccProtectedMemory(std::span<const std::byte> payload);
+
+  std::size_t payload_size() const noexcept { return payload_size_; }
+  std::size_t word_count() const noexcept { return words_.size(); }
+
+  /// The raw stored bits (data + check), exposed for fault injection.
+  std::span<std::byte> stored_data() noexcept;
+  std::span<std::byte> stored_checks() noexcept;
+
+  /// Decodes every word (correcting what it can) and writes the payload
+  /// back to `out` (must be payload_size() bytes). Returns per-outcome
+  /// counts.
+  struct ScrubReport {
+    std::size_t clean = 0;
+    std::size_t corrected = 0;
+    std::size_t uncorrectable = 0;
+  };
+  ScrubReport read_all(std::span<std::byte> out);
+
+  /// Storage overhead of the protection, in bits.
+  std::size_t overhead_bits() const noexcept { return words_.size() * 8; }
+
+ private:
+  std::size_t payload_size_ = 0;
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint8_t> checks_;
+};
+
+}  // namespace robusthd::mem

@@ -1,0 +1,42 @@
+#pragma once
+// Prediction-confidence block (Section 4.1).
+//
+// Class similarities pass through a temperature-scaled softmax; the top
+// probability is the prediction's confidence. Because it is a softmax over
+// *all* classes, it captures both how similar the query is to the winner
+// and what the winner's margin over the runners-up is — exactly the two
+// properties the paper asks of the confidence metric.
+
+#include <span>
+#include <vector>
+
+namespace robusthd::model {
+
+/// Confidence settings.
+///
+/// Raw Hamming similarities concentrate tightly (all classes sit within a
+/// few percent of each other in high dimension), so the similarity vector
+/// is standardised (z-scored across classes) before the softmax; the
+/// temperature is then in units of the cross-class spread. For binary
+/// (k=2) problems the spread itself is degenerate, so the margin is scaled
+/// by the Hamming noise floor sqrt(D) instead — pass `dimension` to
+/// assess() to enable that path.
+struct ConfidenceConfig {
+  double temperature = 0.5;
+};
+
+/// Result of the confidence block for one query.
+struct Confidence {
+  int predicted = -1;       ///< argmax class
+  double top_probability = 0.0;  ///< softmax mass of the winner
+  double margin = 0.0;      ///< winner similarity minus runner-up similarity
+};
+
+/// Computes the confidence of a similarity-score vector. `dimension` (the
+/// hypervector D behind the similarities) activates the noise-floor
+/// scaling used for two-class problems; 0 falls back to z-score-only.
+Confidence assess(std::span<const double> similarities,
+                  const ConfidenceConfig& config = {},
+                  std::size_t dimension = 0);
+
+}  // namespace robusthd::model

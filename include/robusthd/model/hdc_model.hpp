@@ -1,0 +1,95 @@
+#pragma once
+// The hyperdimensional classifier (Section 3).
+//
+// Training bundles encoded hypervectors per class into signed accumulators,
+// optionally refines them with perceptron-style retraining, and deploys a
+// quantised model: one binary plane for the standard 1-bit model, or
+// multiple weighted planes for the higher-precision variants of Table 1.
+// Inference is plane-weighted Hamming similarity; for the 1-bit model this
+// is exactly the paper's Hamming-distance check.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "robusthd/fault/memory.hpp"
+#include "robusthd/hv/accumulator.hpp"
+#include "robusthd/hv/binvec.hpp"
+
+namespace robusthd::model {
+
+/// Training hyper-parameters.
+struct HdcConfig {
+  unsigned precision_bits = 1;     ///< deployed model precision (Table 1)
+  std::size_t retrain_epochs = 10; ///< perceptron refinement passes
+  /// Margin-aware retraining: also update on *correct* predictions whose
+  /// Hamming margin to the runner-up is below this fraction of D. Wider
+  /// margins are what buy bit-flip robustness, so this knob directly
+  /// trades training time for fault tolerance.
+  double retrain_margin = 0.005;
+  std::uint64_t seed = 0xcafe;
+};
+
+/// One class hypervector, stored as weighted binary planes
+/// (plane p carries weight 2^p; 1-bit models have a single plane).
+struct ClassVector {
+  std::vector<hv::BinVec> planes;
+};
+
+/// Trained HDC model: k class hypervectors over dimension D.
+class HdcModel {
+ public:
+  HdcModel() = default;
+
+  /// Single-pass bundling + retraining over pre-encoded training data.
+  static HdcModel train(std::span<const hv::BinVec> encoded,
+                        std::span<const int> labels, std::size_t num_classes,
+                        const HdcConfig& config = {});
+
+  /// Deploys a model directly from per-class accumulators (used by the
+  /// online trainer and by anything that builds its own bundles).
+  static HdcModel from_accumulators(
+      std::span<const hv::SignedAccumulator> accumulators,
+      unsigned precision_bits = 1);
+
+  /// Rebuilds a model from deployed class planes (deserialisation).
+  static HdcModel from_planes(std::vector<ClassVector> classes,
+                              unsigned precision_bits);
+
+  std::size_t num_classes() const noexcept { return classes_.size(); }
+  std::size_t dimension() const noexcept { return dim_; }
+  unsigned precision_bits() const noexcept { return precision_bits_; }
+
+  const ClassVector& class_vector(std::size_t cls) const noexcept {
+    return classes_[cls];
+  }
+  ClassVector& class_vector(std::size_t cls) noexcept { return classes_[cls]; }
+
+  /// Normalised similarity score per class, each in [0, 1]
+  /// (1-bit: 1 - hamming/D).
+  std::vector<double> scores(const hv::BinVec& query) const;
+
+  /// Per-class similarity restricted to the dimensions [begin, end) — the
+  /// "treat each chunk as a separate HDC model" primitive of Section 4.2.
+  std::vector<double> chunk_scores(const hv::BinVec& query, std::size_t begin,
+                                   std::size_t end) const;
+
+  /// argmax of scores().
+  int predict(const hv::BinVec& query) const;
+
+  /// Accuracy over a pre-encoded test set.
+  double evaluate(std::span<const hv::BinVec> queries,
+                  std::span<const int> labels) const;
+
+  /// The stored representation, one region per class plane (value_bits == 1:
+  /// every bit is an equally weighted coordinate of a hypervector plane, so
+  /// a targeted attacker has no better-than-random bit to pick).
+  std::vector<fault::MemoryRegion> memory_regions();
+
+ private:
+  std::size_t dim_ = 0;
+  unsigned precision_bits_ = 1;
+  std::vector<ClassVector> classes_;
+};
+
+}  // namespace robusthd::model

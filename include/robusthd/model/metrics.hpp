@@ -1,0 +1,42 @@
+#pragma once
+// Classification metrics beyond plain accuracy: per-class precision /
+// recall / F1 and macro averages, built from a confusion matrix. Useful
+// when fault injection degrades classes unevenly (partial repair, targeted
+// attacks) — accuracy alone hides which classes were sacrificed.
+
+#include <string>
+#include <vector>
+
+#include "robusthd/util/stats.hpp"
+
+namespace robusthd::model {
+
+/// Per-class metrics.
+struct ClassMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t support = 0;  ///< true samples of this class
+};
+
+/// Full classification report.
+struct ClassificationReport {
+  std::vector<ClassMetrics> per_class;
+  double accuracy = 0.0;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+};
+
+/// Builds a report from parallel label arrays.
+ClassificationReport classification_report(std::span<const int> predicted,
+                                           std::span<const int> expected,
+                                           std::size_t num_classes);
+
+/// Builds a report from an already-filled confusion matrix.
+ClassificationReport classification_report(const util::ConfusionMatrix& cm);
+
+}  // namespace robusthd::model

@@ -1,0 +1,57 @@
+#pragma once
+// Online inference-stream driver.
+//
+// Reproduces the runtime setting of Sections 4 and 6.4: a trained model is
+// attacked (one-shot, and optionally continuously while serving), then
+// serves a stream of unlabeled queries through the RecoveryEngine. The
+// driver periodically measures held-out accuracy so benches can report both
+// the final quality loss (Table 4) and the number of samples needed to
+// recover (Figure 3).
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "robusthd/fault/injector.hpp"
+#include "robusthd/model/recovery.hpp"
+
+namespace robusthd::model {
+
+/// Stream-driver settings.
+struct StreamConfig {
+  std::size_t eval_every = 100;  ///< held-out evaluation cadence (queries)
+  /// Accuracy within this of the clean accuracy counts as "recovered".
+  double recover_epsilon = 0.005;
+};
+
+/// One point of the accuracy-over-time trace.
+struct StreamPoint {
+  std::size_t queries_seen = 0;
+  double accuracy = 0.0;
+};
+
+/// Everything a bench needs from one stream run.
+struct StreamResult {
+  std::vector<StreamPoint> trace;
+  double final_accuracy = 0.0;
+  std::size_t model_updates = 0;
+  std::size_t substituted_bits = 0;
+  std::size_t trusted_queries = 0;
+  /// First queries_seen at which accuracy reached clean - epsilon;
+  /// SIZE_MAX when the stream ended before recovery.
+  std::size_t samples_to_recover = std::numeric_limits<std::size_t>::max();
+};
+
+/// Runs `stream` through the engine. If `attacker` is non-null its step()
+/// is called once per observed query, modelling faults that keep
+/// accumulating while the model serves (the scenario recovery must outrun).
+StreamResult run_recovery_stream(HdcModel& model, RecoveryEngine& engine,
+                                 std::span<const hv::BinVec> stream,
+                                 fault::StreamAttacker* attacker,
+                                 std::span<const hv::BinVec> eval_queries,
+                                 std::span<const int> eval_labels,
+                                 double clean_accuracy,
+                                 const StreamConfig& config = {});
+
+}  // namespace robusthd::model

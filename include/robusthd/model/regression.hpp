@@ -1,0 +1,64 @@
+#pragma once
+// Hyperdimensional regression (the RegHD extension).
+//
+// The paper's companion work [8] (RegHD, DAC'21) carries the robustness
+// argument to regression: a single real-valued model hypervector m is
+// trained so that the bipolar projection of an encoded query onto m
+// predicts the target. We implement the single-model variant with a
+// quantised deployment, so the same fault injector that attacks the
+// classifiers can attack the regressor — PECAN ("urban electricity
+// prediction") is naturally a regression task, and this module closes that
+// loop.
+//
+//   prediction(H) = Σ_i (H_i ? +m_i : -m_i) / D
+//   training:      m_i += lr · (y − prediction) · (H_i ? +1 : −1)
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "robusthd/baseline/fixedpoint.hpp"
+#include "robusthd/fault/memory.hpp"
+#include "robusthd/hv/binvec.hpp"
+
+namespace robusthd::model {
+
+/// Trained hyperdimensional regressor over pre-encoded hypervectors.
+class HdcRegressor {
+ public:
+  struct Config {
+    std::size_t epochs = 20;
+    double learning_rate = 0.2;
+    baseline::Precision precision = baseline::Precision::kInt8;
+    std::uint64_t seed = 0x4e6;
+  };
+
+  /// Trains on encoded inputs and real targets, then deploys the model
+  /// hypervector at the configured precision.
+  static HdcRegressor train(std::span<const hv::BinVec> encoded,
+                            std::span<const double> targets,
+                            const Config& config);
+  static HdcRegressor train(std::span<const hv::BinVec> encoded,
+                            std::span<const double> targets) {
+    return train(encoded, targets, Config{});
+  }
+
+  std::size_t dimension() const noexcept { return dimension_; }
+
+  /// Predicted target for one encoded query.
+  double predict(const hv::BinVec& query) const;
+
+  /// Root-mean-square error over a test set.
+  double rmse(std::span<const hv::BinVec> queries,
+              std::span<const double> targets) const;
+
+  /// The deployed (quantised) model hypervector — the attack surface.
+  std::vector<fault::MemoryRegion> memory_regions();
+
+ private:
+  std::size_t dimension_ = 0;
+  double bias_ = 0.0;
+  baseline::QuantizedTensor weights_;  ///< m, quantised
+};
+
+}  // namespace robusthd::model

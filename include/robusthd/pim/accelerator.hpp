@@ -1,0 +1,105 @@
+#pragma once
+// DPIM accelerator mapping (Section 5 / Figure 2).
+//
+// Lowers two inference workloads onto the MAGIC-NOR cost algebra:
+//
+//  * DNN — each output neuron occupies one crossbar row and evaluates its
+//    MAC chain bit-serially: `in` fixed-point multiplies (Θ(bits²) NORs
+//    each) plus accumulator adds. Neurons run row-parallel; layers are
+//    sequential. This is the FloatPIM-style digital mapping the paper
+//    builds on.
+//  * HDC — dimension-major layout: each of the D dimensions occupies a
+//    row. Binding/encoding is a 1-bit XOR chain plus a majority popcount
+//    over the n features (all D rows in parallel); similarity search is a
+//    1-bit XOR per class plus a log-depth adder-tree reduction over rows.
+//
+// Both mappings respect finite array geometry: work wider than the array
+// serialises into passes; arrays multiply throughput via batch-level
+// parallelism and give the wear-levelling surface for endurance modelling.
+
+#include <cstdint>
+#include <vector>
+
+#include "robusthd/pim/cost.hpp"
+
+namespace robusthd::pim {
+
+/// Geometry and activity of the accelerator.
+struct AcceleratorConfig {
+  DeviceParams device = DeviceParams::vteam_28nm();
+  /// Tile count of the chip (2048 tiles x 128 KiB = 256 MiB of NVM).
+  std::size_t arrays = 2048;
+  std::size_t rows_per_array = 1024;
+  std::size_t cols_per_array = 1024;
+  /// DNN mapping: how many tile column-groups split one neuron's
+  /// input-dimension MAC chain; partial sums merge through a cross-tile
+  /// adder tree. More groups shorten latency but the merge tree and tile
+  /// wiring bound practical values.
+  std::size_t dnn_inner_parallelism = 24;
+  /// Fraction of NOR output cells that actually change state (a cell
+  /// already in the target resistance does not consume a switching event).
+  double activity_factor = 0.5;
+  /// Wear-levelling surface per workload, as a multiple of its live
+  /// footprint: deployments provision NVM capacity proportional to the
+  /// model they serve, and scratch-column rotation spreads write pressure
+  /// over that provisioned region (capped at the whole chip).
+  std::size_t wear_overprovision = 64;
+};
+
+/// Fully connected DNN shape.
+struct DnnWorkloadSpec {
+  std::vector<std::pair<std::size_t, std::size_t>> layers;  ///< (in, out)
+  unsigned weight_bits = 8;
+
+  std::size_t mac_count() const noexcept {
+    std::size_t total = 0;
+    for (const auto& [in, out] : layers) total += in * out;
+    return total;
+  }
+  std::size_t parameter_count() const noexcept {
+    std::size_t total = 0;
+    for (const auto& [in, out] : layers) total += in * out + out;
+    return total;
+  }
+};
+
+/// HDC inference shape.
+struct HdcWorkloadSpec {
+  std::size_t dimension = 10000;  ///< D
+  std::size_t classes = 10;       ///< k
+  std::size_t features = 561;     ///< n (encoding width)
+  bool include_encoding = true;
+};
+
+/// Per-inference physical cost on the DPIM.
+struct InferenceCost {
+  std::uint64_t cycles = 0;          ///< sequential NOR steps
+  std::uint64_t device_switches = 0; ///< total switching events
+  double latency_us = 0.0;
+  double energy_uj = 0.0;
+  /// inferences/second at full batch parallelism across arrays.
+  double throughput_per_s = 0.0;
+  /// cells available for wear levelling (whole chip — wear-levelled
+  /// migration spreads write pressure beyond the live footprint).
+  std::uint64_t wear_cells = 0;
+};
+
+/// Analytical DPIM model.
+class DpimAccelerator {
+ public:
+  explicit DpimAccelerator(const AcceleratorConfig& config = {})
+      : config_(config) {}
+
+  const AcceleratorConfig& config() const noexcept { return config_; }
+
+  InferenceCost cost_dnn(const DnnWorkloadSpec& spec) const;
+  InferenceCost cost_hdc(const HdcWorkloadSpec& spec) const;
+
+ private:
+  InferenceCost finalize(OpCost logical, std::uint64_t batch_parallel,
+                         std::uint64_t footprint_cells) const;
+
+  AcceleratorConfig config_;
+};
+
+}  // namespace robusthd::pim

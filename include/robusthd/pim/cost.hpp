@@ -1,0 +1,105 @@
+#pragma once
+// MAGIC-NOR cost algebra.
+//
+// DPIM executes every operation as a sequence of in-memory NOR steps
+// (Section 5.1): one step drives one output column per active row, takes
+// one device switching delay, and may switch the output cells of all
+// active rows. Gate-synthesis sizes follow the MAGIC / SIMPLER-MAGIC
+// literature (Kvatinsky et al., Ben-Hur et al.):
+//
+//   NOT = 1 NOR        OR  = 2 NORs       AND = 3 NORs
+//   XOR = 5 NORs       1-bit full adder = 9 NORs
+//
+// An N-bit add is a 9N-NOR ripple; an N×N multiply is shift-add —
+// N AND-rows plus N-1 adds, i.e. Θ(N²) NOR steps. That quadratic growth is
+// exactly the paper's observation that PIM write pressure explodes with
+// arithmetic bit-width, and it is what kills both latency and endurance for
+// high-precision DNN inference in memory.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "robusthd/pim/device.hpp"
+
+namespace robusthd::pim {
+
+/// Cost of a (composite) in-memory operation executed in one row.
+/// `cycles` are sequential NOR steps; `switches` are worst-case device
+/// writes in that row (each NOR step writes one output cell).
+struct OpCost {
+  std::uint64_t cycles = 0;
+  std::uint64_t switches = 0;
+
+  OpCost& operator+=(const OpCost& o) noexcept {
+    cycles += o.cycles;
+    switches += o.switches;
+    return *this;
+  }
+  friend OpCost operator+(OpCost a, const OpCost& b) noexcept {
+    return a += b;
+  }
+  friend OpCost operator*(OpCost a, std::uint64_t times) noexcept {
+    a.cycles *= times;
+    a.switches *= times;
+    return a;
+  }
+};
+
+/// NOR-synthesis sizes of the basic gates.
+constexpr std::uint64_t kNorsPerNot = 1;
+constexpr std::uint64_t kNorsPerOr = 2;
+constexpr std::uint64_t kNorsPerAnd = 3;
+constexpr std::uint64_t kNorsPerXor = 5;
+constexpr std::uint64_t kNorsPerFullAdder = 9;
+
+/// One raw NOR step.
+constexpr OpCost cost_nor() noexcept { return {1, 1}; }
+
+/// Bitwise ops over `bits` independent bit positions in one row.
+constexpr OpCost cost_not(std::size_t bits) noexcept {
+  return {kNorsPerNot * bits, kNorsPerNot * bits};
+}
+constexpr OpCost cost_and(std::size_t bits) noexcept {
+  return {kNorsPerAnd * bits, kNorsPerAnd * bits};
+}
+constexpr OpCost cost_or(std::size_t bits) noexcept {
+  return {kNorsPerOr * bits, kNorsPerOr * bits};
+}
+constexpr OpCost cost_xor(std::size_t bits) noexcept {
+  return {kNorsPerXor * bits, kNorsPerXor * bits};
+}
+
+/// N-bit ripple-carry addition.
+constexpr OpCost cost_add(std::size_t bits) noexcept {
+  return {kNorsPerFullAdder * bits, kNorsPerFullAdder * bits};
+}
+
+/// N×N-bit shift-add multiplication: N partial products (AND rows) plus
+/// N-1 accumulating adds of width 2N. Θ(N²) — the quadratic write blowup.
+constexpr OpCost cost_multiply(std::size_t bits) noexcept {
+  const std::uint64_t partials = kNorsPerAnd * bits * bits;
+  const std::uint64_t adds =
+      bits > 0 ? kNorsPerFullAdder * 2 * bits * (bits - 1) : 0;
+  return {partials + adds, partials + adds};
+}
+
+/// Population count of `bits` one-bit values via a balanced adder tree
+/// (width grows with the level). Θ(bits) with a ~2× adder constant.
+OpCost cost_popcount(std::size_t bits) noexcept;
+
+/// D-dimensional Hamming distance: XOR then popcount.
+OpCost cost_hamming(std::size_t dimension) noexcept;
+
+/// Wall-clock and energy of an op under given device parameters and
+/// `row_parallelism` (number of rows executing the same NOR sequence at
+/// once — cycles stay fixed, switches multiply).
+struct PhysicalCost {
+  double time_ns = 0.0;
+  double energy_pj = 0.0;
+  std::uint64_t total_switches = 0;
+};
+
+PhysicalCost physical(const OpCost& op, const DeviceParams& device,
+                      std::uint64_t row_parallelism = 1) noexcept;
+
+}  // namespace robusthd::pim

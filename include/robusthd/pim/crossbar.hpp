@@ -1,0 +1,84 @@
+#pragma once
+// Functional MAGIC-NOR crossbar simulator.
+//
+// A bit-level model of one DPIM memory array: cells store 0/1 (R_OFF/R_ON),
+// a NOR step reads operand columns and writes an output column across all
+// activated rows in parallel (Section 5.1's row-parallel execution), and
+// every cell keeps a write counter so endurance experiments can observe
+// where the write pressure actually lands. Composite gates (NOT/AND/XOR,
+// full adder, ripple add) are provided as macros built from raw NOR steps —
+// tests verify their step counts equal the cost.hpp algebra and their
+// results equal ordinary CPU arithmetic.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "robusthd/pim/cost.hpp"
+
+namespace robusthd::pim {
+
+/// One simulated crossbar array.
+class Crossbar {
+ public:
+  Crossbar(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  bool read(std::size_t row, std::size_t col) const noexcept;
+  /// Plain memory write (also counts against endurance).
+  void write(std::size_t row, std::size_t col, bool value) noexcept;
+
+  /// One MAGIC NOR step on the given rows: out_col <- NOR(in_cols...).
+  /// The output cells are SET to R_ON first (a write), then conditionally
+  /// RESET by the inputs — we count one switch per executed output cell,
+  /// the dominant wear term.
+  void nor(std::span<const std::size_t> in_cols, std::size_t out_col,
+           std::span<const std::size_t> active_rows);
+
+  // ---- Composite macros (each advances the NOR-step counter) ----
+
+  /// out <- NOT a.
+  void op_not(std::size_t a_col, std::size_t out_col,
+              std::span<const std::size_t> rows);
+  /// out <- a AND b (3 NORs, uses two scratch columns).
+  void op_and(std::size_t a_col, std::size_t b_col, std::size_t out_col,
+              std::size_t scratch0, std::size_t scratch1,
+              std::span<const std::size_t> rows);
+  /// out <- a XOR b (5 NORs, uses three scratch columns).
+  void op_xor(std::size_t a_col, std::size_t b_col, std::size_t out_col,
+              std::size_t scratch0, std::size_t scratch1,
+              std::size_t scratch2, std::span<const std::size_t> rows);
+  /// {sum, carry_out} <- a + b + carry_in (9 NORs, four scratch columns).
+  void full_adder(std::size_t a_col, std::size_t b_col, std::size_t cin_col,
+                  std::size_t sum_col, std::size_t cout_col,
+                  std::span<const std::size_t> scratch,
+                  std::span<const std::size_t> rows);
+  /// Ripple add of two little-endian `bits`-wide operands; result column
+  /// block must not overlap the operands. Uses 9*bits NOR steps.
+  void ripple_add(std::size_t a_base, std::size_t b_base, std::size_t out_base,
+                  std::size_t carry_col, std::span<const std::size_t> scratch,
+                  std::size_t bits, std::span<const std::size_t> rows);
+
+  // ---- Accounting ----
+
+  std::uint64_t nor_steps() const noexcept { return nor_steps_; }
+  std::uint64_t total_writes() const noexcept { return total_writes_; }
+  std::uint64_t cell_writes(std::size_t row, std::size_t col) const noexcept {
+    return writes_[row * cols_ + col];
+  }
+  /// Highest per-cell write count — the wear hotspot.
+  std::uint64_t max_cell_writes() const noexcept;
+  void reset_counters() noexcept;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::uint8_t> bits_;
+  std::vector<std::uint64_t> writes_;
+  std::uint64_t nor_steps_ = 0;
+  std::uint64_t total_writes_ = 0;
+};
+
+}  // namespace robusthd::pim

@@ -1,0 +1,32 @@
+#pragma once
+// NVM device model for the digital PIM (DPIM) architecture of Section 5.
+//
+// The paper simulates a bipolar resistive device fitted with the VTEAM
+// model to resemble commercial 3D XPoint: ~1 ns switching, 1 V RESET and
+// 2 V SET pulses, and 10^9 write endurance. We reproduce those operating
+// points as an analytical device cost model; HSPICE-level waveforms are out
+// of scope (see DESIGN.md substitution table) — every figure that depends
+// on the device uses only per-switch delay/energy and endurance, which are
+// captured here.
+
+namespace robusthd::pim {
+
+/// Operating points of one memristive device.
+struct DeviceParams {
+  double switch_delay_ns = 1.0;   ///< RESET/SET switching delay (paper: 1 ns)
+  double reset_voltage_v = 1.0;   ///< paper: 1 V RESET
+  double set_voltage_v = 2.0;     ///< paper: 2 V SET
+  double switch_energy_fj = 400.0; ///< RRAM SET/RESET ~0.4 pJ (mid-range of published 0.1-1 pJ)
+  double r_on_ohm = 10.0e3;
+  double r_off_ohm = 10.0e6;
+  double endurance_writes = 1.0e9;  ///< Section 6.5 operating point
+  /// Lognormal sigma of per-cell endurance. NVM endurance varies by
+  /// orders of magnitude across cells; sigma=1.0 spans roughly a 10x
+  /// interquartile spread, consistent with published RRAM statistics.
+  double endurance_sigma = 1.0;
+
+  /// The VTEAM-calibrated 28 nm configuration used by all benches.
+  static DeviceParams vteam_28nm() { return DeviceParams{}; }
+};
+
+}  // namespace robusthd::pim

@@ -1,0 +1,56 @@
+#pragma once
+// NVM endurance and accelerator lifetime (Section 5.2-5.3, Figure 4a).
+//
+// PIM arithmetic switches cells on every NOR step, so sustained inference
+// wears the arrays out. With wear levelling the writes spread uniformly
+// over the workload's footprint; each cell fails once its cumulative write
+// count exceeds its individual endurance, which varies cell-to-cell
+// (lognormal around the nominal 10^9). The failed-cell fraction at time t
+// is therefore the lognormal CDF evaluated at the mean writes-per-cell —
+// and a failed cell is a stuck bit, i.e. exactly the error rate axis of the
+// robustness tables. Fig 4a composes this curve with each model's
+// error-rate→accuracy curve.
+
+#include <cstdint>
+
+#include "robusthd/pim/accelerator.hpp"
+
+namespace robusthd::pim {
+
+/// Deployment profile of a workload on the accelerator.
+struct LifetimeConfig {
+  DeviceParams device = DeviceParams::vteam_28nm();
+  /// Sustained inference service rate (inferences per second).
+  double inference_rate_per_s = 17.0;
+};
+
+/// Analytic lifetime model for one workload.
+class LifetimeModel {
+ public:
+  /// `cost` is the workload's per-inference cost from DpimAccelerator
+  /// (device_switches + wear_cells are what matter here).
+  LifetimeModel(const InferenceCost& cost, const LifetimeConfig& config);
+
+  /// Mean cumulative writes per cell after `days` of service.
+  double writes_per_cell(double days) const noexcept;
+
+  /// Fraction of cells whose endurance is exceeded after `days`
+  /// (lognormal CDF; this is the stuck-bit error rate of the array).
+  double failed_fraction(double days) const noexcept;
+
+  /// Days until the failed fraction first reaches `fraction`
+  /// (inverse of failed_fraction; infinity if write rate is zero).
+  double days_until_failed_fraction(double fraction) const noexcept;
+
+ private:
+  double writes_per_cell_per_day_ = 0.0;
+  double endurance_mu_ = 0.0;     ///< ln(nominal endurance)
+  double endurance_sigma_ = 0.25;
+};
+
+/// Monte-Carlo cross-check of the analytic model: samples `cells`
+/// lognormal endurances and counts how many a given write level exceeds.
+double simulate_failed_fraction(double writes_per_cell, const DeviceParams& device,
+                                std::size_t cells, std::uint64_t seed);
+
+}  // namespace robusthd::pim

@@ -1,0 +1,47 @@
+#pragma once
+// GPU reference cost model — the Figure 2 baseline.
+//
+// The paper normalises everything to a DNN running on an NVIDIA GTX 1080
+// under TensorFlow at maximum throughput. We model the GPU as a throughput
+// device with an effective sustained op rate and board power: inference
+// time = ops / effective_rate, energy = time × power. Constants are set to
+// the GTX 1080's public specs derated to realistic utilisation; Figure 2
+// reports *ratios* to this baseline, so only consistency matters.
+
+#include "robusthd/pim/accelerator.hpp"
+
+namespace robusthd::pim {
+
+/// Throughput/power description of the reference GPU.
+struct GpuParams {
+  /// Sustained fixed/float MAC rate (GTX 1080: 8.9 TFLOP/s peak; ~4%
+  /// sustained on small dense batch-1-style layers under TensorFlow).
+  double mac_per_s = 3.6e11;
+  /// Sustained 64-bit bitwise word-op rate (XOR+popcount pipelines).
+  double wordop_per_s = 2.0e11;
+  double board_power_w = 180.0;
+  /// DRAM round-trip cost charged per parameter byte touched (captures the
+  /// data-movement wall PIM removes).
+  double dram_energy_pj_per_byte = 20.0;
+  double dram_bandwidth_gb_s = 320.0;
+
+  static GpuParams gtx1080() { return GpuParams{}; }
+};
+
+/// Per-inference GPU cost, comparable to pim::InferenceCost.
+struct GpuCost {
+  double latency_us = 0.0;
+  double energy_uj = 0.0;
+  double throughput_per_s = 0.0;
+};
+
+/// DNN inference on the GPU: MAC-bound compute plus weight traffic.
+GpuCost gpu_cost_dnn(const DnnWorkloadSpec& spec,
+                     const GpuParams& gpu = GpuParams::gtx1080());
+
+/// HDC inference on the GPU: packed 64-bit XOR/popcount word ops (encoding
+/// + similarity) plus item-memory traffic.
+GpuCost gpu_cost_hdc(const HdcWorkloadSpec& spec,
+                     const GpuParams& gpu = GpuParams::gtx1080());
+
+}  // namespace robusthd::pim

@@ -1,0 +1,58 @@
+#pragma once
+// HDC kernels executed *on* the functional MAGIC-NOR crossbar.
+//
+// The accelerator model (accelerator.hpp) prices HDC inference in NOR
+// steps; this unit actually runs the row-parallel part of that mapping on
+// the bit-level crossbar simulator, so tests can check both directions:
+// the in-memory results equal the software BinVec operations, and the NOR
+// step counts equal the cost algebra's predictions. Dimension-major
+// layout: one crossbar row per hypervector dimension, one column per
+// stored class vector.
+
+#include <vector>
+
+#include "robusthd/hv/binvec.hpp"
+#include "robusthd/pim/crossbar.hpp"
+
+namespace robusthd::pim {
+
+/// An in-memory associative search unit for one HDC model.
+class CrossbarHdcUnit {
+ public:
+  /// Builds a crossbar sized for `dimension` rows and `classes` class
+  /// columns plus query/scratch columns. Keep `dimension` modest (the
+  /// functional simulator stores a byte per cell).
+  CrossbarHdcUnit(std::size_t dimension, std::size_t classes);
+
+  std::size_t dimension() const noexcept { return dim_; }
+  std::size_t class_count() const noexcept { return classes_; }
+
+  /// Writes a class hypervector down its column (plain memory writes).
+  void load_class(std::size_t cls, const hv::BinVec& vector);
+
+  /// Reads a stored class vector back out of the array.
+  hv::BinVec read_class(std::size_t cls) const;
+
+  /// Executes the similarity search for one query: writes the query
+  /// column, then for every class performs the row-parallel in-memory XOR
+  /// and counts the differing rows. Returns per-class Hamming distances.
+  std::vector<std::size_t> hamming_search(const hv::BinVec& query);
+
+  /// The underlying array (step counters, wear inspection).
+  const Crossbar& array() const noexcept { return xbar_; }
+  Crossbar& array() noexcept { return xbar_; }
+
+  /// NOR steps one hamming_search costs (for cross-checking cost.hpp).
+  static std::uint64_t expected_nor_steps(std::size_t classes) noexcept;
+
+ private:
+  std::size_t dim_;
+  std::size_t classes_;
+  std::size_t query_col_;
+  std::size_t diff_col_;
+  std::size_t scratch0_, scratch1_, scratch2_;
+  std::vector<std::size_t> all_rows_;
+  Crossbar xbar_;
+};
+
+}  // namespace robusthd::pim

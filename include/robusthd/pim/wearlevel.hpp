@@ -1,0 +1,55 @@
+#pragma once
+// Start-Gap wear levelling (Section 5.2).
+//
+// The endurance model assumes write pressure spreads uniformly; this module
+// implements the mechanism that makes the assumption true. Start-Gap
+// (Qureshi et al., MICRO'09) keeps one spare line and two registers: every
+// `gap_move_interval` writes, the gap swaps with its neighbour, slowly
+// rotating the logical→physical mapping so hot lines migrate across the
+// whole array with O(1) metadata.
+
+#include <cstdint>
+#include <vector>
+
+namespace robusthd::pim {
+
+/// A wear-levelled array of `lines` lines (one spare is added internally).
+class StartGapLeveler {
+ public:
+  /// `gap_move_interval`: number of serviced writes between gap moves
+  /// (Qureshi's psi; 100 in the original paper).
+  StartGapLeveler(std::size_t lines, std::size_t gap_move_interval = 100);
+
+  std::size_t line_count() const noexcept { return lines_; }
+
+  /// Physical line currently backing logical line `logical`.
+  std::size_t physical_of(std::size_t logical) const noexcept;
+
+  /// Services one write to `logical`: bumps the physical line's wear
+  /// counter and advances the gap when the interval expires. Returns the
+  /// physical line written.
+  std::size_t write(std::size_t logical);
+
+  /// Per-physical-line wear counters (includes gap-move copy writes).
+  const std::vector<std::uint64_t>& wear() const noexcept { return wear_; }
+
+  std::uint64_t max_wear() const noexcept;
+  double mean_wear() const noexcept;
+  /// Max/mean wear — 1.0 is perfect levelling.
+  double imbalance() const noexcept;
+
+  std::size_t gap_moves() const noexcept { return gap_moves_; }
+
+ private:
+  void move_gap();
+
+  std::size_t lines_;                 // logical lines
+  std::size_t interval_;
+  std::size_t start_ = 0;             // rotation offset
+  std::size_t gap_;                   // physical position of the spare
+  std::size_t writes_since_move_ = 0;
+  std::size_t gap_moves_ = 0;
+  std::vector<std::uint64_t> wear_;   // lines_ + 1 physical lines
+};
+
+}  // namespace robusthd::pim

@@ -1,0 +1,58 @@
+#pragma once
+// Umbrella header for the RobustHD library.
+//
+// RobustHD is a reproduction of "Adaptive Neural Recovery for Highly Robust
+// Brain-like Representation" (DAC 2022): a hyperdimensional learning system
+// that is inherently robust to memory bit flips and repairs its own model
+// at runtime, plus the substrates its evaluation needs (fault injection,
+// fixed-point baselines, a digital PIM simulator, DRAM/ECC models).
+
+#include "robusthd/baseline/adaboost.hpp"
+#include "robusthd/baseline/classifier.hpp"
+#include "robusthd/baseline/fixedpoint.hpp"
+#include "robusthd/baseline/mlp.hpp"
+#include "robusthd/baseline/svm.hpp"
+#include "robusthd/core/hdc_classifier.hpp"
+#include "robusthd/core/protected_model.hpp"
+#include "robusthd/core/serialize.hpp"
+#include "robusthd/data/dataset.hpp"
+#include "robusthd/data/loader.hpp"
+#include "robusthd/data/synthetic.hpp"
+#include "robusthd/fault/campaign.hpp"
+#include "robusthd/fault/injector.hpp"
+#include "robusthd/fault/memory.hpp"
+#include "robusthd/fault/trace.hpp"
+#include "robusthd/hv/accumulator.hpp"
+#include "robusthd/hv/alt_encoders.hpp"
+#include "robusthd/hv/assoc.hpp"
+#include "robusthd/hv/binvec.hpp"
+#include "robusthd/hv/encoder.hpp"
+#include "robusthd/hv/itemmemory.hpp"
+#include "robusthd/hv/sequence.hpp"
+#include "robusthd/mem/dram.hpp"
+#include "robusthd/mem/ecc.hpp"
+#include "robusthd/mem/ecc_memory.hpp"
+#include "robusthd/model/confidence.hpp"
+#include "robusthd/model/hdc_model.hpp"
+#include "robusthd/model/metrics.hpp"
+#include "robusthd/model/online.hpp"
+#include "robusthd/model/online_trainer.hpp"
+#include "robusthd/model/recovery.hpp"
+#include "robusthd/model/regression.hpp"
+#include "robusthd/pim/accelerator.hpp"
+#include "robusthd/pim/cost.hpp"
+#include "robusthd/pim/crossbar.hpp"
+#include "robusthd/pim/device.hpp"
+#include "robusthd/pim/endurance.hpp"
+#include "robusthd/pim/gpu_ref.hpp"
+#include "robusthd/pim/hdc_kernels.hpp"
+#include "robusthd/pim/wearlevel.hpp"
+#include "robusthd/util/rng.hpp"
+#include "robusthd/util/stats.hpp"
+
+namespace robusthd {
+
+/// Library version.
+inline constexpr const char* kVersion = "1.0.0";
+
+}  // namespace robusthd

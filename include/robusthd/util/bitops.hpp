@@ -1,0 +1,68 @@
+#pragma once
+// Word-level bit manipulation shared by hypervectors and the fault injector.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace robusthd::util {
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr std::size_t words_for_bits(std::size_t bits) noexcept {
+  return (bits + 63) / 64;
+}
+
+/// Reads bit `i` from a packed word array.
+inline bool get_bit(std::span<const std::uint64_t> words, std::size_t i) noexcept {
+  return (words[i >> 6] >> (i & 63)) & 1ULL;
+}
+
+/// Sets bit `i` in a packed word array to `value`.
+inline void set_bit(std::span<std::uint64_t> words, std::size_t i, bool value) noexcept {
+  const std::uint64_t mask = 1ULL << (i & 63);
+  if (value) {
+    words[i >> 6] |= mask;
+  } else {
+    words[i >> 6] &= ~mask;
+  }
+}
+
+/// Flips bit `i` in a packed word array.
+inline void flip_bit(std::span<std::uint64_t> words, std::size_t i) noexcept {
+  words[i >> 6] ^= 1ULL << (i & 63);
+}
+
+/// Reads bit `i` from a raw byte buffer (fault-injection view of any model).
+inline bool get_bit(std::span<const std::byte> bytes, std::size_t i) noexcept {
+  return (std::to_integer<unsigned>(bytes[i >> 3]) >> (i & 7)) & 1u;
+}
+
+/// Flips bit `i` in a raw byte buffer.
+inline void flip_bit(std::span<std::byte> bytes, std::size_t i) noexcept {
+  bytes[i >> 3] ^= std::byte{static_cast<unsigned char>(1u << (i & 7))};
+}
+
+/// Population count over a word span.
+inline std::size_t popcount(std::span<const std::uint64_t> words) noexcept {
+  std::size_t total = 0;
+  for (const auto w : words) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+/// Hamming distance between two equally sized word spans.
+inline std::size_t hamming(std::span<const std::uint64_t> a,
+                           std::span<const std::uint64_t> b) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+/// Mask with the low `n` bits set (n in [0,64]).
+constexpr std::uint64_t low_mask(std::size_t n) noexcept {
+  return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+}  // namespace robusthd::util

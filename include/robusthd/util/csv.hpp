@@ -1,0 +1,51 @@
+#pragma once
+// CSV emission for bench series (so figures can be re-plotted downstream).
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace robusthd::util {
+
+/// Writes rows of comma-separated values to a file; silently becomes a
+/// no-op when the file cannot be opened (benches must not fail on a
+/// read-only filesystem).
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header) {
+    out_.open(path);
+    if (out_.is_open()) write_cells(header);
+  }
+
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    if (!out_.is_open()) return;
+    std::vector<std::string> cells;
+    (cells.push_back(to_cell(values)), ...);
+    write_cells(cells);
+  }
+
+  bool ok() const { return out_.is_open(); }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  void write_cells(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << cells[i];
+    }
+    out_ << '\n';
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace robusthd::util

@@ -1,0 +1,64 @@
+#pragma once
+// Minimal dense row-major float matrix — just what the baseline trainers
+// (MLP backprop, SVM SGD) need. Deliberately not a general linear-algebra
+// library; hot paths use cache-friendly ikj GEMM.
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace robusthd::util {
+
+/// Dense row-major matrix of floats.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  float& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<float> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<float> flat() noexcept { return data_; }
+  std::span<const float> flat() const noexcept { return data_; }
+
+  void fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b  (a: m×k, b: k×n, out: m×n), accumulating in float.
+void gemm(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T convenience used by backprop (a: m×k, b: n×k, out: m×n).
+void gemm_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b convenience used by backprop (a: k×m, b: k×n, out: m×n).
+void gemm_at(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// y = W * x + bias for a single vector (W: m×n, x: n, y: m).
+void gemv(const Matrix& w, std::span<const float> x,
+          std::span<const float> bias, std::span<float> y);
+
+}  // namespace robusthd::util

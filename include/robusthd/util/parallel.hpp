@@ -1,0 +1,24 @@
+#pragma once
+// Deterministic data parallelism.
+//
+// parallel_for statically chunks [0, n) across hardware threads: each
+// index is visited exactly once, outputs indexed by i land in the same
+// place regardless of thread count, so results are bit-identical to the
+// serial loop — determinism is a core property of this repo's experiments
+// and must survive the speedup.
+
+#include <cstddef>
+#include <functional>
+
+namespace robusthd::util {
+
+/// Number of worker threads parallel_for will use (>= 1).
+std::size_t hardware_threads() noexcept;
+
+/// Invokes fn(i) for every i in [0, n), in parallel when n is large
+/// enough to amortise thread startup. `max_threads` == 0 means use all
+/// hardware threads. Exceptions thrown by fn are rethrown (first one wins).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t max_threads = 0);
+
+}  // namespace robusthd::util

@@ -1,0 +1,128 @@
+#pragma once
+// Streaming statistics and evaluation metrics used by experiments.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace robusthd::util {
+
+/// Welford one-pass accumulator for mean / variance / extremes.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Classification accuracy from parallel label arrays.
+inline double accuracy(std::span<const int> predicted,
+                       std::span<const int> expected) noexcept {
+  if (predicted.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    correct += (predicted[i] == expected[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+/// Quality loss as the paper reports it: clean accuracy minus faulty
+/// accuracy, floored at zero, in fractional units (multiply by 100 for %).
+inline double quality_loss(double clean_accuracy, double faulty_accuracy) noexcept {
+  return std::max(0.0, clean_accuracy - faulty_accuracy);
+}
+
+/// k-class confusion matrix with per-class recall.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes)
+      : k_(num_classes), counts_(num_classes * num_classes, 0) {}
+
+  void add(int expected, int predicted) noexcept {
+    if (expected < 0 || predicted < 0) return;
+    const auto e = static_cast<std::size_t>(expected);
+    const auto p = static_cast<std::size_t>(predicted);
+    if (e < k_ && p < k_) ++counts_[e * k_ + p];
+  }
+
+  std::size_t at(std::size_t expected, std::size_t predicted) const noexcept {
+    return counts_[expected * k_ + predicted];
+  }
+
+  std::size_t num_classes() const noexcept { return k_; }
+
+  double accuracy() const noexcept {
+    std::size_t diag = 0, total = 0;
+    for (std::size_t e = 0; e < k_; ++e) {
+      for (std::size_t p = 0; p < k_; ++p) {
+        total += counts_[e * k_ + p];
+        if (e == p) diag += counts_[e * k_ + p];
+      }
+    }
+    return total ? static_cast<double>(diag) / static_cast<double>(total) : 0.0;
+  }
+
+  double recall(std::size_t cls) const noexcept {
+    std::size_t row = 0;
+    for (std::size_t p = 0; p < k_; ++p) row += counts_[cls * k_ + p];
+    return row ? static_cast<double>(counts_[cls * k_ + cls]) /
+                     static_cast<double>(row)
+               : 0.0;
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<std::size_t> counts_;
+};
+
+/// Numerically stable softmax over a small score vector (confidence block).
+inline std::vector<double> softmax(std::span<const double> scores,
+                                   double temperature = 1.0) {
+  std::vector<double> out(scores.size());
+  if (scores.empty()) return out;
+  const double mx = *std::max_element(scores.begin(), scores.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    out[i] = std::exp((scores[i] - mx) / temperature);
+    sum += out[i];
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+/// Percentile (nearest-rank) of a copy of the data; p in [0,100].
+inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace robusthd::util

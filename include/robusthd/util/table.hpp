@@ -1,0 +1,65 @@
+#pragma once
+// Plain-text table printer so every bench prints the same rows/series the
+// paper's tables and figures report, aligned and scannable.
+
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace robusthd::util {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  TextTable& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], cells[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << "| ";
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : empty_;
+        os << std::left << std::setw(static_cast<int>(widths[i])) << c
+           << " | ";
+      }
+      os << '\n';
+    };
+    auto rule = [&] {
+      os << "|";
+      for (const auto w : widths) os << std::string(w + 2, '-') << "|";
+      os << '\n';
+    };
+
+    line(header_);
+    rule();
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string empty_;
+};
+
+/// Formats a fraction as a percentage string, e.g. 0.0123 -> "1.23%".
+std::string pct(double fraction, int decimals = 2);
+
+/// Formats a double with fixed decimals.
+std::string fixed(double value, int decimals = 2);
+
+}  // namespace robusthd::util

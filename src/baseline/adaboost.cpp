@@ -1,0 +1,193 @@
+#include "robusthd/baseline/adaboost.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::baseline {
+
+namespace {
+
+/// Per-feature quantile bucketisation of the training matrix.
+struct Buckets {
+  std::size_t count = 0;                  // buckets per feature
+  std::vector<std::uint8_t> index;        // samples × features
+  std::vector<float> upper_edge;          // features × count: bucket upper value
+};
+
+Buckets bucketize(const data::Dataset& d, std::size_t buckets) {
+  const std::size_t n = d.feature_count();
+  const std::size_t s = d.size();
+  Buckets out;
+  out.count = buckets;
+  out.index.resize(s * n);
+  out.upper_edge.resize(n * buckets);
+
+  std::vector<float> column(s);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (std::size_t i = 0; i < s; ++i) column[i] = d.features(i, f);
+    std::vector<float> sorted = column;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const std::size_t pos = (b + 1) * s / buckets;
+      out.upper_edge[f * buckets + b] = sorted[std::min(pos > 0 ? pos - 1 : 0, s - 1)];
+    }
+    // Ensure the last bucket covers everything.
+    out.upper_edge[f * buckets + buckets - 1] =
+        std::numeric_limits<float>::max();
+    for (std::size_t i = 0; i < s; ++i) {
+      const float v = column[i];
+      std::size_t b = 0;
+      while (b + 1 < buckets && v > out.upper_edge[f * buckets + b]) ++b;
+      out.index[i * n + f] = static_cast<std::uint8_t>(b);
+    }
+  }
+  return out;
+}
+
+struct StumpChoice {
+  std::size_t feature = 0;
+  std::size_t split_bucket = 0;  // goes left if bucket <= split_bucket
+  int left_class = 0;
+  int right_class = 0;
+  double error = 1.0;
+};
+
+}  // namespace
+
+AdaBoost AdaBoost::train(const data::Dataset& d, const AdaBoostConfig& cfg) {
+  const std::size_t n = d.feature_count();
+  const std::size_t s = d.size();
+  const std::size_t k = d.num_classes;
+  const std::size_t buckets = std::max<std::size_t>(cfg.buckets, 2);
+  assert(s > 0 && k >= 2);
+
+  const Buckets bk = bucketize(d, buckets);
+
+  std::vector<double> weight(s, 1.0 / static_cast<double>(s));
+  std::vector<float> out_thresholds;
+  std::vector<float> out_alphas;
+
+  AdaBoost model;
+  model.features_ = n;
+  model.num_classes_ = k;
+
+  // Per-round scratch: bucket × class weighted histogram for one feature.
+  std::vector<double> hist(buckets * k);
+  std::vector<double> left(k), total(k);
+
+  for (std::size_t round = 0; round < cfg.rounds; ++round) {
+    StumpChoice best;
+    for (std::size_t f = 0; f < n; ++f) {
+      std::fill(hist.begin(), hist.end(), 0.0);
+      for (std::size_t i = 0; i < s; ++i) {
+        const auto b = bk.index[i * n + f];
+        hist[b * k + static_cast<std::size_t>(d.labels[i])] += weight[i];
+      }
+      std::fill(total.begin(), total.end(), 0.0);
+      for (std::size_t b = 0; b < buckets; ++b) {
+        for (std::size_t c = 0; c < k; ++c) total[c] += hist[b * k + c];
+      }
+      std::fill(left.begin(), left.end(), 0.0);
+      for (std::size_t split = 0; split + 1 < buckets; ++split) {
+        for (std::size_t c = 0; c < k; ++c) left[c] += hist[split * k + c];
+        // Weighted majority on each side.
+        std::size_t lc = 0, rc = 0;
+        double lbest = -1.0, rbest = -1.0;
+        for (std::size_t c = 0; c < k; ++c) {
+          if (left[c] > lbest) {
+            lbest = left[c];
+            lc = c;
+          }
+          const double right = total[c] - left[c];
+          if (right > rbest) {
+            rbest = right;
+            rc = c;
+          }
+        }
+        const double err = 1.0 - lbest - rbest;  // weights sum to 1
+        if (err < best.error) {
+          best = {f, split, static_cast<int>(lc), static_cast<int>(rc), err};
+        }
+      }
+    }
+
+    // SAMME stage weight; stop if the stump is no better than guessing.
+    const double guess = 1.0 - 1.0 / static_cast<double>(k);
+    if (best.error >= guess) break;
+    const double err = std::max(best.error, 1.0e-10);
+    const double alpha =
+        std::log((1.0 - err) / err) + std::log(static_cast<double>(k) - 1.0);
+
+    model.feature_ids_.push_back(static_cast<std::int16_t>(best.feature));
+    model.left_class_.push_back(static_cast<std::int8_t>(best.left_class));
+    model.right_class_.push_back(static_cast<std::int8_t>(best.right_class));
+    out_thresholds.push_back(
+        bk.upper_edge[best.feature * buckets + best.split_bucket] ==
+                std::numeric_limits<float>::max()
+            ? 1.0f
+            : bk.upper_edge[best.feature * buckets + best.split_bucket]);
+    out_alphas.push_back(static_cast<float>(alpha));
+
+    // Reweight: misclassified samples gain weight.
+    double z = 0.0;
+    for (std::size_t i = 0; i < s; ++i) {
+      const bool go_left = bk.index[i * n + best.feature] <= best.split_bucket;
+      const int vote = go_left ? best.left_class : best.right_class;
+      if (vote != d.labels[i]) weight[i] *= std::exp(alpha);
+      z += weight[i];
+    }
+    for (auto& w : weight) w /= z;
+  }
+
+  // Ordinary signed fixed-point storage, like the other baselines' weight
+  // memories: the sign bit is what a worst-case attacker goes for.
+  model.thresholds_ = QuantizedTensor(out_thresholds, cfg.precision);
+  model.alphas_ = QuantizedTensor(out_alphas, cfg.precision);
+  return model;
+}
+
+std::vector<float> AdaBoost::scores(std::span<const float> features) const {
+  std::vector<float> out(num_classes_, 0.0f);
+  const auto n = static_cast<std::int32_t>(features_);
+  const auto k = static_cast<std::int32_t>(num_classes_);
+  for (std::size_t t = 0; t < feature_ids_.size(); ++t) {
+    // Wrap possibly-corrupted indices into valid range: attacked hardware
+    // still fetches *some* feature and votes for *some* class.
+    std::int32_t f = feature_ids_[t] % n;
+    if (f < 0) f += n;
+    const bool go_left = features[static_cast<std::size_t>(f)] <=
+                         thresholds_.get(t);
+    std::int32_t c = (go_left ? left_class_[t] : right_class_[t]) % k;
+    if (c < 0) c += k;
+    out[static_cast<std::size_t>(c)] += alphas_.get(t);
+  }
+  return out;
+}
+
+int AdaBoost::predict(std::span<const float> features) const {
+  const auto s = scores(features);
+  return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+std::vector<fault::MemoryRegion> AdaBoost::memory_regions() {
+  // The attackable surface is the learned *continuous parameters* — stage
+  // weights and split thresholds, the analogue of DNN/SVM weights. Feature
+  // indices and leaf vote labels are the tree's topology (which feature a
+  // stump is wired to, which leaf maps to which class), the analogue of a
+  // DNN's layer wiring, and like that wiring they are not part of the
+  // weight memory the paper's attacks flip.
+  std::vector<fault::MemoryRegion> regions;
+  regions.push_back(alphas_.region("ada/alphas"));  // most damage-sensitive
+  regions.push_back(thresholds_.region("ada/thresholds"));
+  return regions;
+}
+
+std::unique_ptr<Classifier> AdaBoost::clone() const {
+  return std::make_unique<AdaBoost>(*this);
+}
+
+}  // namespace robusthd::baseline

@@ -1,0 +1,14 @@
+#include "robusthd/baseline/classifier.hpp"
+
+namespace robusthd::baseline {
+
+double Classifier::evaluate(const data::Dataset& dataset) const {
+  if (dataset.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    correct += (predict(dataset.sample(i)) == dataset.labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace robusthd::baseline

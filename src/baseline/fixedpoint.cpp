@@ -1,0 +1,115 @@
+#include "robusthd/baseline/fixedpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robusthd::baseline {
+
+namespace {
+
+float max_abs(std::span<const float> values) noexcept {
+  float m = 0.0f;
+  for (const auto v : values) m = std::max(m, std::abs(v));
+  return m;
+}
+
+template <typename Int>
+std::vector<Int> quantize_to(std::span<const float> values, float scale) {
+  std::vector<Int> out(values.size());
+  const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+  constexpr float lo = static_cast<float>(std::numeric_limits<Int>::min() + 1);
+  constexpr float hi = static_cast<float>(std::numeric_limits<Int>::max());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float q = std::clamp(std::round(values[i] * inv), lo, hi);
+    out[i] = static_cast<Int>(q);
+  }
+  return out;
+}
+
+}  // namespace
+
+QuantizedTensor::QuantizedTensor(std::span<const float> values,
+                                 Precision precision, Signedness signedness)
+    : precision_(precision), count_(values.size()) {
+  // With kAuto, non-negative tensors quantise unsigned: the full code range
+  // carries magnitude and there is no sign bit whose flip would negate the
+  // value. The default is kSigned — ordinary weight memories use two's
+  // complement regardless of the values they happen to hold.
+  unsigned_ = signedness == Signedness::kAuto && !values.empty() &&
+              std::all_of(values.begin(), values.end(),
+                          [](float v) { return v >= 0.0f; });
+  switch (precision_) {
+    case Precision::kInt8:
+      scale_ = max_abs(values) / (unsigned_ ? 255.0f : 127.0f);
+      if (scale_ == 0.0f) scale_ = 1.0f;
+      if (unsigned_) {
+        q8_.resize(values.size());
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          const float q =
+              std::clamp(std::round(values[i] / scale_), 0.0f, 255.0f);
+          q8_[i] = static_cast<std::int8_t>(static_cast<std::uint8_t>(q));
+        }
+      } else {
+        q8_ = quantize_to<std::int8_t>(values, scale_);
+      }
+      break;
+    case Precision::kInt16:
+      scale_ = max_abs(values) / (unsigned_ ? 65535.0f : 32767.0f);
+      if (scale_ == 0.0f) scale_ = 1.0f;
+      if (unsigned_) {
+        q16_.resize(values.size());
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          const float q =
+              std::clamp(std::round(values[i] / scale_), 0.0f, 65535.0f);
+          q16_[i] = static_cast<std::int16_t>(static_cast<std::uint16_t>(q));
+        }
+      } else {
+        q16_ = quantize_to<std::int16_t>(values, scale_);
+      }
+      break;
+    case Precision::kFloat32:
+      f32_.assign(values.begin(), values.end());
+      scale_ = 1.0f;
+      break;
+  }
+}
+
+float QuantizedTensor::get(std::size_t i) const noexcept {
+  switch (precision_) {
+    case Precision::kInt8:
+      return unsigned_ ? static_cast<float>(static_cast<std::uint8_t>(q8_[i])) *
+                             scale_
+                       : static_cast<float>(q8_[i]) * scale_;
+    case Precision::kInt16:
+      return unsigned_
+                 ? static_cast<float>(static_cast<std::uint16_t>(q16_[i])) *
+                       scale_
+                 : static_cast<float>(q16_[i]) * scale_;
+    case Precision::kFloat32:
+      return f32_[i];
+  }
+  return 0.0f;
+}
+
+fault::MemoryRegion QuantizedTensor::region(std::string name) {
+  std::span<std::byte> bytes;
+  switch (precision_) {
+    case Precision::kInt8:
+      bytes = std::as_writable_bytes(std::span<std::int8_t>(q8_));
+      break;
+    case Precision::kInt16:
+      bytes = std::as_writable_bytes(std::span<std::int16_t>(q16_));
+      break;
+    case Precision::kFloat32:
+      bytes = std::as_writable_bytes(std::span<float>(f32_));
+      break;
+  }
+  return fault::MemoryRegion{bytes, bits_of(precision_), std::move(name)};
+}
+
+float saturate(float value, float limit) noexcept {
+  if (std::isnan(value)) return 0.0f;
+  return std::clamp(value, -limit, limit);
+}
+
+}  // namespace robusthd::baseline

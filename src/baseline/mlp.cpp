@@ -1,0 +1,204 @@
+#include "robusthd/baseline/mlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::baseline {
+
+namespace {
+
+using util::Matrix;
+
+/// Float training state for one layer.
+struct FloatLayer {
+  Matrix w;                // out×in
+  std::vector<float> b;    // out
+};
+
+/// y = relu(x W^T + b) computed batch-wise; `pre` keeps pre-activations
+/// when non-null (not needed for the last layer).
+void forward_layer(const Matrix& x, const FloatLayer& layer, Matrix& y,
+                   bool relu) {
+  util::gemm_bt(x, layer.w, y);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    auto row = y.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] += layer.b[c];
+      if (relu && row[c] < 0.0f) row[c] = 0.0f;
+    }
+  }
+}
+
+/// Softmax cross-entropy gradient in place: logits -> (softmax - onehot)/B.
+void softmax_grad(Matrix& logits, std::span<const int> labels,
+                  std::span<const std::size_t> batch_index) {
+  const float inv_b = 1.0f / static_cast<float>(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    auto row = logits.row(r);
+    const float mx = *std::max_element(row.begin(), row.end());
+    float sum = 0.0f;
+    for (auto& v : row) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    for (auto& v : row) v /= sum;
+    row[static_cast<std::size_t>(labels[batch_index[r]])] -= 1.0f;
+    for (auto& v : row) v *= inv_b;
+  }
+}
+
+}  // namespace
+
+Mlp Mlp::train(const data::Dataset& train_data, const MlpConfig& config) {
+  const std::size_t n = train_data.feature_count();
+  const std::size_t k = train_data.num_classes;
+  util::Xoshiro256 rng(config.seed);
+
+  // Layer sizes: n -> hidden... -> k.
+  std::vector<std::size_t> sizes{n};
+  sizes.insert(sizes.end(), config.hidden.begin(), config.hidden.end());
+  sizes.push_back(k);
+
+  std::vector<FloatLayer> layers(sizes.size() - 1);
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const std::size_t in = sizes[l], out = sizes[l + 1];
+    layers[l].w = Matrix(out, in);
+    layers[l].b.assign(out, 0.0f);
+    const double he = std::sqrt(2.0 / static_cast<double>(in));
+    for (auto& v : layers[l].w.flat()) {
+      v = static_cast<float>(rng.normal(0.0, he));
+    }
+  }
+
+  std::vector<std::size_t> order(train_data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  float lr = config.learning_rate;
+  const std::size_t bsz = std::max<std::size_t>(config.batch_size, 1);
+
+  // Reusable batch buffers.
+  std::vector<Matrix> acts(layers.size() + 1);   // acts[0] = input batch
+  std::vector<Matrix> grads(layers.size());      // gradient wrt acts[l+1]
+  Matrix dw;
+  std::vector<std::size_t> batch_index(bsz);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    util::shuffle(std::span<std::size_t>(order), rng);
+    for (std::size_t start = 0; start + bsz <= order.size(); start += bsz) {
+      // Assemble the batch.
+      acts[0] = Matrix(bsz, n);
+      for (std::size_t r = 0; r < bsz; ++r) {
+        batch_index[r] = order[start + r];
+        const auto src = train_data.sample(batch_index[r]);
+        std::copy(src.begin(), src.end(), acts[0].row(r).begin());
+      }
+
+      // Forward.
+      for (std::size_t l = 0; l < layers.size(); ++l) {
+        acts[l + 1] = Matrix(bsz, sizes[l + 1]);
+        forward_layer(acts[l], layers[l], acts[l + 1],
+                      /*relu=*/l + 1 < layers.size());
+      }
+
+      // Backward.
+      softmax_grad(acts.back(), train_data.labels, batch_index);
+      grads.back() = acts.back();
+      for (std::size_t l = layers.size(); l-- > 0;) {
+        // dW = grad^T × act_in, db = column sums of grad.
+        dw = Matrix(sizes[l + 1], sizes[l]);
+        util::gemm_at(grads[l], acts[l], dw);
+        for (std::size_t r = 0; r < dw.rows(); ++r) {
+          auto wrow = layers[l].w.row(r);
+          const auto grow = dw.row(r);
+          for (std::size_t c = 0; c < wrow.size(); ++c) {
+            wrow[c] -= lr * grow[c];
+          }
+          float db = 0.0f;
+          for (std::size_t b = 0; b < bsz; ++b) db += grads[l](b, r);
+          layers[l].b[r] -= lr * db;
+        }
+        if (l > 0) {
+          // Propagate: dact_in = grad × W, masked by ReLU.
+          grads[l - 1] = Matrix(bsz, sizes[l]);
+          util::gemm(grads[l], layers[l].w, grads[l - 1]);
+          for (std::size_t b = 0; b < bsz; ++b) {
+            auto grow = grads[l - 1].row(b);
+            const auto arow = acts[l].row(b);
+            for (std::size_t c = 0; c < grow.size(); ++c) {
+              if (arow[c] <= 0.0f) grow[c] = 0.0f;
+            }
+          }
+        }
+      }
+    }
+    lr *= config.lr_decay;
+  }
+
+  // Deploy: quantise every layer.
+  Mlp model;
+  model.config_ = config;
+  model.num_classes_ = k;
+  model.layers_.reserve(layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    Layer deployed;
+    deployed.in = sizes[l];
+    deployed.out = sizes[l + 1];
+    deployed.weights = QuantizedTensor(layers[l].w.flat(), config.precision);
+    deployed.bias = QuantizedTensor(layers[l].b, config.precision);
+    model.layers_.push_back(std::move(deployed));
+  }
+  return model;
+}
+
+std::vector<float> Mlp::logits(std::span<const float> features) const {
+  std::vector<float> cur(features.begin(), features.end());
+  std::vector<float> next;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& layer = layers_[l];
+    next.assign(layer.out, 0.0f);
+    for (std::size_t r = 0; r < layer.out; ++r) {
+      float acc = layer.bias.get(r);
+      const std::size_t base = r * layer.in;
+      for (std::size_t c = 0; c < layer.in; ++c) {
+        acc += layer.weights.get(base + c) * cur[c];
+      }
+      // Saturating MAC: exploded weights give large-but-finite outputs.
+      acc = saturate(acc, config_.activation_limit);
+      next[r] = (l + 1 < layers_.size()) ? std::max(acc, 0.0f) : acc;
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+int Mlp::predict(std::span<const float> features) const {
+  const auto out = logits(features);
+  return static_cast<int>(
+      std::max_element(out.begin(), out.end()) - out.begin());
+}
+
+std::vector<fault::MemoryRegion> Mlp::memory_regions() {
+  std::vector<fault::MemoryRegion> regions;
+  regions.reserve(layers_.size() * 2);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    regions.push_back(
+        layers_[l].weights.region("mlp/w" + std::to_string(l)));
+    regions.push_back(layers_[l].bias.region("mlp/b" + std::to_string(l)));
+  }
+  return regions;
+}
+
+std::unique_ptr<Classifier> Mlp::clone() const {
+  return std::make_unique<Mlp>(*this);
+}
+
+std::size_t Mlp::parameter_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& l : layers_) total += l.weights.size() + l.bias.size();
+  return total;
+}
+
+}  // namespace robusthd::baseline

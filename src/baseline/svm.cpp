@@ -1,0 +1,85 @@
+#include "robusthd/baseline/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::baseline {
+
+LinearSvm LinearSvm::train(const data::Dataset& train_data,
+                           const SvmConfig& config) {
+  const std::size_t n = train_data.feature_count();
+  const std::size_t k = train_data.num_classes;
+  util::Xoshiro256 rng(config.seed);
+
+  std::vector<float> w(k * n, 0.0f);
+  std::vector<float> b(k, 0.0f);
+  std::vector<std::size_t> order(train_data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  float lr = config.learning_rate;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    util::shuffle(std::span<std::size_t>(order), rng);
+    for (const auto idx : order) {
+      const auto x = train_data.sample(idx);
+      const auto y = train_data.labels[idx];
+      // One-vs-rest hinge: class c has target +1 if c==y else -1;
+      // update when margin < 1.
+      for (std::size_t c = 0; c < k; ++c) {
+        float score = b[c];
+        const float* wc = w.data() + c * n;
+        for (std::size_t j = 0; j < n; ++j) score += wc[j] * x[j];
+        const float target = (static_cast<std::size_t>(y) == c) ? 1.0f : -1.0f;
+        float* wm = w.data() + c * n;
+        if (target * score < 1.0f) {
+          for (std::size_t j = 0; j < n; ++j) {
+            wm[j] += lr * (target * x[j] - config.l2 * wm[j]);
+          }
+          b[c] += lr * target;
+        } else {
+          for (std::size_t j = 0; j < n; ++j) {
+            wm[j] -= lr * config.l2 * wm[j];
+          }
+        }
+      }
+    }
+    lr *= 0.9f;
+  }
+
+  LinearSvm model;
+  model.features_ = n;
+  model.num_classes_ = k;
+  model.weights_ = QuantizedTensor(w, config.precision);
+  model.bias_ = QuantizedTensor(b, config.precision);
+  return model;
+}
+
+std::vector<float> LinearSvm::scores(std::span<const float> features) const {
+  std::vector<float> out(num_classes_, 0.0f);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    float acc = bias_.get(c);
+    const std::size_t base = c * features_;
+    for (std::size_t j = 0; j < features_; ++j) {
+      acc += weights_.get(base + j) * features[j];
+    }
+    out[c] = saturate(acc, 1.0e6f);
+  }
+  return out;
+}
+
+int LinearSvm::predict(std::span<const float> features) const {
+  const auto s = scores(features);
+  return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+std::vector<fault::MemoryRegion> LinearSvm::memory_regions() {
+  return {weights_.region("svm/w"), bias_.region("svm/b")};
+}
+
+std::unique_ptr<Classifier> LinearSvm::clone() const {
+  return std::make_unique<LinearSvm>(*this);
+}
+
+}  // namespace robusthd::baseline

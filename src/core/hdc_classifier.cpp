@@ -1,0 +1,58 @@
+#include "robusthd/core/hdc_classifier.hpp"
+
+namespace robusthd::core {
+
+HdcClassifier HdcClassifier::train(const data::Dataset& train_data,
+                                   const HdcClassifierConfig& config) {
+  HdcClassifier out;
+  out.encoder_config_ = config.encoder;
+  out.encoder_ = std::make_shared<const hv::RecordEncoder>(
+      train_data.feature_count(), config.encoder);
+  const auto encoded = out.encoder_->encode_all(train_data);
+  out.model_ = model::HdcModel::train(encoded, train_data.labels,
+                                      train_data.num_classes, config.model);
+  return out;
+}
+
+HdcClassifier HdcClassifier::assemble(const hv::EncoderConfig& encoder_config,
+                                      std::size_t feature_count,
+                                      model::HdcModel model) {
+  HdcClassifier out;
+  out.encoder_config_ = encoder_config;
+  out.encoder_ =
+      std::make_shared<const hv::RecordEncoder>(feature_count, encoder_config);
+  out.model_ = std::move(model);
+  return out;
+}
+
+int HdcClassifier::predict(std::span<const float> features) const {
+  return model_.predict(encoder_->encode(features));
+}
+
+int HdcClassifier::predict_and_recover(std::span<const float> features) {
+  const auto query = encoder_->encode(features);
+  if (engine_ != nullptr) {
+    return engine_->observe(query).predicted;
+  }
+  return model_.predict(query);
+}
+
+void HdcClassifier::enable_recovery(const model::RecoveryConfig& config) {
+  engine_ = std::make_unique<model::RecoveryEngine>(model_, config);
+}
+
+std::vector<fault::MemoryRegion> HdcClassifier::memory_regions() {
+  return model_.memory_regions();
+}
+
+std::unique_ptr<baseline::Classifier> HdcClassifier::clone() const {
+  auto copy = std::make_unique<HdcClassifier>();
+  copy->encoder_config_ = encoder_config_;
+  copy->encoder_ = encoder_;  // item memory is immutable and shared
+  copy->model_ = model_;
+  // Recovery engines hold a reference to their model; clones start without
+  // one and re-enable as needed.
+  return copy;
+}
+
+}  // namespace robusthd::core

@@ -1,0 +1,54 @@
+#include "robusthd/core/protected_model.hpp"
+
+#include <cstring>
+
+namespace robusthd::core {
+
+EccProtectedModel::EccProtectedModel(model::HdcModel& model) : model_(model) {
+  for (std::size_t c = 0; c < model_.num_classes(); ++c) {
+    for (const auto& plane : model_.class_vector(c).planes) {
+      const auto words = plane.words();
+      planes_.emplace_back(std::as_bytes(words));
+    }
+  }
+}
+
+std::vector<fault::MemoryRegion> EccProtectedModel::memory_regions() {
+  std::vector<fault::MemoryRegion> regions;
+  regions.reserve(planes_.size() * 2);
+  for (std::size_t i = 0; i < planes_.size(); ++i) {
+    regions.push_back(fault::MemoryRegion{
+        planes_[i].stored_data(), 1, "ecc/data" + std::to_string(i)});
+    regions.push_back(fault::MemoryRegion{
+        planes_[i].stored_checks(), 1, "ecc/check" + std::to_string(i)});
+  }
+  return regions;
+}
+
+mem::EccProtectedMemory::ScrubReport EccProtectedModel::scrub_and_refresh() {
+  mem::EccProtectedMemory::ScrubReport total;
+  std::size_t slot = 0;
+  for (std::size_t c = 0; c < model_.num_classes(); ++c) {
+    for (auto& plane : model_.class_vector(c).planes) {
+      auto words = plane.mutable_words();
+      auto bytes = std::as_writable_bytes(words);
+      const auto report = planes_[slot].read_all(bytes);
+      plane.mask_tail();
+      total.clean += report.clean;
+      total.corrected += report.corrected;
+      total.uncorrectable += report.uncorrectable;
+      ++slot;
+    }
+  }
+  return total;
+}
+
+std::size_t EccProtectedModel::stored_bits() const noexcept {
+  std::size_t bits = 0;
+  for (const auto& p : planes_) {
+    bits += p.word_count() * 64 + p.overhead_bits();
+  }
+  return bits;
+}
+
+}  // namespace robusthd::core

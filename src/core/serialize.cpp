@@ -1,0 +1,134 @@
+#include "robusthd/core/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace robusthd::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52484431;  // "RHD1"
+
+/// Fixed-layout header (all little-endian on the platforms we target;
+/// written/read with memcpy so alignment is never an issue).
+struct Header {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = 1;
+  std::uint64_t dimension = 0;
+  std::uint64_t levels = 0;
+  std::uint64_t encoder_seed = 0;
+  std::uint64_t feature_count = 0;
+  std::uint32_t precision_bits = 1;
+  std::uint32_t num_classes = 0;
+};
+
+template <typename T>
+void append(std::vector<std::byte>& out, const T& value) {
+  const auto* p = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_at(std::span<const std::byte> blob, std::size_t& offset) {
+  if (offset + sizeof(T) > blob.size()) {
+    throw std::runtime_error("robusthd: truncated model blob");
+  }
+  T value;
+  std::memcpy(&value, blob.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize(const HdcClassifier& classifier) {
+  const auto& model = classifier.model();
+  const auto& encoder_config = classifier.encoder_config();
+
+  Header header;
+  header.dimension = encoder_config.dimension;
+  header.levels = encoder_config.levels;
+  header.encoder_seed = encoder_config.seed;
+  header.feature_count = classifier.encoder().feature_count();
+  header.precision_bits = model.precision_bits();
+  header.num_classes = static_cast<std::uint32_t>(model.num_classes());
+
+  std::vector<std::byte> out;
+  append(out, header);
+  for (std::size_t c = 0; c < model.num_classes(); ++c) {
+    const auto& planes = model.class_vector(c).planes;
+    for (const auto& plane : planes) {
+      const auto words = plane.words();
+      const auto* p = reinterpret_cast<const std::byte*>(words.data());
+      out.insert(out.end(), p, p + words.size_bytes());
+    }
+  }
+  return out;
+}
+
+HdcClassifier deserialize(std::span<const std::byte> blob) {
+  std::size_t offset = 0;
+  const auto header = read_at<Header>(blob, offset);
+  if (header.magic != kMagic) {
+    throw std::runtime_error("robusthd: not a RobustHD model blob");
+  }
+  if (header.version != 1) {
+    throw std::runtime_error("robusthd: unsupported model version");
+  }
+  if (header.num_classes == 0 || header.dimension == 0 ||
+      header.precision_bits == 0 || header.precision_bits > 8) {
+    throw std::runtime_error("robusthd: malformed model header");
+  }
+
+  const std::size_t dim = header.dimension;
+  const std::size_t word_bytes = util::words_for_bits(dim) * 8;
+
+  std::vector<model::ClassVector> classes(header.num_classes);
+  for (auto& cv : classes) {
+    cv.planes.reserve(header.precision_bits);
+    for (std::uint32_t p = 0; p < header.precision_bits; ++p) {
+      hv::BinVec plane(dim);
+      if (offset + word_bytes > blob.size()) {
+        throw std::runtime_error("robusthd: truncated model planes");
+      }
+      std::memcpy(plane.mutable_words().data(), blob.data() + offset,
+                  word_bytes);
+      offset += word_bytes;
+      plane.mask_tail();
+      cv.planes.push_back(std::move(plane));
+    }
+  }
+
+  hv::EncoderConfig encoder_config;
+  encoder_config.dimension = dim;
+  encoder_config.levels = header.levels;
+  encoder_config.seed = header.encoder_seed;
+  return HdcClassifier::assemble(
+      encoder_config, header.feature_count,
+      model::HdcModel::from_planes(std::move(classes),
+                                   header.precision_bits));
+}
+
+void save_model(const HdcClassifier& classifier, const std::string& path) {
+  const auto blob = serialize(classifier);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("robusthd: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  if (!out) throw std::runtime_error("robusthd: write failed: " + path);
+}
+
+HdcClassifier load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("robusthd: cannot open " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<std::byte> blob(size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(blob.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("robusthd: read failed: " + path);
+  return deserialize(blob);
+}
+
+}  // namespace robusthd::core

@@ -1,0 +1,152 @@
+#include "robusthd/data/loader.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::data {
+
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, delimiter)) {
+    // Trim surrounding whitespace.
+    const auto begin = field.find_first_not_of(" \t\r");
+    const auto end = field.find_last_not_of(" \t\r");
+    fields.push_back(begin == std::string::npos
+                         ? std::string{}
+                         : field.substr(begin, end - begin + 1));
+  }
+  if (!line.empty() && line.back() == delimiter) fields.emplace_back();
+  return fields;
+}
+
+float parse_float(const std::string& token, std::size_t line_number) {
+  try {
+    std::size_t consumed = 0;
+    const float value = std::stof(token, &consumed);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("robusthd: non-numeric feature '" + token +
+                             "' on line " + std::to_string(line_number));
+  }
+}
+
+}  // namespace
+
+Dataset parse_csv(const std::string& content, const CsvOptions& options) {
+  std::istringstream stream(content);
+  std::string line;
+  std::size_t line_number = 0;
+
+  std::vector<std::vector<float>> rows;
+  std::vector<std::string> raw_labels;
+  std::size_t width = 0;
+
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (line_number == 1 && options.has_header) continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    const auto fields = split_fields(line, options.delimiter);
+    if (fields.size() < 2) {
+      throw std::runtime_error("robusthd: line " +
+                               std::to_string(line_number) +
+                               " has fewer than 2 fields");
+    }
+    if (width == 0) {
+      width = fields.size();
+    } else if (fields.size() != width) {
+      throw std::runtime_error("robusthd: ragged CSV at line " +
+                               std::to_string(line_number));
+    }
+
+    const int raw_index = options.label_column;
+    const std::size_t label_index =
+        raw_index >= 0 ? static_cast<std::size_t>(raw_index)
+                       : fields.size() - static_cast<std::size_t>(-raw_index);
+    if (label_index >= fields.size()) {
+      throw std::runtime_error("robusthd: label column out of range");
+    }
+
+    std::vector<float> features;
+    features.reserve(fields.size() - 1);
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i == label_index) continue;
+      features.push_back(parse_float(fields[i], line_number));
+    }
+    rows.push_back(std::move(features));
+    raw_labels.push_back(fields[label_index]);
+  }
+
+  if (rows.empty()) throw std::runtime_error("robusthd: empty CSV");
+
+  // Dense label re-indexing in first-appearance order.
+  std::map<std::string, int> label_ids;
+  Dataset dataset;
+  dataset.labels.reserve(rows.size());
+  for (const auto& raw : raw_labels) {
+    const auto [it, inserted] =
+        label_ids.emplace(raw, static_cast<int>(label_ids.size()));
+    dataset.labels.push_back(it->second);
+    (void)inserted;
+  }
+  dataset.num_classes = label_ids.size();
+
+  dataset.features = util::Matrix(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::copy(rows[r].begin(), rows[r].end(),
+              dataset.features.row(r).begin());
+  }
+  return dataset;
+}
+
+Dataset load_csv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("robusthd: cannot open " + path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return parse_csv(content.str(), options);
+}
+
+Split train_test_split(const Dataset& dataset, double train_fraction,
+                       std::uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("train_fraction must be in (0, 1)");
+  }
+  std::vector<std::size_t> order(dataset.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  util::Xoshiro256 rng(seed);
+  util::shuffle(std::span<std::size_t>(order), rng);
+
+  const auto train_count = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(dataset.size()));
+
+  Split split;
+  auto fill = [&](Dataset& out, std::size_t begin, std::size_t end) {
+    out.num_classes = dataset.num_classes;
+    out.features = util::Matrix(end - begin, dataset.feature_count());
+    out.labels.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto src = dataset.sample(order[i]);
+      std::copy(src.begin(), src.end(),
+                out.features.row(i - begin).begin());
+      out.labels.push_back(dataset.labels[order[i]]);
+    }
+  };
+  fill(split.train, 0, train_count);
+  fill(split.test, train_count, dataset.size());
+  return split;
+}
+
+}  // namespace robusthd::data

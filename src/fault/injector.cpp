@@ -1,0 +1,197 @@
+#include "robusthd/fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "robusthd/util/bitops.hpp"
+
+namespace robusthd::fault {
+
+std::size_t total_bits(std::span<const MemoryRegion> regions) noexcept {
+  std::size_t total = 0;
+  for (const auto& r : regions) total += r.bit_count();
+  return total;
+}
+
+namespace {
+
+/// Samples `count` distinct values in [0, n) — hash-set rejection, which is
+/// fine for the fractions (<20%) these experiments use.
+std::vector<std::size_t> sample_distinct(std::size_t count, std::size_t n,
+                                         util::Xoshiro256& rng) {
+  count = std::min(count, n);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  if (count * 2 >= n) {
+    // Dense case: partial Fisher-Yates over all positions.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(rng.below(n - i));
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(count * 2);
+  while (out.size() < count) {
+    const auto pos = static_cast<std::size_t>(rng.below(n));
+    if (seen.insert(pos).second) out.push_back(pos);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t BitFlipInjector::flip_random_bits(MemoryRegion& region,
+                                              std::size_t count,
+                                              util::Xoshiro256& rng) {
+  const std::size_t n = region.bit_count();
+  const auto positions = sample_distinct(count, n, rng);
+  for (const auto pos : positions) util::flip_bit(region.bytes, pos);
+  return positions.size();
+}
+
+std::size_t BitFlipInjector::flip_targeted_bits(MemoryRegion& region,
+                                                std::size_t count,
+                                                util::Xoshiro256& rng) {
+  const unsigned width = std::max(region.value_bits, 1u);
+  if (width <= 1) {
+    // Holographic/binary storage: every bit is equally (in)significant, so
+    // the worst case an adversary can do equals the random case.
+    return flip_random_bits(region, count, rng);
+  }
+
+  const std::size_t total = region.bit_count();
+  const std::size_t values = total / width;
+  std::size_t flipped = 0;
+
+  // Spend the budget tier by tier: all MSBs first (bit width-1 of every
+  // value), then bit width-2, and so on — the adversary maximises per-flip
+  // damage before moving to less significant positions.
+  for (unsigned tier = 0; tier < width && flipped < count; ++tier) {
+    const unsigned bit_in_value = width - 1 - tier;
+    const std::size_t want = count - flipped;
+    const auto chosen = sample_distinct(std::min(want, values), values, rng);
+    for (const auto v : chosen) {
+      util::flip_bit(region.bytes, v * width + bit_in_value);
+    }
+    flipped += chosen.size();
+    if (values == 0) break;
+  }
+  return flipped;
+}
+
+std::size_t BitFlipInjector::flip_clustered_bits(MemoryRegion& region,
+                                                 std::size_t count,
+                                                 double cluster_fraction,
+                                                 util::Xoshiro256& rng) {
+  const std::size_t n = region.bit_count();
+  if (n == 0 || count == 0) return 0;
+  cluster_fraction = std::clamp(cluster_fraction, 1.0e-3, 1.0);
+  std::size_t span = std::max<std::size_t>(
+      static_cast<std::size_t>(cluster_fraction * static_cast<double>(n)),
+      std::min(count, n));
+  span = std::min(span, n);
+  const std::size_t start =
+      span < n ? static_cast<std::size_t>(rng.below(n - span + 1)) : 0;
+  const auto offsets = sample_distinct(std::min(count, span), span, rng);
+  for (const auto off : offsets) {
+    util::flip_bit(region.bytes, start + off);
+  }
+  return offsets.size();
+}
+
+FlipReport BitFlipInjector::inject(std::span<MemoryRegion> regions,
+                                   double rate, AttackMode mode,
+                                   util::Xoshiro256& rng) {
+  FlipReport report;
+  report.total_bits = total_bits(regions);
+
+  // The budget is always rate × total stored bits, for every mode — what
+  // differs is *which* bits the adversary picks.
+  // Proportional split of the budget across regions; within a region a
+  // targeted attacker spends its share on most-significant-bit tiers
+  // first. For 1-bit hypervector regions every bit is an MSB, so targeted
+  // degenerates to random — the holographic property.
+  double assigned = 0.0;
+  long long allocated = 0;
+  for (auto& region : regions) {
+    assigned += rate * static_cast<double>(region.bit_count());
+    const auto count =
+        static_cast<std::size_t>(std::llround(assigned) - allocated);
+    allocated += static_cast<long long>(count);
+    if (count == 0) continue;
+    switch (mode) {
+      case AttackMode::kRandom:
+        report.flipped += flip_random_bits(region, count, rng);
+        break;
+      case AttackMode::kTargeted:
+        report.flipped += flip_targeted_bits(region, count, rng);
+        break;
+      case AttackMode::kClustered:
+        // Row-hammer-style locality: the flips land in a span ~2.5x the
+        // budget, i.e. ~40% local flip density.
+        report.flipped += flip_clustered_bits(
+            region, count,
+            2.5 * static_cast<double>(count) /
+                static_cast<double>(region.bit_count()),
+            rng);
+        break;
+    }
+  }
+  return report;
+}
+
+FlipReport BitFlipInjector::inject_bit_errors(
+    std::span<MemoryRegion> regions, double bit_error_rate,
+    util::Xoshiro256& rng) {
+  FlipReport report;
+  report.total_bits = total_bits(regions);
+  for (auto& region : regions) {
+    const auto count = static_cast<std::size_t>(std::llround(
+        bit_error_rate * static_cast<double>(region.bit_count())));
+    report.flipped += flip_random_bits(region, count, rng);
+  }
+  return report;
+}
+
+StreamAttacker::StreamAttacker(double total_rate, std::size_t steps_to_full,
+                               std::uint64_t seed)
+    : total_rate_(total_rate),
+      steps_to_full_(std::max<std::size_t>(steps_to_full, 1)),
+      rng_(seed) {}
+
+FlipReport StreamAttacker::step(std::span<MemoryRegion> regions) {
+  FlipReport report;
+  report.total_bits = total_bits(regions);
+  if (steps_done_ >= steps_to_full_ || report.total_bits == 0) return report;
+
+  ++steps_done_;
+  const double per_step = total_rate_ / static_cast<double>(steps_to_full_);
+  carry_bits_ += per_step * static_cast<double>(report.total_bits);
+  auto count = static_cast<std::size_t>(carry_bits_);
+  carry_bits_ -= static_cast<double>(count);
+
+  // Pick each flip as a uniform global bit position across the whole
+  // attack surface, so small per-step budgets still spread over regions.
+  for (std::size_t f = 0; f < count; ++f) {
+    auto pos = static_cast<std::size_t>(rng_.below(report.total_bits));
+    for (auto& region : regions) {
+      if (pos < region.bit_count()) {
+        util::flip_bit(region.bytes, pos);
+        ++report.flipped;
+        break;
+      }
+      pos -= region.bit_count();
+    }
+  }
+  injected_rate_ += static_cast<double>(report.flipped) /
+                    static_cast<double>(report.total_bits);
+  return report;
+}
+
+}  // namespace robusthd::fault

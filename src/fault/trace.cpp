@@ -1,0 +1,76 @@
+#include "robusthd/fault/trace.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "robusthd/util/bitops.hpp"
+
+namespace robusthd::fault {
+
+FlipReport AttackTrace::record(std::span<MemoryRegion> regions, double rate,
+                               AttackMode mode, util::Xoshiro256& rng) {
+  // Snapshot, inject, diff.
+  std::vector<std::vector<std::byte>> before;
+  before.reserve(regions.size());
+  for (const auto& region : regions) {
+    before.emplace_back(region.bytes.begin(), region.bytes.end());
+  }
+
+  const auto report = BitFlipInjector::inject(regions, rate, mode, rng);
+
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const auto now = std::span<const std::byte>(regions[r].bytes);
+    const auto then = std::span<const std::byte>(before[r]);
+    for (std::size_t bit = 0; bit < regions[r].bit_count(); ++bit) {
+      if (util::get_bit(now, bit) != util::get_bit(then, bit)) {
+        events_.push_back({static_cast<std::uint32_t>(r), bit});
+      }
+    }
+  }
+  return report;
+}
+
+void AttackTrace::replay(std::span<MemoryRegion> regions) const {
+  for (const auto& event : events_) {
+    if (event.region >= regions.size() ||
+        event.bit >= regions[event.region].bit_count()) {
+      throw std::out_of_range("robusthd: attack trace does not fit regions");
+    }
+    util::flip_bit(regions[event.region].bytes, event.bit);
+  }
+}
+
+std::vector<std::byte> AttackTrace::serialize() const {
+  std::vector<std::byte> blob(8 + events_.size() * 12);
+  const std::uint64_t count = events_.size();
+  std::memcpy(blob.data(), &count, 8);
+  std::size_t offset = 8;
+  for (const auto& event : events_) {
+    std::memcpy(blob.data() + offset, &event.region, 4);
+    std::memcpy(blob.data() + offset + 4, &event.bit, 8);
+    offset += 12;
+  }
+  return blob;
+}
+
+AttackTrace AttackTrace::deserialize(std::span<const std::byte> blob) {
+  if (blob.size() < 8) {
+    throw std::runtime_error("robusthd: truncated attack trace");
+  }
+  std::uint64_t count = 0;
+  std::memcpy(&count, blob.data(), 8);
+  if (blob.size() < 8 + count * 12) {
+    throw std::runtime_error("robusthd: truncated attack trace events");
+  }
+  AttackTrace trace;
+  trace.events_.resize(count);
+  std::size_t offset = 8;
+  for (auto& event : trace.events_) {
+    std::memcpy(&event.region, blob.data() + offset, 4);
+    std::memcpy(&event.bit, blob.data() + offset + 4, 8);
+    offset += 12;
+  }
+  return trace;
+}
+
+}  // namespace robusthd::fault

@@ -1,0 +1,121 @@
+#include "robusthd/hv/accumulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "robusthd/util/stats.hpp"
+
+namespace robusthd::hv {
+
+BitSliceCounter::BitSliceCounter(std::size_t dimension)
+    : dim_(dimension), words_(util::words_for_bits(dimension)) {}
+
+void BitSliceCounter::add(const BinVec& bits) {
+  assert(bits.dimension() == dim_);
+  const auto in = bits.words();
+  // Ripple-carry add of a 1-bit operand across all planes, word-parallel.
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t carry = in[w];
+    for (std::size_t p = 0; p < planes_.size() && carry; ++p) {
+      const std::uint64_t sum = planes_[p][w] ^ carry;
+      carry &= planes_[p][w];
+      planes_[p][w] = sum;
+    }
+    if (carry) {
+      planes_.emplace_back(words_, 0);
+      planes_.back()[w] = carry;
+    }
+  }
+  ++added_;
+}
+
+std::uint32_t BitSliceCounter::count(std::size_t dim) const noexcept {
+  std::uint32_t c = 0;
+  const std::size_t word = dim >> 6;
+  const std::size_t bit = dim & 63;
+  for (std::size_t p = 0; p < planes_.size(); ++p) {
+    c |= static_cast<std::uint32_t>((planes_[p][word] >> bit) & 1ULL) << p;
+  }
+  return c;
+}
+
+BinVec BitSliceCounter::threshold_majority(const BinVec* tie_break) const {
+  const std::uint32_t total = static_cast<std::uint32_t>(added_);
+  BinVec out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const std::uint32_t c = count(i);
+    if (2 * c > total) {
+      out.set(i, true);
+    } else if (2 * c == total && tie_break != nullptr) {
+      out.set(i, tie_break->get(i));
+    }
+  }
+  return out;
+}
+
+BinVec BitSliceCounter::threshold(std::uint32_t cut) const {
+  BinVec out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) out.set(i, count(i) > cut);
+  return out;
+}
+
+void BitSliceCounter::reset() {
+  planes_.clear();
+  added_ = 0;
+}
+
+void SignedAccumulator::add(const BinVec& bits, std::int32_t weight) {
+  assert(bits.dimension() == counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += bits.get(i) ? weight : -weight;
+  }
+}
+
+BinVec SignedAccumulator::sign(const BinVec* tie_break) const {
+  BinVec out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0) {
+      out.set(i, true);
+    } else if (counts_[i] == 0 && tie_break != nullptr) {
+      out.set(i, tie_break->get(i));
+    }
+  }
+  return out;
+}
+
+std::vector<BinVec> SignedAccumulator::quantize_planes(unsigned bits) const {
+  assert(bits >= 1 && bits <= 8);
+  const std::size_t dim = counts_.size();
+  std::vector<BinVec> planes(bits, BinVec(dim));
+
+  if (bits == 1) {
+    planes[0] = sign();
+    return planes;
+  }
+
+  // Robust scale: 95th percentile of |count| so a few outlier dimensions do
+  // not flatten everything else into the middle levels.
+  std::vector<double> mags(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    mags[i] = std::abs(static_cast<double>(counts_[i]));
+  }
+  double scale = util::percentile(std::move(mags), 95.0);
+  if (scale <= 0.0) scale = 1.0;
+
+  const auto levels = (1u << bits) - 1;  // top level index
+  for (std::size_t i = 0; i < dim; ++i) {
+    // Map count in [-scale, scale] to level in [0, levels]; level encodes
+    // quantised confidence that the underlying bit is 1.
+    const double x =
+        std::clamp(static_cast<double>(counts_[i]) / scale, -1.0, 1.0);
+    const auto level = static_cast<unsigned>(
+        std::lround((x + 1.0) / 2.0 * static_cast<double>(levels)));
+    for (unsigned p = 0; p < bits; ++p) {
+      if ((level >> p) & 1u) planes[p].set(i, true);
+    }
+  }
+  return planes;
+}
+
+}  // namespace robusthd::hv

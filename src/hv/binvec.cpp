@@ -1,0 +1,91 @@
+#include "robusthd/hv/binvec.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace robusthd::hv {
+
+BinVec BinVec::random(std::size_t dimension, util::Xoshiro256& rng) {
+  BinVec v(dimension);
+  rng.fill(v.words_);
+  v.mask_tail();
+  return v;
+}
+
+BinVec& BinVec::bind(const BinVec& other) noexcept {
+  assert(dim_ == other.dim_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+BinVec& BinVec::invert() noexcept {
+  for (auto& w : words_) w = ~w;
+  mask_tail();
+  return *this;
+}
+
+BinVec BinVec::rotated(std::size_t amount) const {
+  BinVec out(dim_);
+  if (dim_ == 0) return out;
+  amount %= dim_;
+  if (amount == 0) return *this;
+  // Straightforward bit copy; rotation is not on the inference hot path.
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const std::size_t j = (i + amount) % dim_;
+    if (get(i)) out.set(j, true);
+  }
+  return out;
+}
+
+void BinVec::mask_tail() noexcept {
+  const std::size_t tail = dim_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= util::low_mask(tail);
+  }
+}
+
+std::size_t hamming(const BinVec& a, const BinVec& b) noexcept {
+  assert(a.dimension() == b.dimension());
+  return util::hamming(a.words(), b.words());
+}
+
+double similarity(const BinVec& a, const BinVec& b) noexcept {
+  if (a.dimension() == 0) return 0.0;
+  return 1.0 - static_cast<double>(hamming(a, b)) /
+                   static_cast<double>(a.dimension());
+}
+
+BinVec bind(const BinVec& a, const BinVec& b) {
+  BinVec out = a;
+  out.bind(b);
+  return out;
+}
+
+std::size_t hamming_range(const BinVec& a, const BinVec& b, std::size_t begin,
+                          std::size_t end) noexcept {
+  assert(a.dimension() == b.dimension());
+  assert(begin <= end && end <= a.dimension());
+  if (begin >= end) return 0;
+
+  const auto aw = a.words();
+  const auto bw = b.words();
+  const std::size_t first_word = begin >> 6;
+  const std::size_t last_word = (end - 1) >> 6;
+
+  std::size_t total = 0;
+  for (std::size_t w = first_word; w <= last_word; ++w) {
+    std::uint64_t x = aw[w] ^ bw[w];
+    if (w == first_word) {
+      const std::size_t skip = begin & 63;
+      x &= ~util::low_mask(skip);
+    }
+    if (w == last_word) {
+      const std::size_t keep = ((end - 1) & 63) + 1;
+      x &= util::low_mask(keep);
+    }
+    total += static_cast<std::size_t>(std::popcount(x));
+  }
+  return total;
+}
+
+}  // namespace robusthd::hv

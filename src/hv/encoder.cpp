@@ -1,0 +1,27 @@
+#include "robusthd/hv/encoder.hpp"
+
+#include <cassert>
+
+namespace robusthd::hv {
+
+RecordEncoder::RecordEncoder(std::size_t feature_count,
+                             const EncoderConfig& config)
+    : memory_(config.dimension, feature_count, config.levels, config.seed) {
+  util::Xoshiro256 rng(config.seed ^ 0x71ebULL);
+  tie_break_ = BinVec::random(config.dimension, rng);
+}
+
+BinVec RecordEncoder::encode(std::span<const float> features) const {
+  assert(features.size() == memory_.feature_count());
+  BitSliceCounter acc(memory_.dimension());
+  BinVec bound(memory_.dimension());
+  for (std::size_t k = 0; k < features.size(); ++k) {
+    const auto& level = memory_.level(memory_.level_index(features[k]));
+    bound = level;
+    bound.bind(memory_.base(k));
+    acc.add(bound);
+  }
+  return acc.threshold_majority(&tie_break_);
+}
+
+}  // namespace robusthd::hv

@@ -1,0 +1,18 @@
+#include "robusthd/hv/encoder_base.hpp"
+
+#include "robusthd/util/parallel.hpp"
+
+namespace robusthd::hv {
+
+std::vector<BinVec> Encoder::encode_all(const data::Dataset& dataset) const {
+  // encode() is const and samples are independent; parallel by index keeps
+  // the output order (and therefore every downstream result) identical to
+  // the serial loop.
+  std::vector<BinVec> out(dataset.size());
+  util::parallel_for(dataset.size(), [&](std::size_t i) {
+    out[i] = encode(dataset.sample(i));
+  });
+  return out;
+}
+
+}  // namespace robusthd::hv

@@ -1,0 +1,48 @@
+#include "robusthd/mem/dram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robusthd::mem {
+
+namespace {
+
+double phi(double z) noexcept { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double phi_inv(double p) noexcept {
+  double lo = -12.0, hi = 12.0;
+  for (int i = 0; i < 90; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (phi(mid) < p ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double bit_error_rate(double interval_ms, const DramParams& params) {
+  if (interval_ms <= 0.0) return 0.0;
+  // A cell errs when its retention time is shorter than the interval.
+  const double z = (std::log(interval_ms) - std::log(params.retention_median_ms)) /
+                   params.retention_sigma;
+  return phi(z);
+}
+
+double interval_for_error_rate(double ber, const DramParams& params) {
+  ber = std::clamp(ber, 1.0e-12, 1.0 - 1.0e-12);
+  return params.retention_median_ms *
+         std::exp(params.retention_sigma * phi_inv(ber));
+}
+
+double relative_power(double interval_ms, const DramParams& params) {
+  const double refresh_scale =
+      params.base_refresh_ms / std::max(interval_ms, params.base_refresh_ms);
+  return (1.0 - params.refresh_power_fraction) +
+         params.refresh_power_fraction * refresh_scale;
+}
+
+double energy_efficiency_gain(double interval_ms, const DramParams& params) {
+  return 1.0 - relative_power(interval_ms, params);
+}
+
+}  // namespace robusthd::mem

@@ -1,0 +1,29 @@
+#include "robusthd/mem/ecc.hpp"
+
+#include <cmath>
+
+namespace robusthd::mem {
+
+double uncorrectable_word_rate(double ber, const EccParams& params) {
+  const auto n = static_cast<double>(params.data_bits + params.check_bits);
+  if (ber <= 0.0) return 0.0;
+  if (ber >= 1.0) return 1.0;
+  // P(0 or 1 flips) under binomial(n, ber).
+  const double p0 = std::pow(1.0 - ber, n);
+  const double p1 = n * ber * std::pow(1.0 - ber, n - 1.0);
+  return 1.0 - p0 - p1;
+}
+
+double residual_bit_error_rate(double ber, const EccParams& params) {
+  const auto n = static_cast<double>(params.data_bits + params.check_bits);
+  if (ber <= 0.0) return 0.0;
+  // Expected flips per word, conditioned on the word being uncorrectable,
+  // spread over the data bits. E[flips · 1(flips>=2)] = n·ber − P(1 flip).
+  const double p1 = n * ber * std::pow(1.0 - ber, n - 1.0);
+  const double expected_bad_flips = n * ber - p1;
+  const double residual =
+      expected_bad_flips / static_cast<double>(params.data_bits);
+  return residual < 0.0 ? 0.0 : residual;
+}
+
+}  // namespace robusthd::mem

@@ -1,0 +1,168 @@
+#include "robusthd/mem/ecc_memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace robusthd::mem {
+
+namespace {
+
+constexpr int kCodeBits = 71;  // 64 data + 7 Hamming parity (positions 1..71)
+
+constexpr bool is_power_of_two(int x) noexcept { return (x & (x - 1)) == 0; }
+
+/// Expands (data, parity bits) into the 1-indexed codeword bit at `pos`.
+/// Data bits fill the non-power-of-two positions in increasing order; the
+/// mapping is fixed by construction, so both encoder and decoder iterate
+/// positions the same way.
+struct Codeword {
+  // code[pos] for pos in 1..71; index 0 unused.
+  bool bits[kCodeBits + 1] = {};
+
+  static Codeword from_data(std::uint64_t data) noexcept {
+    Codeword cw;
+    int d = 0;
+    for (int pos = 1; pos <= kCodeBits; ++pos) {
+      if (!is_power_of_two(pos)) {
+        cw.bits[pos] = (data >> d) & 1ULL;
+        ++d;
+      }
+    }
+    return cw;
+  }
+
+  std::uint64_t to_data() const noexcept {
+    std::uint64_t data = 0;
+    int d = 0;
+    for (int pos = 1; pos <= kCodeBits; ++pos) {
+      if (!is_power_of_two(pos)) {
+        data |= static_cast<std::uint64_t>(bits[pos]) << d;
+        ++d;
+      }
+    }
+    return data;
+  }
+
+  /// Sets the 7 Hamming parities so each covered group XORs to zero.
+  void set_parities() noexcept {
+    for (int p = 0; p < 7; ++p) {
+      const int pp = 1 << p;
+      bool parity = false;
+      for (int pos = 1; pos <= kCodeBits; ++pos) {
+        if ((pos & pp) && pos != pp) parity ^= bits[pos];
+      }
+      bits[pp] = parity;
+    }
+  }
+
+  /// Syndrome: position of a single flipped bit, 0 if parities check out.
+  int syndrome() const noexcept {
+    int s = 0;
+    for (int p = 0; p < 7; ++p) {
+      const int pp = 1 << p;
+      bool parity = false;
+      for (int pos = 1; pos <= kCodeBits; ++pos) {
+        if (pos & pp) parity ^= bits[pos];
+      }
+      if (parity) s |= pp;
+    }
+    return s;
+  }
+
+  bool overall_parity() const noexcept {
+    bool parity = false;
+    for (int pos = 1; pos <= kCodeBits; ++pos) parity ^= bits[pos];
+    return parity;
+  }
+};
+
+/// check byte layout: bits 0..6 = Hamming parities P1,P2,...,P64;
+/// bit 7 = overall parity over the 71 codeword bits and itself
+/// (even parity over all 72 stored bits).
+void split_check(std::uint8_t check, Codeword& cw, bool& overall) noexcept {
+  for (int p = 0; p < 7; ++p) cw.bits[1 << p] = (check >> p) & 1u;
+  overall = (check >> 7) & 1u;
+}
+
+std::uint8_t join_check(const Codeword& cw, bool overall) noexcept {
+  std::uint8_t check = 0;
+  for (int p = 0; p < 7; ++p) {
+    check |= static_cast<std::uint8_t>(cw.bits[1 << p]) << p;
+  }
+  check |= static_cast<std::uint8_t>(overall) << 7;
+  return check;
+}
+
+}  // namespace
+
+std::uint8_t secded_encode(std::uint64_t data) noexcept {
+  Codeword cw = Codeword::from_data(data);
+  cw.set_parities();
+  // Even parity over all 72 bits: overall bit = parity of the 71.
+  return join_check(cw, cw.overall_parity());
+}
+
+EccOutcome secded_decode(std::uint64_t& data, std::uint8_t& check) noexcept {
+  Codeword cw = Codeword::from_data(data);
+  bool stored_overall = false;
+  split_check(check, cw, stored_overall);
+
+  const int syndrome = cw.syndrome();
+  const bool parity_mismatch = cw.overall_parity() != stored_overall;
+
+  if (syndrome == 0 && !parity_mismatch) return EccOutcome::kClean;
+
+  if (parity_mismatch) {
+    // Odd number of flips; assume one and repair it.
+    if (syndrome == 0) {
+      // The overall-parity bit itself flipped.
+      check ^= 0x80;
+    } else if (syndrome <= kCodeBits) {
+      cw.bits[syndrome] = !cw.bits[syndrome];
+      data = cw.to_data();
+      check = join_check(cw, stored_overall);
+    } else {
+      return EccOutcome::kUncorrectable;  // syndrome points past the code
+    }
+    return EccOutcome::kCorrected;
+  }
+
+  // Non-zero syndrome with matching overall parity: even flip count.
+  return EccOutcome::kUncorrectable;
+}
+
+EccProtectedMemory::EccProtectedMemory(std::span<const std::byte> payload)
+    : payload_size_(payload.size()) {
+  const std::size_t words = (payload.size() + 7) / 8;
+  words_.assign(words, 0);
+  std::memcpy(words_.data(), payload.data(), payload.size());
+  checks_.resize(words);
+  for (std::size_t w = 0; w < words; ++w) {
+    checks_[w] = secded_encode(words_[w]);
+  }
+}
+
+std::span<std::byte> EccProtectedMemory::stored_data() noexcept {
+  return {reinterpret_cast<std::byte*>(words_.data()), words_.size() * 8};
+}
+
+std::span<std::byte> EccProtectedMemory::stored_checks() noexcept {
+  return {reinterpret_cast<std::byte*>(checks_.data()), checks_.size()};
+}
+
+EccProtectedMemory::ScrubReport EccProtectedMemory::read_all(
+    std::span<std::byte> out) {
+  ScrubReport report;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    switch (secded_decode(words_[w], checks_[w])) {
+      case EccOutcome::kClean: ++report.clean; break;
+      case EccOutcome::kCorrected: ++report.corrected; break;
+      case EccOutcome::kUncorrectable: ++report.uncorrectable; break;
+    }
+  }
+  const std::size_t n = std::min(out.size(), payload_size_);
+  std::memcpy(out.data(), words_.data(), n);
+  return report;
+}
+
+}  // namespace robusthd::mem

@@ -1,0 +1,184 @@
+#include "robusthd/model/hdc_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::model {
+
+namespace {
+
+/// Nearest and second-nearest class by Hamming distance against binary
+/// (sign) snapshots of the accumulators — keeps retraining word-parallel
+/// instead of per-dimension.
+struct NearestTwo {
+  int best = 0;
+  int second = -1;
+  std::size_t best_distance = std::numeric_limits<std::size_t>::max();
+  std::size_t second_distance = std::numeric_limits<std::size_t>::max();
+};
+
+NearestTwo predict_with_signs(const std::vector<hv::BinVec>& signs,
+                              const hv::BinVec& query) {
+  NearestTwo out;
+  for (std::size_t c = 0; c < signs.size(); ++c) {
+    const std::size_t d = hv::hamming(query, signs[c]);
+    if (d < out.best_distance) {
+      out.second_distance = out.best_distance;
+      out.second = out.best;
+      out.best_distance = d;
+      out.best = static_cast<int>(c);
+    } else if (d < out.second_distance) {
+      out.second_distance = d;
+      out.second = static_cast<int>(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+HdcModel HdcModel::train(std::span<const hv::BinVec> encoded,
+                         std::span<const int> labels,
+                         std::size_t num_classes, const HdcConfig& config) {
+  assert(!encoded.empty());
+  assert(encoded.size() == labels.size());
+
+  HdcModel model;
+  model.dim_ = encoded[0].dimension();
+  model.precision_bits_ = std::max(config.precision_bits, 1u);
+
+  // Pass 1: bundle every training hypervector into its class accumulator.
+  std::vector<hv::SignedAccumulator> accs(num_classes,
+                                          hv::SignedAccumulator(model.dim_));
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    accs[static_cast<std::size_t>(labels[i])].add(encoded[i]);
+  }
+
+  // Perceptron-style retraining: on a mistake, reinforce the true class and
+  // weaken the predicted one (standard HDC practice; improves the single-
+  // pass model substantially on harder tasks). Predictions run against
+  // binary sign snapshots so each epoch is word-parallel; only the two
+  // accumulators touched by a mistake have their snapshots refreshed.
+  std::vector<hv::BinVec> signs;
+  signs.reserve(num_classes);
+  for (const auto& acc : accs) signs.push_back(acc.sign());
+
+  const auto min_margin = static_cast<std::size_t>(
+      config.retrain_margin * static_cast<double>(model.dim_));
+  for (std::size_t epoch = 0; epoch < config.retrain_epochs; ++epoch) {
+    std::size_t updates = 0;
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+      const int truth = labels[i];
+      const auto nearest = predict_with_signs(signs, encoded[i]);
+      const bool wrong = nearest.best != truth;
+      const bool thin_margin =
+          !wrong && nearest.second_distance - nearest.best_distance <
+                        min_margin;
+      if (wrong || thin_margin) {
+        const auto t = static_cast<std::size_t>(truth);
+        const int rival = wrong ? nearest.best : nearest.second;
+        accs[t].add(encoded[i], +1);
+        signs[t] = accs[t].sign();
+        if (rival >= 0) {
+          const auto g = static_cast<std::size_t>(rival);
+          accs[g].add(encoded[i], -1);
+          signs[g] = accs[g].sign();
+        }
+        ++updates;
+      }
+    }
+    if (updates == 0) break;
+  }
+
+  model.classes_.reserve(num_classes);
+  for (auto& acc : accs) {
+    ClassVector cv;
+    cv.planes = acc.quantize_planes(model.precision_bits_);
+    model.classes_.push_back(std::move(cv));
+  }
+  return model;
+}
+
+HdcModel HdcModel::from_accumulators(
+    std::span<const hv::SignedAccumulator> accumulators,
+    unsigned precision_bits) {
+  assert(!accumulators.empty());
+  HdcModel model;
+  model.dim_ = accumulators[0].dimension();
+  model.precision_bits_ = std::max(precision_bits, 1u);
+  model.classes_.reserve(accumulators.size());
+  for (const auto& acc : accumulators) {
+    ClassVector cv;
+    cv.planes = acc.quantize_planes(model.precision_bits_);
+    model.classes_.push_back(std::move(cv));
+  }
+  return model;
+}
+
+HdcModel HdcModel::from_planes(std::vector<ClassVector> classes,
+                               unsigned precision_bits) {
+  assert(!classes.empty() && !classes[0].planes.empty());
+  HdcModel model;
+  model.dim_ = classes[0].planes[0].dimension();
+  model.precision_bits_ = std::max(precision_bits, 1u);
+  model.classes_ = std::move(classes);
+  return model;
+}
+
+std::vector<double> HdcModel::scores(const hv::BinVec& query) const {
+  return chunk_scores(query, 0, dim_);
+}
+
+std::vector<double> HdcModel::chunk_scores(const hv::BinVec& query,
+                                           std::size_t begin,
+                                           std::size_t end) const {
+  std::vector<double> out(classes_.size(), 0.0);
+  const std::size_t width = end - begin;
+  if (width == 0) return out;
+  const double denom = static_cast<double>(width) *
+                       static_cast<double>((1u << precision_bits_) - 1);
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    double score = 0.0;
+    for (std::size_t p = 0; p < classes_[c].planes.size(); ++p) {
+      const std::size_t matches =
+          width - hv::hamming_range(query, classes_[c].planes[p], begin, end);
+      score += static_cast<double>(1u << p) * static_cast<double>(matches);
+    }
+    out[c] = score / denom;
+  }
+  return out;
+}
+
+int HdcModel::predict(const hv::BinVec& query) const {
+  const auto s = scores(query);
+  return static_cast<int>(
+      std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+double HdcModel::evaluate(std::span<const hv::BinVec> queries,
+                          std::span<const int> labels) const {
+  if (queries.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    correct += (predict(queries[i]) == labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(queries.size());
+}
+
+std::vector<fault::MemoryRegion> HdcModel::memory_regions() {
+  std::vector<fault::MemoryRegion> regions;
+  regions.reserve(classes_.size() * precision_bits_);
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    for (std::size_t p = 0; p < classes_[c].planes.size(); ++p) {
+      auto words = classes_[c].planes[p].mutable_words();
+      regions.push_back(fault::MemoryRegion{
+          std::as_writable_bytes(words), 1,
+          "class" + std::to_string(c) + "/plane" + std::to_string(p)});
+    }
+  }
+  return regions;
+}
+
+}  // namespace robusthd::model

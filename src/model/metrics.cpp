@@ -1,0 +1,74 @@
+#include "robusthd/model/metrics.hpp"
+
+#include <sstream>
+
+#include "robusthd/util/table.hpp"
+
+namespace robusthd::model {
+
+ClassificationReport classification_report(
+    const util::ConfusionMatrix& cm) {
+  ClassificationReport report;
+  const std::size_t k = cm.num_classes();
+  report.per_class.resize(k);
+
+  for (std::size_t c = 0; c < k; ++c) {
+    std::size_t true_positive = cm.at(c, c);
+    std::size_t predicted_c = 0, actual_c = 0;
+    for (std::size_t other = 0; other < k; ++other) {
+      predicted_c += cm.at(other, c);
+      actual_c += cm.at(c, other);
+    }
+    auto& m = report.per_class[c];
+    m.support = actual_c;
+    m.precision = predicted_c
+                      ? static_cast<double>(true_positive) /
+                            static_cast<double>(predicted_c)
+                      : 0.0;
+    m.recall = actual_c ? static_cast<double>(true_positive) /
+                              static_cast<double>(actual_c)
+                        : 0.0;
+    m.f1 = (m.precision + m.recall) > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    report.macro_precision += m.precision;
+    report.macro_recall += m.recall;
+    report.macro_f1 += m.f1;
+  }
+  if (k > 0) {
+    report.macro_precision /= static_cast<double>(k);
+    report.macro_recall /= static_cast<double>(k);
+    report.macro_f1 /= static_cast<double>(k);
+  }
+  report.accuracy = cm.accuracy();
+  return report;
+}
+
+ClassificationReport classification_report(std::span<const int> predicted,
+                                           std::span<const int> expected,
+                                           std::size_t num_classes) {
+  util::ConfusionMatrix cm(num_classes);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    cm.add(expected[i], predicted[i]);
+  }
+  return classification_report(cm);
+}
+
+std::string ClassificationReport::to_string() const {
+  util::TextTable table({"class", "precision", "recall", "f1", "support"});
+  for (std::size_t c = 0; c < per_class.size(); ++c) {
+    const auto& m = per_class[c];
+    table.add_row({std::to_string(c), util::fixed(m.precision, 3),
+                   util::fixed(m.recall, 3), util::fixed(m.f1, 3),
+                   std::to_string(m.support)});
+  }
+  table.add_row({"macro", util::fixed(macro_precision, 3),
+                 util::fixed(macro_recall, 3), util::fixed(macro_f1, 3),
+                 ""});
+  std::ostringstream os;
+  table.print(os);
+  os << "accuracy: " << util::fixed(accuracy * 100.0, 2) << "%\n";
+  return os.str();
+}
+
+}  // namespace robusthd::model

@@ -1,0 +1,44 @@
+#include "robusthd/model/online.hpp"
+
+namespace robusthd::model {
+
+StreamResult run_recovery_stream(HdcModel& model, RecoveryEngine& engine,
+                                 std::span<const hv::BinVec> stream,
+                                 fault::StreamAttacker* attacker,
+                                 std::span<const hv::BinVec> eval_queries,
+                                 std::span<const int> eval_labels,
+                                 double clean_accuracy,
+                                 const StreamConfig& config) {
+  StreamResult result;
+  const double target = clean_accuracy - config.recover_epsilon;
+
+  auto evaluate_now = [&](std::size_t seen) {
+    const double acc = model.evaluate(eval_queries, eval_labels);
+    result.trace.push_back({seen, acc});
+    if (acc >= target &&
+        result.samples_to_recover ==
+            std::numeric_limits<std::size_t>::max()) {
+      result.samples_to_recover = seen;
+    }
+    return acc;
+  };
+
+  evaluate_now(0);
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (attacker != nullptr) {
+      auto regions = model.memory_regions();
+      attacker->step(regions);
+    }
+    const auto obs = engine.observe(stream[i]);
+    result.trusted_queries += obs.trusted;
+    if ((i + 1) % config.eval_every == 0) evaluate_now(i + 1);
+  }
+
+  result.final_accuracy = evaluate_now(stream.size());
+  result.model_updates = engine.total_updates();
+  result.substituted_bits = engine.total_substituted_bits();
+  return result;
+}
+
+}  // namespace robusthd::model

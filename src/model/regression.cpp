@@ -1,0 +1,88 @@
+#include "robusthd/model/regression.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::model {
+
+namespace {
+
+/// Bipolar projection of query onto a float model vector.
+double project(const hv::BinVec& query, std::span<const float> m) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    acc += query.get(i) ? m[i] : -m[i];
+  }
+  return acc / static_cast<double>(m.size());
+}
+
+}  // namespace
+
+HdcRegressor HdcRegressor::train(std::span<const hv::BinVec> encoded,
+                                 std::span<const double> targets,
+                                 const Config& config) {
+  assert(!encoded.empty());
+  assert(encoded.size() == targets.size());
+  const std::size_t dim = encoded[0].dimension();
+
+  // Centre the targets; the bias absorbs the mean so the hypervector only
+  // carries the signal around it.
+  double mean = 0.0;
+  for (const auto y : targets) mean += y;
+  mean /= static_cast<double>(targets.size());
+
+  std::vector<float> m(dim, 0.0f);
+  util::Xoshiro256 rng(config.seed);
+  std::vector<std::size_t> order(encoded.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double lr = config.learning_rate;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    util::shuffle(std::span<std::size_t>(order), rng);
+    for (const auto idx : order) {
+      const auto& h = encoded[idx];
+      const double err = (targets[idx] - mean) - project(h, m);
+      const auto step = static_cast<float>(lr * err);
+      for (std::size_t i = 0; i < dim; ++i) {
+        m[i] += h.get(i) ? step : -step;
+      }
+    }
+    lr *= 0.9;
+  }
+
+  HdcRegressor out;
+  out.dimension_ = dim;
+  out.bias_ = mean;
+  out.weights_ = baseline::QuantizedTensor(m, config.precision);
+  return out;
+}
+
+double HdcRegressor::predict(const hv::BinVec& query) const {
+  assert(query.dimension() == dimension_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    const float w = weights_.get(i);
+    acc += query.get(i) ? w : -w;
+  }
+  return bias_ + acc / static_cast<double>(dimension_);
+}
+
+double HdcRegressor::rmse(std::span<const hv::BinVec> queries,
+                          std::span<const double> targets) const {
+  assert(queries.size() == targets.size());
+  if (queries.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const double err = predict(queries[i]) - targets[i];
+    sum += err * err;
+  }
+  return std::sqrt(sum / static_cast<double>(queries.size()));
+}
+
+std::vector<fault::MemoryRegion> HdcRegressor::memory_regions() {
+  return {weights_.region("reghd/m")};
+}
+
+}  // namespace robusthd::model

@@ -1,0 +1,143 @@
+#include "robusthd/pim/accelerator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robusthd::pim {
+
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Adder-tree reduction of `leaves` partial values of `start_width` bits:
+/// log-depth sequential levels (each level's adds run in parallel across
+/// rows/tiles), widths growing one bit per level.
+OpCost tree_reduce(std::size_t leaves, std::size_t start_width) {
+  OpCost total{};
+  std::size_t level_values = leaves;
+  std::size_t width = start_width;
+  while (level_values > 1) {
+    total.cycles += cost_add(width + 1).cycles;
+    total.switches += cost_add(width + 1).switches * (level_values / 2);
+    level_values = ceil_div(level_values, 2);
+    ++width;
+  }
+  return total;
+}
+
+}  // namespace
+
+InferenceCost DpimAccelerator::finalize(OpCost logical,
+                                        std::uint64_t batch_parallel,
+                                        std::uint64_t footprint_cells) const {
+  InferenceCost out;
+  out.cycles = logical.cycles;
+  out.device_switches = static_cast<std::uint64_t>(
+      static_cast<double>(logical.switches) * config_.activity_factor);
+  out.latency_us =
+      static_cast<double>(out.cycles) * config_.device.switch_delay_ns * 1e-3;
+  out.energy_uj = static_cast<double>(out.device_switches) *
+                  config_.device.switch_energy_fj * 1e-9;
+  out.throughput_per_s =
+      out.latency_us > 0.0
+          ? static_cast<double>(std::max<std::uint64_t>(batch_parallel, 1)) /
+                (out.latency_us * 1e-6)
+          : 0.0;
+  // Wear levelling rotates data and scratch columns across the workload's
+  // provisioned region (footprint x over-provision, capped at the chip).
+  const std::uint64_t chip_cells = static_cast<std::uint64_t>(config_.arrays) *
+                                   config_.rows_per_array *
+                                   config_.cols_per_array;
+  out.wear_cells = std::min<std::uint64_t>(
+      footprint_cells * std::max<std::size_t>(config_.wear_overprovision, 1),
+      chip_cells);
+  return out;
+}
+
+InferenceCost DpimAccelerator::cost_dnn(const DnnWorkloadSpec& spec) const {
+  const unsigned b = spec.weight_bits;
+  const std::size_t groups = std::max<std::size_t>(
+      config_.dnn_inner_parallelism, 1);
+  OpCost logical{};
+
+  const std::uint64_t cells_per_array =
+      static_cast<std::uint64_t>(config_.rows_per_array) *
+      config_.cols_per_array;
+  const std::uint64_t weight_bits_total =
+      static_cast<std::uint64_t>(spec.parameter_count()) * b;
+  const std::size_t weight_arrays = std::max<std::size_t>(
+      1, ceil_div(weight_bits_total, cells_per_array));
+
+  for (const auto& [in, out_n] : spec.layers) {
+    // Neurons are row-parallel; each neuron's `in` MACs split across
+    // `groups` tile column-groups running concurrently, then the partial
+    // sums merge through a cross-tile adder tree.
+    const OpCost mac = cost_multiply(b) + cost_add(2 * b + 8);
+    const std::size_t chain = ceil_div(in, groups);
+    const OpCost merge = tree_reduce(std::min(groups, in), 2 * b + 8);
+    OpCost layer{};
+    layer.cycles = mac.cycles * chain + merge.cycles;
+    // Every MAC really executes (and writes) somewhere regardless of how
+    // the work is split; merge adds a small extra.
+    layer.switches = mac.switches * in * out_n + merge.switches * out_n;
+    logical += layer;
+  }
+
+  const std::size_t batch_arrays =
+      std::max<std::size_t>(1, config_.arrays / weight_arrays);
+  return finalize(logical, batch_arrays, weight_arrays * cells_per_array);
+}
+
+InferenceCost DpimAccelerator::cost_hdc(const HdcWorkloadSpec& spec) const {
+  OpCost logical{};
+  const std::size_t total_rows = config_.arrays * config_.rows_per_array;
+  const std::size_t dim_passes = ceil_div(spec.dimension, total_rows);
+
+  const std::uint64_t cells_per_array =
+      static_cast<std::uint64_t>(config_.rows_per_array) *
+      config_.cols_per_array;
+  // Footprint: class vectors + query/scratch columns, the item memory
+  // (base + level hypervectors) and a 64-column streaming workspace for
+  // the bound bits being bundled.
+  std::uint64_t footprint_bits =
+      static_cast<std::uint64_t>(spec.dimension) * (spec.classes + 8);
+  if (spec.include_encoding) {
+    footprint_bits += static_cast<std::uint64_t>(spec.dimension) *
+                      (spec.features + 64 + 64);
+  }
+
+  if (spec.include_encoding) {
+    // Dimension-major: each of the D dimensions is a row. Per row: n 1-bit
+    // XOR bindings, a popcount over the n bound bits, and one majority
+    // compare. Sequential along columns, parallel across the D rows.
+    const auto n = spec.features;
+    const auto cmp_width = static_cast<std::size_t>(
+        std::ceil(std::log2(static_cast<double>(n) + 1.0))) + 1;
+    const OpCost per_row = cost_xor(1) * n + cost_popcount(n) +
+                           cost_add(cmp_width);
+    OpCost encode{};
+    encode.cycles = per_row.cycles * dim_passes;
+    encode.switches = per_row.switches * spec.dimension;
+    logical += encode;
+  }
+
+  // Similarity search: per class one 1-bit XOR per dimension row, then a
+  // log-depth adder tree across the D rows.
+  const OpCost xors = cost_xor(1);
+  const OpCost tree = tree_reduce(spec.dimension, 1);
+  OpCost similarity{};
+  similarity.cycles = (xors.cycles * dim_passes + tree.cycles) * spec.classes;
+  similarity.switches =
+      (xors.switches * spec.dimension + tree.switches) * spec.classes;
+  logical += similarity;
+
+  const std::size_t hdc_arrays = std::max<std::size_t>(
+      1, ceil_div(footprint_bits, cells_per_array));
+  const std::size_t batch_arrays =
+      std::max<std::size_t>(1, config_.arrays / hdc_arrays);
+  return finalize(logical, batch_arrays, hdc_arrays * cells_per_array);
+}
+
+}  // namespace robusthd::pim

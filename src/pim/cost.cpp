@@ -1,0 +1,34 @@
+#include "robusthd/pim/cost.hpp"
+
+namespace robusthd::pim {
+
+OpCost cost_popcount(std::size_t bits) noexcept {
+  // Balanced adder tree: level l reduces pairs of l-bit counts with
+  // (l+1)-bit adders. ceil arithmetic keeps odd counts honest.
+  OpCost total{};
+  std::size_t counts = bits;
+  std::size_t width = 1;
+  while (counts > 1) {
+    const std::size_t pairs = counts / 2;
+    total += cost_add(width + 1) * pairs;
+    counts = pairs + (counts & 1);
+    ++width;
+  }
+  return total;
+}
+
+OpCost cost_hamming(std::size_t dimension) noexcept {
+  return cost_xor(dimension) + cost_popcount(dimension);
+}
+
+PhysicalCost physical(const OpCost& op, const DeviceParams& device,
+                      std::uint64_t row_parallelism) noexcept {
+  PhysicalCost p;
+  p.time_ns = static_cast<double>(op.cycles) * device.switch_delay_ns;
+  p.total_switches = op.switches * row_parallelism;
+  p.energy_pj = static_cast<double>(p.total_switches) *
+                device.switch_energy_fj * 1.0e-3;
+  return p;
+}
+
+}  // namespace robusthd::pim

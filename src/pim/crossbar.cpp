@@ -1,0 +1,129 @@
+#include "robusthd/pim/crossbar.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace robusthd::pim {
+
+Crossbar::Crossbar(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), bits_(rows * cols, 0),
+      writes_(rows * cols, 0) {}
+
+bool Crossbar::read(std::size_t row, std::size_t col) const noexcept {
+  return bits_[row * cols_ + col] != 0;
+}
+
+void Crossbar::write(std::size_t row, std::size_t col, bool value) noexcept {
+  const std::size_t i = row * cols_ + col;
+  bits_[i] = value ? 1 : 0;
+  ++writes_[i];
+  ++total_writes_;
+}
+
+void Crossbar::nor(std::span<const std::size_t> in_cols, std::size_t out_col,
+                   std::span<const std::size_t> active_rows) {
+  assert(!in_cols.empty());
+  ++nor_steps_;
+  for (const auto row : active_rows) {
+    // Output is initialised to R_ON (logic 1) and RESET to 0 if any input
+    // conducts; either way the cell experiences one switching event.
+    bool any_one = false;
+    for (const auto c : in_cols) any_one |= read(row, c);
+    const std::size_t i = row * cols_ + out_col;
+    bits_[i] = any_one ? 0 : 1;
+    ++writes_[i];
+    ++total_writes_;
+  }
+}
+
+void Crossbar::op_not(std::size_t a_col, std::size_t out_col,
+                      std::span<const std::size_t> rows) {
+  const std::size_t in[] = {a_col};
+  nor(in, out_col, rows);
+}
+
+void Crossbar::op_and(std::size_t a_col, std::size_t b_col,
+                      std::size_t out_col, std::size_t scratch0,
+                      std::size_t scratch1,
+                      std::span<const std::size_t> rows) {
+  op_not(a_col, scratch0, rows);
+  op_not(b_col, scratch1, rows);
+  const std::size_t in[] = {scratch0, scratch1};
+  nor(in, out_col, rows);
+}
+
+void Crossbar::op_xor(std::size_t a_col, std::size_t b_col,
+                      std::size_t out_col, std::size_t scratch0,
+                      std::size_t scratch1, std::size_t scratch2,
+                      std::span<const std::size_t> rows) {
+  // 4-NOR XNOR followed by a NOT (5 NOR steps total).
+  const std::size_t ab[] = {a_col, b_col};
+  nor(ab, scratch0, rows);
+  const std::size_t as0[] = {a_col, scratch0};
+  nor(as0, scratch1, rows);
+  const std::size_t bs0[] = {b_col, scratch0};
+  nor(bs0, scratch2, rows);
+  const std::size_t s12[] = {scratch1, scratch2};
+  nor(s12, scratch0, rows);  // scratch0 now holds XNOR(a, b)
+  op_not(scratch0, out_col, rows);
+}
+
+void Crossbar::full_adder(std::size_t a_col, std::size_t b_col,
+                          std::size_t cin_col, std::size_t sum_col,
+                          std::size_t cout_col,
+                          std::span<const std::size_t> scratch,
+                          std::span<const std::size_t> rows) {
+  assert(scratch.size() >= 7);
+  // 9-NOR full adder (Kvatinsky-style shared intermediates):
+  //   n1 = NOR(a,b); n4 = XNOR(a,b) via n2,n3;
+  //   n5 = NOR(n4,cin); sum = XNOR(n4,cin) via n6,n7;
+  //   cout = NOR(n1,n5) = majority(a,b,cin).
+  const std::size_t n1 = scratch[0], n2 = scratch[1], n3 = scratch[2],
+                    n4 = scratch[3], n5 = scratch[4], n6 = scratch[5],
+                    n7 = scratch[6];
+  const std::size_t ab[] = {a_col, b_col};
+  nor(ab, n1, rows);
+  const std::size_t an1[] = {a_col, n1};
+  nor(an1, n2, rows);
+  const std::size_t bn1[] = {b_col, n1};
+  nor(bn1, n3, rows);
+  const std::size_t n23[] = {n2, n3};
+  nor(n23, n4, rows);
+  const std::size_t n4c[] = {n4, cin_col};
+  nor(n4c, n5, rows);
+  const std::size_t n45[] = {n4, n5};
+  nor(n45, n6, rows);
+  const std::size_t cn5[] = {cin_col, n5};
+  nor(cn5, n7, rows);
+  const std::size_t n67[] = {n6, n7};
+  nor(n67, sum_col, rows);
+  const std::size_t n15[] = {n1, n5};
+  nor(n15, cout_col, rows);
+}
+
+void Crossbar::ripple_add(std::size_t a_base, std::size_t b_base,
+                          std::size_t out_base, std::size_t carry_col,
+                          std::span<const std::size_t> scratch,
+                          std::size_t bits, std::span<const std::size_t> rows) {
+  assert(scratch.size() >= 8);
+  std::size_t cin = carry_col;
+  std::size_t cout = scratch[7];
+  for (const auto row : rows) write(row, cin, false);
+  for (std::size_t i = 0; i < bits; ++i) {
+    full_adder(a_base + i, b_base + i, cin, out_base + i, cout,
+               scratch.first(7), rows);
+    std::swap(cin, cout);
+  }
+}
+
+std::uint64_t Crossbar::max_cell_writes() const noexcept {
+  return writes_.empty() ? 0 : *std::max_element(writes_.begin(), writes_.end());
+}
+
+void Crossbar::reset_counters() noexcept {
+  std::fill(writes_.begin(), writes_.end(), 0);
+  nor_steps_ = 0;
+  total_writes_ = 0;
+}
+
+}  // namespace robusthd::pim

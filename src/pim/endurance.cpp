@@ -1,0 +1,72 @@
+#include "robusthd/pim/endurance.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::pim {
+
+namespace {
+
+/// Standard normal CDF.
+double phi(double z) noexcept { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Inverse standard normal CDF (Acklam-style rational approximation is
+/// overkill here; bisection over phi is exact enough and obviously right).
+double phi_inv(double p) noexcept {
+  double lo = -10.0, hi = 10.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (phi(mid) < p ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+LifetimeModel::LifetimeModel(const InferenceCost& cost,
+                             const LifetimeConfig& config)
+    : endurance_mu_(std::log(config.device.endurance_writes)),
+      endurance_sigma_(config.device.endurance_sigma) {
+  if (cost.wear_cells > 0) {
+    const double switches_per_day = static_cast<double>(cost.device_switches) *
+                                    config.inference_rate_per_s * 86400.0;
+    writes_per_cell_per_day_ =
+        switches_per_day / static_cast<double>(cost.wear_cells);
+  }
+}
+
+double LifetimeModel::writes_per_cell(double days) const noexcept {
+  return writes_per_cell_per_day_ * days;
+}
+
+double LifetimeModel::failed_fraction(double days) const noexcept {
+  const double w = writes_per_cell(days);
+  if (w <= 0.0) return 0.0;
+  return phi((std::log(w) - endurance_mu_) / endurance_sigma_);
+}
+
+double LifetimeModel::days_until_failed_fraction(double fraction) const noexcept {
+  if (writes_per_cell_per_day_ <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double z = phi_inv(fraction);
+  const double w = std::exp(endurance_mu_ + endurance_sigma_ * z);
+  return w / writes_per_cell_per_day_;
+}
+
+double simulate_failed_fraction(double writes_per_cell,
+                                const DeviceParams& device, std::size_t cells,
+                                std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const double mu = std::log(device.endurance_writes);
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    const double endurance = std::exp(rng.normal(mu, device.endurance_sigma));
+    failed += (writes_per_cell > endurance);
+  }
+  return cells ? static_cast<double>(failed) / static_cast<double>(cells) : 0.0;
+}
+
+}  // namespace robusthd::pim

@@ -1,0 +1,50 @@
+#include "robusthd/pim/gpu_ref.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robusthd::pim {
+
+namespace {
+
+GpuCost combine(double compute_s, double bytes_touched, const GpuParams& gpu) {
+  GpuCost out;
+  const double mem_s = bytes_touched / (gpu.dram_bandwidth_gb_s * 1.0e9);
+  const double t = std::max(compute_s, mem_s);  // roofline
+  out.latency_us = t * 1.0e6;
+  out.energy_uj = t * gpu.board_power_w * 1.0e6 +
+                  bytes_touched * gpu.dram_energy_pj_per_byte * 1.0e-6;
+  out.throughput_per_s = t > 0.0 ? 1.0 / t : 0.0;
+  return out;
+}
+
+}  // namespace
+
+GpuCost gpu_cost_dnn(const DnnWorkloadSpec& spec, const GpuParams& gpu) {
+  const double macs = static_cast<double>(spec.mac_count());
+  const double compute_s = macs / gpu.mac_per_s;
+  // Every weight byte crosses DRAM once per inference at batch size 1
+  // (throughput mode amortises activations, not weights).
+  const double bytes =
+      static_cast<double>(spec.parameter_count()) * spec.weight_bits / 8.0;
+  return combine(compute_s, bytes, gpu);
+}
+
+GpuCost gpu_cost_hdc(const HdcWorkloadSpec& spec, const GpuParams& gpu) {
+  const double words = static_cast<double>(spec.dimension) / 64.0;
+  double wordops = 0.0;
+  double bytes = 0.0;
+  if (spec.include_encoding) {
+    // Per feature: one XOR pass + bundling adds over the packed words, and
+    // the level/base hypervectors stream from memory.
+    wordops += static_cast<double>(spec.features) * words * 10.0;
+    bytes += static_cast<double>(spec.features) * words * 8.0 * 2.0;
+  }
+  // Similarity: XOR + popcount + reduce per class.
+  wordops += static_cast<double>(spec.classes) * words * 3.0;
+  bytes += static_cast<double>(spec.classes) * words * 8.0;
+  const double compute_s = wordops / gpu.wordop_per_s;
+  return combine(compute_s, bytes, gpu);
+}
+
+}  // namespace robusthd::pim

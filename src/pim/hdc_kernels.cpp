@@ -1,0 +1,67 @@
+#include "robusthd/pim/hdc_kernels.hpp"
+
+#include <cassert>
+
+#include "robusthd/pim/cost.hpp"
+
+namespace robusthd::pim {
+
+CrossbarHdcUnit::CrossbarHdcUnit(std::size_t dimension, std::size_t classes)
+    : dim_(dimension),
+      classes_(classes),
+      query_col_(classes),
+      diff_col_(classes + 1),
+      scratch0_(classes + 2),
+      scratch1_(classes + 3),
+      scratch2_(classes + 4),
+      xbar_(dimension, classes + 5) {
+  all_rows_.resize(dimension);
+  for (std::size_t r = 0; r < dimension; ++r) all_rows_[r] = r;
+}
+
+void CrossbarHdcUnit::load_class(std::size_t cls, const hv::BinVec& vector) {
+  assert(cls < classes_);
+  assert(vector.dimension() == dim_);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    xbar_.write(d, cls, vector.get(d));
+  }
+}
+
+hv::BinVec CrossbarHdcUnit::read_class(std::size_t cls) const {
+  hv::BinVec out(dim_);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    out.set(d, xbar_.read(d, cls));
+  }
+  return out;
+}
+
+std::vector<std::size_t> CrossbarHdcUnit::hamming_search(
+    const hv::BinVec& query) {
+  assert(query.dimension() == dim_);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    xbar_.write(d, query_col_, query.get(d));
+  }
+
+  std::vector<std::size_t> distances(classes_, 0);
+  for (std::size_t cls = 0; cls < classes_; ++cls) {
+    // Row-parallel XOR of the query column with the class column: one
+    // 5-NOR macro executed across all D rows at once.
+    xbar_.op_xor(cls, query_col_, diff_col_, scratch0_, scratch1_, scratch2_,
+                 all_rows_);
+    // The cross-row popcount runs in the adder tree modelled by
+    // cost_popcount(); functionally we read the diff column out.
+    std::size_t distance = 0;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      distance += xbar_.read(d, diff_col_);
+    }
+    distances[cls] = distance;
+  }
+  return distances;
+}
+
+std::uint64_t CrossbarHdcUnit::expected_nor_steps(
+    std::size_t classes) noexcept {
+  return classes * cost_xor(1).cycles;
+}
+
+}  // namespace robusthd::pim

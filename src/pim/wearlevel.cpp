@@ -1,0 +1,66 @@
+#include "robusthd/pim/wearlevel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace robusthd::pim {
+
+StartGapLeveler::StartGapLeveler(std::size_t lines,
+                                 std::size_t gap_move_interval)
+    : lines_(lines),
+      interval_(std::max<std::size_t>(gap_move_interval, 1)),
+      gap_(lines),  // the spare starts at the end
+      wear_(lines + 1, 0) {
+  assert(lines >= 1);
+}
+
+std::size_t StartGapLeveler::physical_of(std::size_t logical) const noexcept {
+  assert(logical < lines_);
+  std::size_t pa = (logical + start_) % lines_;
+  if (pa >= gap_) ++pa;  // skip over the spare line
+  return pa;
+}
+
+std::size_t StartGapLeveler::write(std::size_t logical) {
+  const std::size_t pa = physical_of(logical);
+  ++wear_[pa];
+  if (++writes_since_move_ >= interval_) {
+    writes_since_move_ = 0;
+    move_gap();
+  }
+  return pa;
+}
+
+void StartGapLeveler::move_gap() {
+  ++gap_moves_;
+  if (gap_ == 0) {
+    // The gap wraps to the top and the whole mapping rotates one step.
+    gap_ = lines_;
+    start_ = (start_ + 1) % lines_;
+    // Data moves from the (new) gap's neighbour into position 0; in
+    // Qureshi's scheme the wrap itself costs no copy because line 0's
+    // content already migrated during the preceding N moves.
+    return;
+  }
+  // Copy the neighbour's content into the empty gap line: one write.
+  ++wear_[gap_];
+  --gap_;
+}
+
+std::uint64_t StartGapLeveler::max_wear() const noexcept {
+  return *std::max_element(wear_.begin(), wear_.end());
+}
+
+double StartGapLeveler::mean_wear() const noexcept {
+  const auto total =
+      std::accumulate(wear_.begin(), wear_.end(), std::uint64_t{0});
+  return static_cast<double>(total) / static_cast<double>(wear_.size());
+}
+
+double StartGapLeveler::imbalance() const noexcept {
+  const double mean = mean_wear();
+  return mean > 0.0 ? static_cast<double>(max_wear()) / mean : 1.0;
+}
+
+}  // namespace robusthd::pim

@@ -1,0 +1,68 @@
+#include "robusthd/util/matrix.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace robusthd::util {
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  assert(out.rows() == a.rows() && out.cols() == b.cols());
+  out.fill(0.0f);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* orow = out.row(i).data();
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a(i, p);
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p).data();
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  assert(out.rows() == a.rows() && out.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i).data();
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j).data();
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      out(i, j) = acc;
+    }
+  }
+}
+
+void gemm_at(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows());
+  assert(out.rows() == a.cols() && out.cols() == b.cols());
+  out.fill(0.0f);
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.row(p).data();
+    const float* brow = b.row(p).data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.row(i).data();
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemv(const Matrix& w, std::span<const float> x,
+          std::span<const float> bias, std::span<float> y) {
+  assert(w.cols() == x.size());
+  assert(y.size() == w.rows());
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    const float* row = w.row(i).data();
+    float acc = bias.empty() ? 0.0f : bias[i];
+    for (std::size_t j = 0; j < w.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+}  // namespace robusthd::util

@@ -1,0 +1,19 @@
+#include "robusthd/util/table.hpp"
+
+#include <sstream>
+
+namespace robusthd::util {
+
+std::string pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+std::string fixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+}  // namespace robusthd::util

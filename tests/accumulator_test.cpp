@@ -1,0 +1,169 @@
+// Tests for the bundling accumulators (bit-sliced and signed).
+#include "robusthd/hv/accumulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::hv {
+namespace {
+
+TEST(BitSliceCounter, CountsMatchScalarReference) {
+  const std::size_t dim = 300;
+  util::Xoshiro256 rng(1);
+  BitSliceCounter counter(dim);
+  std::vector<std::uint32_t> reference(dim, 0);
+  for (int i = 0; i < 37; ++i) {
+    const auto v = BinVec::random(dim, rng);
+    counter.add(v);
+    for (std::size_t d = 0; d < dim; ++d) reference[d] += v.get(d);
+  }
+  EXPECT_EQ(counter.added(), 37u);
+  for (std::size_t d = 0; d < dim; ++d) {
+    ASSERT_EQ(counter.count(d), reference[d]) << "dim " << d;
+  }
+}
+
+TEST(BitSliceCounter, MajorityThreshold) {
+  const std::size_t dim = 64;
+  BitSliceCounter counter(dim);
+  BinVec ones(dim);
+  for (std::size_t d = 0; d < dim; ++d) ones.set(d, true);
+  BinVec zeros(dim);
+  counter.add(ones);
+  counter.add(ones);
+  counter.add(zeros);
+  const auto out = counter.threshold_majority();
+  EXPECT_EQ(out.count_ones(), dim);  // 2 of 3 -> majority 1
+}
+
+TEST(BitSliceCounter, TieBreakUsed) {
+  const std::size_t dim = 10;
+  BitSliceCounter counter(dim);
+  BinVec ones(dim);
+  for (std::size_t d = 0; d < dim; ++d) ones.set(d, true);
+  counter.add(ones);
+  counter.add(BinVec(dim));  // exact tie everywhere
+  BinVec tie(dim);
+  tie.set(3, true);
+  const auto out = counter.threshold_majority(&tie);
+  EXPECT_EQ(out.count_ones(), 1u);
+  EXPECT_TRUE(out.get(3));
+}
+
+TEST(BitSliceCounter, ArbitraryThreshold) {
+  const std::size_t dim = 8;
+  BitSliceCounter counter(dim);
+  BinVec v(dim);
+  v.set(0, true);
+  counter.add(v);
+  counter.add(v);
+  v.set(1, true);
+  counter.add(v);
+  // counts: bit0=3, bit1=1, rest 0.
+  EXPECT_EQ(counter.threshold(0).count_ones(), 2u);
+  EXPECT_EQ(counter.threshold(1).count_ones(), 1u);
+  EXPECT_EQ(counter.threshold(2).count_ones(), 1u);
+  EXPECT_EQ(counter.threshold(3).count_ones(), 0u);
+}
+
+TEST(BitSliceCounter, ResetClears) {
+  BitSliceCounter counter(16);
+  util::Xoshiro256 rng(2);
+  counter.add(BinVec::random(16, rng));
+  counter.reset();
+  EXPECT_EQ(counter.added(), 0u);
+  EXPECT_EQ(counter.count(3), 0u);
+}
+
+TEST(BitSliceCounter, PlaneGrowthIsLogarithmic) {
+  BitSliceCounter counter(64);
+  BinVec ones(64);
+  for (std::size_t d = 0; d < 64; ++d) ones.set(d, true);
+  for (int i = 0; i < 1000; ++i) counter.add(ones);
+  EXPECT_EQ(counter.count(0), 1000u);
+  EXPECT_LE(counter.plane_count(), 11u);  // ceil(log2(1001))
+}
+
+TEST(SignedAccumulator, BipolarCounting) {
+  SignedAccumulator acc(4);
+  BinVec v(4);
+  v.set(0, true);
+  v.set(1, true);
+  acc.add(v);          // +1 +1 -1 -1
+  acc.add(v, 2);       // +2 +2 -2 -2
+  v.set(0, false);
+  acc.add(v, -1);      // +1 -1 +1 +1
+  EXPECT_EQ(acc.count(0), 4);
+  EXPECT_EQ(acc.count(1), 2);
+  EXPECT_EQ(acc.count(2), -2);
+  EXPECT_EQ(acc.count(3), -2);
+}
+
+TEST(SignedAccumulator, SignThreshold) {
+  SignedAccumulator acc(3);
+  acc.count(0) = 5;
+  acc.count(1) = -5;
+  acc.count(2) = 0;
+  BinVec tie(3);
+  tie.set(2, true);
+  const auto out = acc.sign(&tie);
+  EXPECT_TRUE(out.get(0));
+  EXPECT_FALSE(out.get(1));
+  EXPECT_TRUE(out.get(2));
+  const auto out_no_tie = acc.sign();
+  EXPECT_FALSE(out_no_tie.get(2));
+}
+
+TEST(SignedAccumulator, OneBitQuantizationIsSign) {
+  SignedAccumulator acc(5);
+  acc.count(0) = 10;
+  acc.count(1) = -10;
+  acc.count(2) = 1;
+  acc.count(3) = -1;
+  acc.count(4) = 0;
+  const auto planes = acc.quantize_planes(1);
+  ASSERT_EQ(planes.size(), 1u);
+  EXPECT_EQ(planes[0], acc.sign());
+}
+
+TEST(SignedAccumulator, TwoBitQuantizationOrdersByMagnitude) {
+  SignedAccumulator acc(4);
+  acc.count(0) = 100;   // strong 1 -> level 3
+  acc.count(1) = 10;    // weak 1
+  acc.count(2) = -10;   // weak 0
+  acc.count(3) = -100;  // strong 0 -> level 0
+  const auto planes = acc.quantize_planes(2);
+  ASSERT_EQ(planes.size(), 2u);
+  auto level = [&](std::size_t d) {
+    return (planes[1].get(d) ? 2 : 0) + (planes[0].get(d) ? 1 : 0);
+  };
+  EXPECT_EQ(level(0), 3);
+  EXPECT_EQ(level(3), 0);
+  EXPECT_GE(level(1), 2);  // positive counts land in upper half
+  EXPECT_LE(level(2), 1);  // negative counts land in lower half
+  EXPECT_GT(level(0) - level(3), level(1) - level(2));
+}
+
+class BitSliceSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitSliceSizes, AgreesWithSignedAccumulatorMajority) {
+  // Property: majority via bit-sliced counting == sign of bipolar counts
+  // for odd bundle sizes (no ties possible).
+  const std::size_t dim = GetParam();
+  util::Xoshiro256 rng(dim);
+  BitSliceCounter bits(dim);
+  SignedAccumulator sign(dim);
+  for (int i = 0; i < 11; ++i) {
+    const auto v = BinVec::random(dim, rng);
+    bits.add(v);
+    sign.add(v);
+  }
+  EXPECT_EQ(bits.threshold_majority(), sign.sign());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BitSliceSizes,
+                         ::testing::Values(1, 63, 64, 65, 500, 1000));
+
+}  // namespace
+}  // namespace robusthd::hv

@@ -1,0 +1,189 @@
+// Tests for the fixed-point baselines: quantisation, MLP, SVM, AdaBoost.
+#include <gtest/gtest.h>
+
+#include "robusthd/baseline/adaboost.hpp"
+#include "robusthd/baseline/fixedpoint.hpp"
+#include "robusthd/baseline/mlp.hpp"
+#include "robusthd/baseline/svm.hpp"
+#include "robusthd/data/synthetic.hpp"
+#include "robusthd/fault/injector.hpp"
+#include "robusthd/util/stats.hpp"
+
+namespace robusthd::baseline {
+namespace {
+
+data::Split small_split() {
+  auto spec = data::scaled(data::dataset_by_name("PAMAP"), 600, 200);
+  return data::make_synthetic(spec, 0x7e57);
+}
+
+TEST(QuantizedTensor, RoundTripWithinScale) {
+  const float values[] = {0.5f, -0.25f, 1.0f, -1.0f, 0.0f};
+  QuantizedTensor q(values, Precision::kInt8);
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_FALSE(q.is_unsigned());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(q.get(i), values[i], q.scale());
+  }
+}
+
+TEST(QuantizedTensor, AutoUnsignedForNonNegative) {
+  const float values[] = {0.1f, 0.9f, 0.5f};
+  QuantizedTensor q(values, Precision::kInt8, Signedness::kAuto);
+  EXPECT_TRUE(q.is_unsigned());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(q.get(i), values[i], q.scale());
+  }
+  // Default stays signed even for non-negative data.
+  QuantizedTensor s(values, Precision::kInt8);
+  EXPECT_FALSE(s.is_unsigned());
+}
+
+TEST(QuantizedTensor, Int16IsMorePrecise) {
+  const float values[] = {0.123456f, -0.654321f};
+  QuantizedTensor q8(values, Precision::kInt8);
+  QuantizedTensor q16(values, Precision::kInt16);
+  EXPECT_LT(std::abs(q16.get(0) - values[0]),
+            std::abs(q8.get(0) - values[0]) + 1e-7f);
+  EXPECT_LT(q16.scale(), q8.scale());
+}
+
+TEST(QuantizedTensor, Float32IsExact) {
+  const float values[] = {0.123456f, -3.14159f};
+  QuantizedTensor q(values, Precision::kFloat32);
+  EXPECT_FLOAT_EQ(q.get(0), values[0]);
+  EXPECT_FLOAT_EQ(q.get(1), values[1]);
+}
+
+TEST(QuantizedTensor, RegionExposesStoredBytes) {
+  const float values[] = {1.0f, -1.0f};
+  QuantizedTensor q(values, Precision::kInt8);
+  auto region = q.region("w");
+  EXPECT_EQ(region.bytes.size(), 2u);
+  EXPECT_EQ(region.value_bits, 8u);
+  // Flipping the sign bit of value 0 negates it.
+  region.bytes[0] ^= std::byte{0x80};
+  EXPECT_LT(q.get(0), 0.0f);
+}
+
+TEST(Saturate, HandlesNanAndInfinity) {
+  EXPECT_FLOAT_EQ(saturate(std::nanf(""), 10.0f), 0.0f);
+  EXPECT_FLOAT_EQ(saturate(1e30f, 10.0f), 10.0f);
+  EXPECT_FLOAT_EQ(saturate(-1e30f, 10.0f), -10.0f);
+  EXPECT_FLOAT_EQ(saturate(3.0f, 10.0f), 3.0f);
+}
+
+TEST(Mlp, LearnsSyntheticTask) {
+  const auto split = small_split();
+  const auto mlp = Mlp::train(split.train, {});
+  EXPECT_GT(mlp.evaluate(split.test), 0.80);
+  EXPECT_GT(mlp.parameter_count(), 1000u);
+}
+
+TEST(Mlp, LogitsShapeAndPrediction) {
+  const auto split = small_split();
+  const auto mlp = Mlp::train(split.train, {});
+  const auto logits = mlp.logits(split.test.sample(0));
+  ASSERT_EQ(logits.size(), split.test.num_classes);
+  const auto best = static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+  EXPECT_EQ(best, mlp.predict(split.test.sample(0)));
+}
+
+TEST(Mlp, CloneIsIndependent) {
+  const auto split = small_split();
+  const auto mlp = Mlp::train(split.train, {});
+  auto clone = mlp.clone();
+  util::Xoshiro256 rng(1);
+  auto regions = clone->memory_regions();
+  fault::BitFlipInjector::inject(regions, 0.2, fault::AttackMode::kTargeted,
+                                 rng);
+  // Original untouched.
+  EXPECT_EQ(mlp.evaluate(split.test), Mlp::train(split.train, {}).evaluate(split.test));
+}
+
+TEST(Mlp, TargetedAttackIsDevastating) {
+  const auto split = small_split();
+  const auto mlp = Mlp::train(split.train, {});
+  const double clean = mlp.evaluate(split.test);
+  auto victim = mlp.clone();
+  util::Xoshiro256 rng(2);
+  auto regions = victim->memory_regions();
+  fault::BitFlipInjector::inject(regions, 0.10, fault::AttackMode::kTargeted,
+                                 rng);
+  EXPECT_LT(victim->evaluate(split.test), clean - 0.2);
+}
+
+TEST(LinearSvm, LearnsSyntheticTask) {
+  const auto split = small_split();
+  const auto svm = LinearSvm::train(split.train, {});
+  EXPECT_GT(svm.evaluate(split.test), 0.80);
+}
+
+TEST(LinearSvm, ScoresMatchPrediction) {
+  const auto split = small_split();
+  const auto svm = LinearSvm::train(split.train, {});
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto scores = svm.scores(split.test.sample(i));
+    const auto best = static_cast<int>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+    EXPECT_EQ(best, svm.predict(split.test.sample(i)));
+  }
+}
+
+TEST(AdaBoost, LearnsSyntheticTask) {
+  const auto split = small_split();
+  const auto ada = AdaBoost::train(split.train, {});
+  EXPECT_GT(ada.evaluate(split.test), 0.75);
+  EXPECT_GT(ada.round_count(), 50u);
+}
+
+TEST(AdaBoost, SmallConfigStillWorks) {
+  const auto split = small_split();
+  AdaBoostConfig config;
+  config.rounds = 20;
+  config.buckets = 8;
+  const auto ada = AdaBoost::train(split.train, config);
+  EXPECT_LE(ada.round_count(), 20u);
+  EXPECT_GT(ada.evaluate(split.test), 0.5);
+}
+
+TEST(AdaBoost, MoreRobustThanMlpUnderRandomAttack) {
+  // The cross-model ordering of Table 3, as a regression test.
+  const auto split = small_split();
+  const auto mlp = Mlp::train(split.train, {});
+  const auto ada = AdaBoost::train(split.train, {});
+  const double mlp_clean = mlp.evaluate(split.test);
+  const double ada_clean = ada.evaluate(split.test);
+  util::RunningStats mlp_loss, ada_loss;
+  for (int r = 0; r < 4; ++r) {
+    auto mv = mlp.clone();
+    auto av = ada.clone();
+    util::Xoshiro256 rng(100 + r);
+    auto mr = mv->memory_regions();
+    fault::BitFlipInjector::inject(mr, 0.10, fault::AttackMode::kRandom, rng);
+    auto ar = av->memory_regions();
+    fault::BitFlipInjector::inject(ar, 0.10, fault::AttackMode::kRandom, rng);
+    mlp_loss.add(mlp_clean - mv->evaluate(split.test));
+    ada_loss.add(ada_clean - av->evaluate(split.test));
+  }
+  EXPECT_GT(mlp_loss.mean(), ada_loss.mean());
+}
+
+class MlpPrecisions : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(MlpPrecisions, TrainsAtEveryPrecision) {
+  const auto split = small_split();
+  MlpConfig config;
+  config.precision = GetParam();
+  const auto mlp = Mlp::train(split.train, config);
+  EXPECT_GT(mlp.evaluate(split.test), 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, MlpPrecisions,
+                         ::testing::Values(Precision::kInt8,
+                                           Precision::kInt16,
+                                           Precision::kFloat32));
+
+}  // namespace
+}  // namespace robusthd::baseline

@@ -1,0 +1,180 @@
+// Unit and property tests for the packed binary hypervector.
+#include "robusthd/hv/binvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::hv {
+namespace {
+
+TEST(BinVec, DefaultIsEmpty) {
+  BinVec v;
+  EXPECT_EQ(v.dimension(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(BinVec, ZeroInitialized) {
+  BinVec v(130);
+  EXPECT_EQ(v.dimension(), 130u);
+  EXPECT_EQ(v.word_count(), 3u);
+  EXPECT_EQ(v.count_ones(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BinVec, SetGetFlipRoundTrip) {
+  BinVec v(200);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(199, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(199));
+  EXPECT_EQ(v.count_ones(), 4u);
+  v.flip(63);
+  EXPECT_FALSE(v.get(63));
+  v.flip(62);
+  EXPECT_TRUE(v.get(62));
+  EXPECT_EQ(v.count_ones(), 4u);
+}
+
+TEST(BinVec, RandomIsBalanced) {
+  util::Xoshiro256 rng(7);
+  const auto v = BinVec::random(10000, rng);
+  const auto ones = v.count_ones();
+  // Binomial(10000, 1/2): mean 5000, sd 50; 6 sigma bounds.
+  EXPECT_GT(ones, 4700u);
+  EXPECT_LT(ones, 5300u);
+}
+
+TEST(BinVec, RandomMasksTail) {
+  util::Xoshiro256 rng(11);
+  const auto v = BinVec::random(70, rng);  // 6 tail bits in word 1
+  EXPECT_EQ(v.words()[1] >> 6, 0u);
+}
+
+TEST(BinVec, HammingBasics) {
+  BinVec a(128), b(128);
+  EXPECT_EQ(hamming(a, b), 0u);
+  a.set(5, true);
+  b.set(100, true);
+  EXPECT_EQ(hamming(a, b), 2u);
+  b.set(5, true);
+  EXPECT_EQ(hamming(a, b), 1u);
+}
+
+TEST(BinVec, SimilarityIdentityAndComplement) {
+  util::Xoshiro256 rng(3);
+  auto a = BinVec::random(2048, rng);
+  EXPECT_DOUBLE_EQ(similarity(a, a), 1.0);
+  auto b = a;
+  b.invert();
+  EXPECT_DOUBLE_EQ(similarity(a, b), 0.0);
+}
+
+TEST(BinVec, RandomPairNearHalfDistance) {
+  util::Xoshiro256 rng(42);
+  const std::size_t d = 10000;
+  const auto a = BinVec::random(d, rng);
+  const auto b = BinVec::random(d, rng);
+  const double sim = similarity(a, b);
+  EXPECT_NEAR(sim, 0.5, 0.03);  // concentration of measure
+}
+
+TEST(BinVec, BindIsInvolutive) {
+  util::Xoshiro256 rng(5);
+  const auto a = BinVec::random(512, rng);
+  const auto key = BinVec::random(512, rng);
+  auto bound = bind(a, key);
+  EXPECT_NE(bound, a);
+  bound.bind(key);  // unbind
+  EXPECT_EQ(bound, a);
+}
+
+TEST(BinVec, BindPreservesDistance) {
+  util::Xoshiro256 rng(6);
+  const auto a = BinVec::random(4096, rng);
+  const auto b = BinVec::random(4096, rng);
+  const auto key = BinVec::random(4096, rng);
+  EXPECT_EQ(hamming(a, b), hamming(bind(a, key), bind(b, key)));
+}
+
+TEST(BinVec, InvertFlipsEverything) {
+  BinVec v(100);
+  v.set(10, true);
+  v.invert();
+  EXPECT_EQ(v.count_ones(), 99u);
+  EXPECT_FALSE(v.get(10));
+  // Tail stays clean.
+  EXPECT_EQ(v.words()[1] >> 36, 0u);
+}
+
+TEST(BinVec, RotationPreservesPopcountAndRoundTrips) {
+  util::Xoshiro256 rng(9);
+  const auto v = BinVec::random(300, rng);
+  const auto r = v.rotated(37);
+  EXPECT_EQ(r.count_ones(), v.count_ones());
+  EXPECT_EQ(r.rotated(300 - 37), v);
+  EXPECT_EQ(v.rotated(0), v);
+  EXPECT_EQ(v.rotated(300), v);
+}
+
+TEST(BinVec, HammingRangeMatchesBitLoop) {
+  util::Xoshiro256 rng(13);
+  const std::size_t d = 517;  // awkward non-word-aligned size
+  const auto a = BinVec::random(d, rng);
+  const auto b = BinVec::random(d, rng);
+  const std::size_t cases[][2] = {
+      {0, d}, {0, 1}, {63, 65}, {64, 128}, {100, 101}, {3, 517}, {200, 200}};
+  for (const auto& [lo, hi] : cases) {
+    std::size_t expected = 0;
+    for (std::size_t i = lo; i < hi; ++i) expected += a.get(i) != b.get(i);
+    EXPECT_EQ(hamming_range(a, b, lo, hi), expected)
+        << "range [" << lo << ", " << hi << ")";
+  }
+}
+
+TEST(BinVec, ChunksSumToTotalHamming) {
+  util::Xoshiro256 rng(17);
+  const std::size_t d = 10000;
+  const auto a = BinVec::random(d, rng);
+  const auto b = BinVec::random(d, rng);
+  const std::size_t m = 37;  // chunk count that does not divide d
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < m; ++c) {
+    total += hamming_range(a, b, c * d / m, (c + 1) * d / m);
+  }
+  EXPECT_EQ(total, hamming(a, b));
+}
+
+class BinVecDimensions : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BinVecDimensions, TailInvariantHolds) {
+  const std::size_t d = GetParam();
+  util::Xoshiro256 rng(d);
+  auto v = BinVec::random(d, rng);
+  v.invert();
+  const std::size_t tail = d & 63;
+  if (tail != 0) {
+    EXPECT_EQ(v.words().back() >> tail, 0u) << "dimension " << d;
+  }
+  EXPECT_EQ(v.count_ones() + BinVec::random(d, rng).bind(v).dimension() -
+                v.dimension(),
+            v.count_ones());
+}
+
+TEST_P(BinVecDimensions, SelfSimilarityIsOne) {
+  const std::size_t d = GetParam();
+  util::Xoshiro256 rng(d * 31 + 1);
+  const auto v = BinVec::random(d, rng);
+  EXPECT_DOUBLE_EQ(similarity(v, v), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousDimensions, BinVecDimensions,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 1000,
+                                           4096, 10000));
+
+}  // namespace
+}  // namespace robusthd::hv

@@ -1,0 +1,67 @@
+// Tests for word-level bit manipulation.
+#include "robusthd/util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace robusthd::util {
+namespace {
+
+TEST(Bitops, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(10000), 157u);
+}
+
+TEST(Bitops, WordGetSetFlip) {
+  std::vector<std::uint64_t> w(2, 0);
+  set_bit(std::span<std::uint64_t>(w), 0, true);
+  set_bit(std::span<std::uint64_t>(w), 64, true);
+  EXPECT_TRUE(get_bit(std::span<const std::uint64_t>(w), 0));
+  EXPECT_TRUE(get_bit(std::span<const std::uint64_t>(w), 64));
+  EXPECT_FALSE(get_bit(std::span<const std::uint64_t>(w), 63));
+  flip_bit(std::span<std::uint64_t>(w), 0);
+  EXPECT_FALSE(get_bit(std::span<const std::uint64_t>(w), 0));
+  set_bit(std::span<std::uint64_t>(w), 64, false);
+  EXPECT_FALSE(get_bit(std::span<const std::uint64_t>(w), 64));
+}
+
+TEST(Bitops, ByteGetFlip) {
+  std::vector<std::byte> bytes(4, std::byte{0});
+  flip_bit(std::span<std::byte>(bytes), 0);
+  flip_bit(std::span<std::byte>(bytes), 9);
+  flip_bit(std::span<std::byte>(bytes), 31);
+  EXPECT_TRUE(get_bit(std::span<const std::byte>(bytes), 0));
+  EXPECT_TRUE(get_bit(std::span<const std::byte>(bytes), 9));
+  EXPECT_TRUE(get_bit(std::span<const std::byte>(bytes), 31));
+  EXPECT_FALSE(get_bit(std::span<const std::byte>(bytes), 1));
+  EXPECT_EQ(std::to_integer<int>(bytes[0]), 1);
+  EXPECT_EQ(std::to_integer<int>(bytes[1]), 2);
+  EXPECT_EQ(std::to_integer<int>(bytes[3]), 0x80);
+  // Flipping again restores.
+  flip_bit(std::span<std::byte>(bytes), 9);
+  EXPECT_EQ(std::to_integer<int>(bytes[1]), 0);
+}
+
+TEST(Bitops, PopcountAndHamming) {
+  std::vector<std::uint64_t> a{0xFFULL, 0x1ULL};
+  std::vector<std::uint64_t> b{0x0FULL, 0x0ULL};
+  EXPECT_EQ(popcount(std::span<const std::uint64_t>(a)), 9u);
+  EXPECT_EQ(hamming(std::span<const std::uint64_t>(a),
+                    std::span<const std::uint64_t>(b)),
+            5u);
+}
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(64), ~0ULL);
+  EXPECT_EQ(low_mask(70), ~0ULL);
+}
+
+}  // namespace
+}  // namespace robusthd::util

@@ -1,0 +1,80 @@
+// Tests for the prediction-confidence block.
+#include "robusthd/model/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace robusthd::model {
+namespace {
+
+TEST(Confidence, EmptyScores) {
+  const auto c = assess({});
+  EXPECT_EQ(c.predicted, -1);
+  EXPECT_DOUBLE_EQ(c.top_probability, 0.0);
+}
+
+TEST(Confidence, SingleClassIsCertain) {
+  const double s[] = {0.9};
+  const auto c = assess(s);
+  EXPECT_EQ(c.predicted, 0);
+  EXPECT_DOUBLE_EQ(c.top_probability, 1.0);
+}
+
+TEST(Confidence, PicksArgmaxAndMargin) {
+  const double s[] = {0.80, 0.92, 0.85};
+  const auto c = assess(s);
+  EXPECT_EQ(c.predicted, 1);
+  EXPECT_NEAR(c.margin, 0.07, 1e-12);
+}
+
+TEST(Confidence, ClearWinnerBeatsAmbiguous) {
+  const double clear[] = {0.80, 0.95, 0.81, 0.79};
+  const double tied[] = {0.88, 0.89, 0.88, 0.89};
+  EXPECT_GT(assess(clear).top_probability, assess(tied).top_probability);
+}
+
+TEST(Confidence, ScaleInvariantUnderZScoring) {
+  // z-scored softmax should be insensitive to a shared offset.
+  const double a[] = {0.50, 0.60, 0.52};
+  const double b[] = {0.80, 0.90, 0.82};
+  EXPECT_NEAR(assess(a).top_probability, assess(b).top_probability, 1e-9);
+}
+
+TEST(Confidence, TemperatureControlsSharpness) {
+  const double s[] = {0.80, 0.90, 0.82, 0.81};
+  ConfidenceConfig soft;
+  soft.temperature = 2.0;
+  ConfidenceConfig sharp;
+  sharp.temperature = 0.1;
+  EXPECT_LT(assess(s, soft).top_probability,
+            assess(s, sharp).top_probability);
+}
+
+TEST(Confidence, TwoClassUsesNoiseFloorWhenDimensionGiven) {
+  // With two classes and a known dimension, a margin well above the
+  // Hamming noise floor should give high confidence...
+  const double wide[] = {0.70, 0.90};
+  const auto high = assess(wide, {}, 10000);
+  EXPECT_GT(high.top_probability, 0.95);
+  // ...and a margin at the noise floor should not.
+  const double thin[] = {0.8990, 0.9000};
+  const auto low = assess(thin, {}, 10000);
+  EXPECT_LT(low.top_probability, 0.8);
+  EXPECT_EQ(low.predicted, 1);
+}
+
+TEST(Confidence, TwoClassSmallerDimensionLessConfident) {
+  const double s[] = {0.88, 0.90};
+  const auto big = assess(s, {}, 10000);
+  const auto small = assess(s, {}, 100);
+  EXPECT_GT(big.top_probability, small.top_probability);
+}
+
+TEST(Confidence, ProbabilityBounds) {
+  const double s[] = {0.1, 0.9, 0.5, 0.3, 0.2};
+  const auto c = assess(s);
+  EXPECT_GT(c.top_probability, 1.0 / 5.0);
+  EXPECT_LE(c.top_probability, 1.0);
+}
+
+}  // namespace
+}  // namespace robusthd::model

@@ -1,0 +1,143 @@
+// Tests for the functional MAGIC-NOR crossbar: gate truth tables,
+// arithmetic correctness, and cost-model consistency.
+#include "robusthd/pim/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::pim {
+namespace {
+
+const std::size_t kRow = 0;
+const std::size_t kRows[] = {0};
+
+TEST(Crossbar, PlainReadWrite) {
+  Crossbar xbar(4, 8);
+  EXPECT_FALSE(xbar.read(2, 3));
+  xbar.write(2, 3, true);
+  EXPECT_TRUE(xbar.read(2, 3));
+  EXPECT_EQ(xbar.cell_writes(2, 3), 1u);
+  EXPECT_EQ(xbar.total_writes(), 1u);
+}
+
+TEST(Crossbar, NorTruthTable) {
+  Crossbar xbar(1, 8);
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      xbar.write(kRow, 0, a);
+      xbar.write(kRow, 1, b);
+      const std::size_t in[] = {0, 1};
+      xbar.nor(in, 2, kRows);
+      EXPECT_EQ(xbar.read(kRow, 2), !(a || b)) << a << "," << b;
+    }
+  }
+}
+
+TEST(Crossbar, NorIsRowParallel) {
+  Crossbar xbar(8, 4);
+  for (std::size_t r = 0; r < 8; ++r) xbar.write(r, 0, (r & 1) != 0);
+  std::size_t rows[8];
+  for (std::size_t r = 0; r < 8; ++r) rows[r] = r;
+  const std::size_t in[] = {0};
+  const auto steps_before = xbar.nor_steps();
+  xbar.nor(in, 1, rows);
+  EXPECT_EQ(xbar.nor_steps(), steps_before + 1);  // one step, all rows
+  for (std::size_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(xbar.read(r, 1), (r & 1) == 0);
+  }
+}
+
+TEST(Crossbar, GateTruthTables) {
+  Crossbar xbar(1, 16);
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      xbar.write(kRow, 0, a);
+      xbar.write(kRow, 1, b);
+      xbar.op_not(0, 2, kRows);
+      EXPECT_EQ(xbar.read(kRow, 2), !a);
+      xbar.op_and(0, 1, 3, 10, 11, kRows);
+      EXPECT_EQ(xbar.read(kRow, 3), a && b);
+      xbar.op_xor(0, 1, 4, 10, 11, 12, kRows);
+      EXPECT_EQ(xbar.read(kRow, 4), a != b);
+    }
+  }
+}
+
+TEST(Crossbar, GateCostsMatchAlgebra) {
+  Crossbar xbar(1, 16);
+  xbar.write(kRow, 0, true);
+  xbar.write(kRow, 1, false);
+  xbar.reset_counters();
+  xbar.op_not(0, 2, kRows);
+  EXPECT_EQ(xbar.nor_steps(), kNorsPerNot);
+  xbar.reset_counters();
+  xbar.op_and(0, 1, 3, 10, 11, kRows);
+  EXPECT_EQ(xbar.nor_steps(), kNorsPerAnd);
+  xbar.reset_counters();
+  xbar.op_xor(0, 1, 4, 10, 11, 12, kRows);
+  EXPECT_EQ(xbar.nor_steps(), kNorsPerXor);
+}
+
+TEST(Crossbar, FullAdderTruthTable) {
+  Crossbar xbar(1, 20);
+  const std::size_t scratch[] = {10, 11, 12, 13, 14, 15, 16};
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      for (const bool cin : {false, true}) {
+        xbar.write(kRow, 0, a);
+        xbar.write(kRow, 1, b);
+        xbar.write(kRow, 2, cin);
+        xbar.reset_counters();
+        xbar.full_adder(0, 1, 2, 3, 4, scratch, kRows);
+        const int sum = a + b + cin;
+        EXPECT_EQ(xbar.read(kRow, 3), (sum & 1) != 0)
+            << a << b << cin << " sum";
+        EXPECT_EQ(xbar.read(kRow, 4), sum >= 2) << a << b << cin << " carry";
+        EXPECT_EQ(xbar.nor_steps(), kNorsPerFullAdder);
+      }
+    }
+  }
+}
+
+TEST(Crossbar, RippleAddMatchesIntegerAddition) {
+  const std::size_t bits = 8;
+  Crossbar xbar(1, 64);
+  const std::size_t scratch[] = {40, 41, 42, 43, 44, 45, 46, 47};
+  util::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = static_cast<unsigned>(rng.below(256));
+    const auto b = static_cast<unsigned>(rng.below(256));
+    for (std::size_t i = 0; i < bits; ++i) {
+      xbar.write(kRow, 0 + i, (a >> i) & 1);
+      xbar.write(kRow, 8 + i, (b >> i) & 1);
+    }
+    xbar.reset_counters();
+    xbar.ripple_add(0, 8, 16, 30, scratch, bits, kRows);
+    unsigned sum = 0;
+    for (std::size_t i = 0; i < bits; ++i) {
+      sum |= static_cast<unsigned>(xbar.read(kRow, 16 + i)) << i;
+    }
+    EXPECT_EQ(sum, (a + b) & 0xFF) << a << "+" << b;
+    EXPECT_EQ(xbar.nor_steps(), cost_add(bits).cycles);
+  }
+}
+
+TEST(Crossbar, WearTrackingPerCell) {
+  Crossbar xbar(2, 8);
+  const std::size_t in[] = {0};
+  const std::size_t both[] = {0, 1};
+  xbar.nor(in, 5, both);
+  xbar.nor(in, 5, both);
+  EXPECT_EQ(xbar.cell_writes(0, 5), 2u);
+  EXPECT_EQ(xbar.cell_writes(1, 5), 2u);
+  EXPECT_EQ(xbar.cell_writes(0, 4), 0u);
+  EXPECT_EQ(xbar.max_cell_writes(), 2u);
+  EXPECT_EQ(xbar.total_writes(), 4u);
+  xbar.reset_counters();
+  EXPECT_EQ(xbar.total_writes(), 0u);
+  EXPECT_EQ(xbar.max_cell_writes(), 0u);
+}
+
+}  // namespace
+}  // namespace robusthd::pim

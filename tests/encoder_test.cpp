@@ -1,0 +1,100 @@
+// Tests for the record-based (ID-level) encoder.
+#include "robusthd/hv/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::hv {
+namespace {
+
+EncoderConfig small_config() {
+  EncoderConfig config;
+  config.dimension = 2048;
+  config.levels = 16;
+  return config;
+}
+
+TEST(RecordEncoder, Deterministic) {
+  RecordEncoder enc(10, small_config());
+  std::vector<float> x(10, 0.3f);
+  EXPECT_EQ(enc.encode(x), enc.encode(x));
+}
+
+TEST(RecordEncoder, DifferentSeedsDifferentCodes) {
+  auto config = small_config();
+  RecordEncoder a(10, config);
+  config.seed ^= 1;
+  RecordEncoder b(10, config);
+  std::vector<float> x(10, 0.3f);
+  EXPECT_NEAR(similarity(a.encode(x), b.encode(x)), 0.5, 0.05);
+}
+
+TEST(RecordEncoder, SimilarInputsSimilarCodes) {
+  RecordEncoder enc(50, small_config());
+  util::Xoshiro256 rng(5);
+  std::vector<float> x(50), y(50), z(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x[i] = static_cast<float>(rng.uniform());
+    y[i] = x[i] + 0.01f;  // tiny perturbation
+    z[i] = static_cast<float>(rng.uniform());  // unrelated
+  }
+  const auto hx = enc.encode(x);
+  const double near_sim = similarity(hx, enc.encode(y));
+  const double far_sim = similarity(hx, enc.encode(z));
+  EXPECT_GT(near_sim, 0.9);
+  EXPECT_GT(near_sim, far_sim + 0.05);
+}
+
+TEST(RecordEncoder, SingleFeatureChangeHasLocalEffect) {
+  RecordEncoder enc(100, small_config());
+  std::vector<float> x(100, 0.5f);
+  auto y = x;
+  y[42] = 1.0f;
+  const double sim = similarity(enc.encode(x), enc.encode(y));
+  EXPECT_GT(sim, 0.9);   // one of 100 features changed
+  EXPECT_LT(sim, 1.0);   // but it does change the code
+}
+
+TEST(RecordEncoder, OutputIsBalanced) {
+  RecordEncoder enc(30, small_config());
+  util::Xoshiro256 rng(6);
+  std::vector<float> x(30);
+  for (auto& v : x) v = static_cast<float>(rng.uniform());
+  const auto h = enc.encode(x);
+  const auto ones = static_cast<double>(h.count_ones());
+  EXPECT_NEAR(ones / 2048.0, 0.5, 0.05);
+}
+
+TEST(RecordEncoder, EncodeAllMatchesEncode) {
+  RecordEncoder enc(8, small_config());
+  data::Dataset d;
+  d.features = util::Matrix(3, 8);
+  util::Xoshiro256 rng(7);
+  for (auto& v : d.features.flat()) v = static_cast<float>(rng.uniform());
+  d.labels = {0, 1, 0};
+  d.num_classes = 2;
+  const auto all = enc.encode_all(d);
+  ASSERT_EQ(all.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(all[i], enc.encode(d.sample(i)));
+  }
+}
+
+class EncoderDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EncoderDims, DimensionPropagates) {
+  EncoderConfig config;
+  config.dimension = GetParam();
+  config.levels = 8;
+  RecordEncoder enc(5, config);
+  EXPECT_EQ(enc.dimension(), GetParam());
+  std::vector<float> x(5, 0.5f);
+  EXPECT_EQ(enc.encode(x).dimension(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EncoderDims,
+                         ::testing::Values(64, 100, 1000, 10000));
+
+}  // namespace
+}  // namespace robusthd::hv

@@ -1,0 +1,181 @@
+// Tests for the HDC classifier: training, scoring, chunked scoring,
+// precision variants, and attackable memory regions.
+#include "robusthd/model/hdc_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::model {
+namespace {
+
+constexpr std::size_t kDim = 2048;
+
+/// Builds a toy training set: per class one prototype hypervector plus
+/// noisy copies (bits flipped with probability `noise`).
+struct Toy {
+  std::vector<hv::BinVec> prototypes;
+  std::vector<hv::BinVec> samples;
+  std::vector<int> labels;
+};
+
+Toy make_toy(std::size_t classes, std::size_t per_class, double noise,
+             std::uint64_t seed) {
+  Toy toy;
+  util::Xoshiro256 rng(seed);
+  for (std::size_t c = 0; c < classes; ++c) {
+    toy.prototypes.push_back(hv::BinVec::random(kDim, rng));
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      auto v = toy.prototypes[c];
+      for (std::size_t d = 0; d < kDim; ++d) {
+        if (rng.bernoulli(noise)) v.flip(d);
+      }
+      toy.samples.push_back(std::move(v));
+      toy.labels.push_back(static_cast<int>(c));
+    }
+  }
+  return toy;
+}
+
+TEST(HdcModel, LearnsSeparableToyProblem) {
+  const auto toy = make_toy(4, 20, 0.15, 1);
+  const auto model = HdcModel::train(toy.samples, toy.labels, 4, {});
+  EXPECT_EQ(model.num_classes(), 4u);
+  EXPECT_EQ(model.dimension(), kDim);
+  EXPECT_GE(model.evaluate(toy.samples, toy.labels), 0.99);
+  // Fresh noisy queries also classify correctly.
+  util::Xoshiro256 rng(2);
+  for (std::size_t c = 0; c < 4; ++c) {
+    auto q = toy.prototypes[c];
+    for (std::size_t d = 0; d < kDim; ++d) {
+      if (rng.bernoulli(0.2)) q.flip(d);
+    }
+    EXPECT_EQ(model.predict(q), static_cast<int>(c));
+  }
+}
+
+TEST(HdcModel, ScoresOrderedBySimilarity) {
+  const auto toy = make_toy(3, 10, 0.1, 3);
+  const auto model = HdcModel::train(toy.samples, toy.labels, 3, {});
+  const auto scores = model.scores(toy.prototypes[1]);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_GT(scores[1], scores[0]);
+  EXPECT_GT(scores[1], scores[2]);
+  for (const auto s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(HdcModel, ChunkScoresAverageToGlobalScore) {
+  const auto toy = make_toy(3, 10, 0.1, 4);
+  const auto model = HdcModel::train(toy.samples, toy.labels, 3, {});
+  const auto& q = toy.samples[0];
+  const auto global = model.scores(q);
+  const std::size_t m = 16;
+  std::vector<double> weighted(3, 0.0);
+  for (std::size_t c = 0; c < m; ++c) {
+    const std::size_t begin = c * kDim / m;
+    const std::size_t end = (c + 1) * kDim / m;
+    const auto local = model.chunk_scores(q, begin, end);
+    for (std::size_t k = 0; k < 3; ++k) {
+      weighted[k] += local[k] * static_cast<double>(end - begin);
+    }
+  }
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(weighted[k] / kDim, global[k], 1e-9);
+  }
+}
+
+TEST(HdcModel, RetrainingFixesSinglePassErrors) {
+  // Close prototypes (0.3 apart) with high sample noise: single-pass
+  // bundling struggles; retraining should improve training accuracy.
+  util::Xoshiro256 rng(5);
+  auto base = hv::BinVec::random(kDim, rng);
+  std::vector<hv::BinVec> prototypes;
+  for (int c = 0; c < 3; ++c) {
+    auto p = base;
+    for (std::size_t d = 0; d < kDim; ++d) {
+      if (rng.bernoulli(0.15)) p.flip(d);
+    }
+    prototypes.push_back(std::move(p));
+  }
+  std::vector<hv::BinVec> samples;
+  std::vector<int> labels;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      auto v = prototypes[static_cast<std::size_t>(c)];
+      for (std::size_t d = 0; d < kDim; ++d) {
+        if (rng.bernoulli(0.2)) v.flip(d);
+      }
+      samples.push_back(std::move(v));
+      labels.push_back(c);
+    }
+  }
+  HdcConfig no_retrain;
+  no_retrain.retrain_epochs = 0;
+  HdcConfig with_retrain;
+  with_retrain.retrain_epochs = 20;
+  const auto plain = HdcModel::train(samples, labels, 3, no_retrain);
+  const auto tuned = HdcModel::train(samples, labels, 3, with_retrain);
+  EXPECT_GE(tuned.evaluate(samples, labels),
+            plain.evaluate(samples, labels));
+}
+
+TEST(HdcModel, TwoBitModelHasTwoPlanes) {
+  const auto toy = make_toy(2, 10, 0.1, 6);
+  HdcConfig config;
+  config.precision_bits = 2;
+  const auto model = HdcModel::train(toy.samples, toy.labels, 2, config);
+  EXPECT_EQ(model.precision_bits(), 2u);
+  EXPECT_EQ(model.class_vector(0).planes.size(), 2u);
+  EXPECT_GE(model.evaluate(toy.samples, toy.labels), 0.99);
+}
+
+TEST(HdcModel, MemoryRegionsCoverAllPlanes) {
+  const auto toy = make_toy(3, 5, 0.1, 7);
+  HdcConfig config;
+  config.precision_bits = 2;
+  auto model = HdcModel::train(toy.samples, toy.labels, 3, config);
+  auto regions = model.memory_regions();
+  EXPECT_EQ(regions.size(), 6u);  // 3 classes x 2 planes
+  for (const auto& r : regions) {
+    EXPECT_EQ(r.value_bits, 1u);
+    EXPECT_EQ(r.bytes.size(), util::words_for_bits(kDim) * 8);
+  }
+}
+
+TEST(HdcModel, RegionWritesReachTheModel) {
+  const auto toy = make_toy(2, 10, 0.05, 8);
+  auto model = HdcModel::train(toy.samples, toy.labels, 2, {});
+  const auto before = model.class_vector(0).planes[0];
+  auto regions = model.memory_regions();
+  // Flip one byte of class 0's plane through the region view.
+  regions[0].bytes[0] ^= std::byte{0xFF};
+  EXPECT_NE(model.class_vector(0).planes[0], before);
+}
+
+TEST(HdcModel, EmptyQuerySetScoresZero) {
+  const auto toy = make_toy(2, 5, 0.1, 9);
+  const auto model = HdcModel::train(toy.samples, toy.labels, 2, {});
+  EXPECT_DOUBLE_EQ(model.evaluate({}, {}), 0.0);
+}
+
+class HdcPrecision : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HdcPrecision, HigherPrecisionStillClassifies) {
+  const auto toy = make_toy(3, 15, 0.12, GetParam());
+  HdcConfig config;
+  config.precision_bits = GetParam();
+  const auto model = HdcModel::train(toy.samples, toy.labels, 3, config);
+  EXPECT_GE(model.evaluate(toy.samples, toy.labels), 0.95)
+      << "precision " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, HdcPrecision,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace robusthd::model

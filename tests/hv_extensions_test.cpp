@@ -1,0 +1,234 @@
+// Tests for the alternative encoders, sequence (n-gram) encoding, and the
+// associative memory.
+#include <gtest/gtest.h>
+
+#include "robusthd/hv/alt_encoders.hpp"
+#include "robusthd/hv/assoc.hpp"
+#include "robusthd/hv/sequence.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::hv {
+namespace {
+
+// ---------------------------------------------------------------- encoders
+
+template <typename E>
+void expect_encoder_basics(const E& encoder, std::size_t features) {
+  util::Xoshiro256 rng(11);
+  std::vector<float> x(features), y(features), z(features);
+  for (std::size_t i = 0; i < features; ++i) {
+    x[i] = static_cast<float>(rng.uniform());
+    y[i] = std::min(1.0f, x[i] + 0.02f);
+    z[i] = static_cast<float>(rng.uniform());
+  }
+  const auto hx = encoder.encode(x);
+  // Deterministic.
+  EXPECT_EQ(hx, encoder.encode(x));
+  // Locality: nearby inputs stay closer than unrelated inputs.
+  const double near = similarity(hx, encoder.encode(y));
+  const double far = similarity(hx, encoder.encode(z));
+  EXPECT_GT(near, far);
+  EXPECT_GT(near, 0.8);
+}
+
+TEST(ThermometerEncoder, BasicsAndBalance) {
+  ThermometerEncoder::Config config;
+  config.dimension = 2048;
+  config.levels = 16;
+  ThermometerEncoder encoder(40, config);
+  EXPECT_EQ(encoder.dimension(), 2048u);
+  EXPECT_EQ(encoder.feature_count(), 40u);
+  expect_encoder_basics(encoder, 40);
+}
+
+TEST(RandomProjectionEncoder, BasicsAndBalance) {
+  RandomProjectionEncoder::Config config;
+  config.dimension = 2048;
+  RandomProjectionEncoder encoder(40, config);
+  EXPECT_EQ(encoder.dimension(), 2048u);
+  expect_encoder_basics(encoder, 40);
+}
+
+TEST(Encoders, DifferentFamiliesDisagree) {
+  // Same input, different encoders: codes should be unrelated (~0.5).
+  ThermometerEncoder::Config tc;
+  tc.dimension = 2048;
+  RandomProjectionEncoder::Config pc;
+  pc.dimension = 2048;
+  ThermometerEncoder thermometer(20, tc);
+  RandomProjectionEncoder projection(20, pc);
+  std::vector<float> x(20, 0.7f);
+  EXPECT_NEAR(similarity(thermometer.encode(x), projection.encode(x)), 0.5,
+              0.06);
+}
+
+TEST(Encoders, PolymorphicUseThroughBase) {
+  ThermometerEncoder::Config config;
+  config.dimension = 1024;
+  ThermometerEncoder concrete(8, config);
+  const Encoder& encoder = concrete;
+  data::Dataset d;
+  d.features = util::Matrix(3, 8, 0.5f);
+  d.labels = {0, 0, 0};
+  d.num_classes = 1;
+  const auto all = encoder.encode_all(d);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].dimension(), 1024u);
+}
+
+// ---------------------------------------------------------------- sequence
+
+TEST(SequenceEncoder, NgramOrderSensitivity) {
+  SequenceEncoder::Config config;
+  config.dimension = 4096;
+  config.ngram = 2;
+  SequenceEncoder encoder(5, config);
+  const std::size_t ab[] = {0, 1};
+  const std::size_t ba[] = {1, 0};
+  // "ab" and "ba" must encode differently (rotation breaks symmetry).
+  EXPECT_NEAR(similarity(encoder.encode_ngram(ab), encoder.encode_ngram(ba)),
+              0.5, 0.05);
+}
+
+TEST(SequenceEncoder, SharedNgramsMakeSequencesSimilar) {
+  SequenceEncoder::Config config;
+  config.dimension = 4096;
+  config.ngram = 3;
+  SequenceEncoder encoder(4, config);
+  const std::size_t base[] = {0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3};
+  std::size_t tweaked[12];
+  std::copy(std::begin(base), std::end(base), tweaked);
+  tweaked[11] = 0;  // change one symbol at the end
+  std::vector<std::size_t> unrelated{3, 3, 0, 0, 2, 2, 1, 1, 3, 0, 2, 1};
+  const auto h = encoder.encode(base);
+  EXPECT_GT(similarity(h, encoder.encode(tweaked)),
+            similarity(h, encoder.encode(unrelated)));
+}
+
+TEST(SequenceEncoder, HandlesShortAndEmptySequences) {
+  SequenceEncoder::Config config;
+  config.dimension = 1024;
+  config.ngram = 4;
+  SequenceEncoder encoder(3, config);
+  EXPECT_EQ(encoder.encode({}).count_ones(), 0u);
+  const std::size_t two[] = {0, 2};
+  const auto h = encoder.encode(two);
+  EXPECT_EQ(h.dimension(), 1024u);
+  EXPECT_GT(h.count_ones(), 0u);
+  // Deterministic.
+  EXPECT_EQ(h, encoder.encode(two));
+}
+
+TEST(SequenceEncoder, ClassifiesLanguagesOfNgrams) {
+  // Two "languages" over 8 symbols with different bigram statistics; the
+  // sequence encoder + associative memory should tell them apart.
+  SequenceEncoder::Config config;
+  config.dimension = 4096;
+  config.ngram = 2;
+  SequenceEncoder encoder(8, config);
+  util::Xoshiro256 rng(5);
+
+  auto sample = [&](bool even_language) {
+    std::vector<std::size_t> seq(40);
+    for (auto& s : seq) {
+      const auto step = rng.below(4) * 2;           // 0,2,4,6
+      s = even_language ? step : (step + 1) % 8;    // evens vs odds
+    }
+    return seq;
+  };
+
+  AssociativeMemory::Config mem_config;
+  mem_config.dimension = 4096;
+  AssociativeMemory memory(mem_config);
+  for (int i = 0; i < 10; ++i) {
+    memory.insert(encoder.encode(sample(true)), 0);
+    memory.insert(encoder.encode(sample(false)), 1);
+  }
+  int correct = 0;
+  for (int i = 0; i < 20; ++i) {
+    const bool even = (i % 2) == 0;
+    correct += memory.predict(encoder.encode(sample(even)), 3) ==
+               (even ? 0 : 1);
+  }
+  EXPECT_GE(correct, 18);
+}
+
+// ------------------------------------------------------------ associative
+
+TEST(AssociativeMemory, EmptyBehaviour) {
+  AssociativeMemory memory({.dimension = 256, .merge_radius = 0});
+  util::Xoshiro256 rng(6);
+  const auto q = BinVec::random(256, rng);
+  EXPECT_FALSE(memory.nearest(q).has_value());
+  EXPECT_TRUE(memory.top_k(q, 3).empty());
+  EXPECT_EQ(memory.predict(q), -1);
+}
+
+TEST(AssociativeMemory, ExactAndNoisyRecall) {
+  AssociativeMemory memory({.dimension = 2048, .merge_radius = 0});
+  util::Xoshiro256 rng(7);
+  std::vector<BinVec> stored;
+  for (int i = 0; i < 10; ++i) {
+    stored.push_back(BinVec::random(2048, rng));
+    memory.insert(stored.back(), i);
+  }
+  for (int i = 0; i < 10; ++i) {
+    // Exact recall.
+    const auto exact = memory.nearest(stored[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_EQ(exact->label, i);
+    EXPECT_EQ(exact->distance, 0u);
+    // Recall under 20% noise.
+    auto noisy = stored[static_cast<std::size_t>(i)];
+    for (std::size_t d = 0; d < 2048; ++d) {
+      if (rng.bernoulli(0.2)) noisy.flip(d);
+    }
+    EXPECT_EQ(memory.predict(noisy), i);
+  }
+}
+
+TEST(AssociativeMemory, TopKOrderedByDistance) {
+  AssociativeMemory memory({.dimension = 1024, .merge_radius = 0});
+  util::Xoshiro256 rng(8);
+  for (int i = 0; i < 6; ++i) {
+    memory.insert(BinVec::random(1024, rng), i);
+  }
+  const auto q = BinVec::random(1024, rng);
+  const auto matches = memory.top_k(q, 4);
+  ASSERT_EQ(matches.size(), 4u);
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LE(matches[i - 1].distance, matches[i].distance);
+  }
+}
+
+TEST(AssociativeMemory, PrototypeModeMergesNearbyInserts) {
+  AssociativeMemory memory({.dimension = 2048, .merge_radius = 600});
+  util::Xoshiro256 rng(9);
+  const auto prototype = BinVec::random(2048, rng);
+  for (int i = 0; i < 15; ++i) {
+    auto sample = prototype;
+    for (std::size_t d = 0; d < 2048; ++d) {
+      if (rng.bernoulli(0.1)) sample.flip(d);
+    }
+    memory.insert(sample, 7);
+  }
+  EXPECT_EQ(memory.size(), 1u);  // everything bundled into one slot
+  EXPECT_EQ(memory.bundled(0), 15u);
+  // The bundled prototype is close to the generative one.
+  EXPECT_GT(similarity(memory.vector(0), prototype), 0.9);
+  // A distant insert opens a new slot even in prototype mode.
+  memory.insert(BinVec::random(2048, rng), 7);
+  EXPECT_EQ(memory.size(), 2u);
+}
+
+TEST(AssociativeMemory, MergeRespectsLabels) {
+  AssociativeMemory memory({.dimension = 1024, .merge_radius = 1024});
+  util::Xoshiro256 rng(10);
+  const auto v = BinVec::random(1024, rng);
+  memory.insert(v, 0);
+  memory.insert(v, 1);  // same vector, different label -> separate slot
+  EXPECT_EQ(memory.size(), 2u);
+}
+
+}  // namespace
+}  // namespace robusthd::hv

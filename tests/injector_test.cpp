@@ -1,0 +1,163 @@
+// Tests for the bit-flip fault injector and attack modes.
+#include "robusthd/fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "robusthd/util/bitops.hpp"
+
+namespace robusthd::fault {
+namespace {
+
+std::size_t count_set_bits(std::span<const std::byte> bytes) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < bytes.size() * 8; ++i) {
+    total += util::get_bit(bytes, i);
+  }
+  return total;
+}
+
+TEST(Injector, RandomFlipsExactBudget) {
+  std::vector<std::byte> buffer(125, std::byte{0});
+  MemoryRegion region{buffer, 8, "buf"};
+  util::Xoshiro256 rng(1);
+  const auto flipped = BitFlipInjector::flip_random_bits(region, 200, rng);
+  EXPECT_EQ(flipped, 200u);
+  EXPECT_EQ(count_set_bits(buffer), 200u);  // distinct positions
+}
+
+TEST(Injector, RandomFlipsClampToRegionSize) {
+  std::vector<std::byte> buffer(2, std::byte{0});
+  MemoryRegion region{buffer, 8, "buf"};
+  util::Xoshiro256 rng(2);
+  const auto flipped = BitFlipInjector::flip_random_bits(region, 1000, rng);
+  EXPECT_EQ(flipped, 16u);
+  EXPECT_EQ(count_set_bits(buffer), 16u);
+}
+
+TEST(Injector, TargetedHitsMsbTierFirst) {
+  // 8 int8 values; budget 4 -> 4 of the sign bits must flip, nothing else.
+  std::vector<std::byte> buffer(8, std::byte{0});
+  MemoryRegion region{buffer, 8, "weights"};
+  util::Xoshiro256 rng(3);
+  BitFlipInjector::flip_targeted_bits(region, 4, rng);
+  std::size_t sign_flips = 0;
+  for (std::size_t v = 0; v < 8; ++v) {
+    for (unsigned b = 0; b < 8; ++b) {
+      if (util::get_bit(std::span<const std::byte>(buffer), v * 8 + b)) {
+        EXPECT_EQ(b, 7u) << "non-MSB bit flipped";
+        ++sign_flips;
+      }
+    }
+  }
+  EXPECT_EQ(sign_flips, 4u);
+}
+
+TEST(Injector, TargetedSpillsToNextTier) {
+  // Budget 12 over 8 values: 8 MSBs + 4 bit-6 positions.
+  std::vector<std::byte> buffer(8, std::byte{0});
+  MemoryRegion region{buffer, 8, "weights"};
+  util::Xoshiro256 rng(4);
+  BitFlipInjector::flip_targeted_bits(region, 12, rng);
+  std::size_t msb = 0, next = 0;
+  for (std::size_t v = 0; v < 8; ++v) {
+    msb += util::get_bit(std::span<const std::byte>(buffer), v * 8 + 7);
+    next += util::get_bit(std::span<const std::byte>(buffer), v * 8 + 6);
+  }
+  EXPECT_EQ(msb, 8u);
+  EXPECT_EQ(next, 4u);
+}
+
+TEST(Injector, TargetedOnBinaryRegionEqualsRandomBudget) {
+  std::vector<std::byte> buffer(128, std::byte{0});
+  MemoryRegion region{buffer, 1, "hv"};
+  util::Xoshiro256 rng(5);
+  const auto flipped = BitFlipInjector::flip_targeted_bits(region, 77, rng);
+  EXPECT_EQ(flipped, 77u);
+  EXPECT_EQ(count_set_bits(buffer), 77u);
+}
+
+TEST(Injector, ClusteredFlipsAreContiguous) {
+  std::vector<std::byte> buffer(1000, std::byte{0});
+  MemoryRegion region{buffer, 1, "hv"};
+  util::Xoshiro256 rng(6);
+  BitFlipInjector::flip_clustered_bits(region, 100, 0.05, rng);
+  // All flips must land inside one 400-bit window (5% of 8000).
+  std::size_t first = 8000, last = 0;
+  for (std::size_t i = 0; i < 8000; ++i) {
+    if (util::get_bit(std::span<const std::byte>(buffer), i)) {
+      first = std::min(first, i);
+      last = std::max(last, i);
+    }
+  }
+  EXPECT_EQ(count_set_bits(buffer), 100u);
+  EXPECT_LE(last - first, 400u);
+}
+
+TEST(Injector, InjectSplitsBudgetAcrossRegions) {
+  std::vector<std::byte> big(100, std::byte{0});
+  std::vector<std::byte> small(10, std::byte{0});
+  std::vector<MemoryRegion> regions{{big, 8, "big"}, {small, 8, "small"}};
+  util::Xoshiro256 rng(7);
+  const auto report = BitFlipInjector::inject(regions, 0.10,
+                                              AttackMode::kRandom, rng);
+  EXPECT_EQ(report.total_bits, 880u);
+  EXPECT_EQ(report.flipped, 88u);
+  EXPECT_NEAR(report.rate(), 0.10, 1e-9);
+  // Proportional: ~80 in big, ~8 in small.
+  EXPECT_NEAR(static_cast<double>(count_set_bits(big)), 80.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(count_set_bits(small)), 8.0, 1.0);
+}
+
+TEST(Injector, InjectBitErrorsMatchesBer) {
+  std::vector<std::byte> buffer(1250, std::byte{0});
+  std::vector<MemoryRegion> regions{{buffer, 32, "floats"}};
+  util::Xoshiro256 rng(8);
+  const auto report =
+      BitFlipInjector::inject_bit_errors(regions, 0.05, rng);
+  EXPECT_EQ(report.flipped, 500u);
+  EXPECT_EQ(count_set_bits(buffer), 500u);
+}
+
+TEST(Injector, ZeroRateIsNoOp) {
+  std::vector<std::byte> buffer(64, std::byte{0});
+  std::vector<MemoryRegion> regions{{buffer, 8, "w"}};
+  util::Xoshiro256 rng(9);
+  const auto report =
+      BitFlipInjector::inject(regions, 0.0, AttackMode::kTargeted, rng);
+  EXPECT_EQ(report.flipped, 0u);
+  EXPECT_EQ(count_set_bits(buffer), 0u);
+}
+
+TEST(StreamAttacker, ReachesTotalRateGradually) {
+  std::vector<std::byte> buffer(1250, std::byte{0});
+  StreamAttacker attacker(0.08, 100, 10);
+  std::size_t total = 0;
+  for (int step = 0; step < 100; ++step) {
+    std::vector<MemoryRegion> regions{{buffer, 1, "hv"}};
+    total += attacker.step(regions).flipped;
+  }
+  EXPECT_NEAR(static_cast<double>(total), 0.08 * 10000, 2.0);
+  EXPECT_NEAR(attacker.cumulative_rate(), 0.08, 0.001);
+  // Further steps are no-ops.
+  std::vector<MemoryRegion> regions{{buffer, 1, "hv"}};
+  EXPECT_EQ(attacker.step(regions).flipped, 0u);
+}
+
+TEST(StreamAttacker, SpreadsOverRegions) {
+  std::vector<std::byte> a(125, std::byte{0});
+  std::vector<std::byte> b(125, std::byte{0});
+  StreamAttacker attacker(0.2, 10, 11);
+  for (int step = 0; step < 10; ++step) {
+    std::vector<MemoryRegion> regions{{a, 1, "a"}, {b, 1, "b"}};
+    attacker.step(regions);
+  }
+  // ~200 flips each side (binomial, generous bounds).
+  EXPECT_GT(count_set_bits(a), 120u);
+  EXPECT_GT(count_set_bits(b), 120u);
+}
+
+}  // namespace
+}  // namespace robusthd::fault

@@ -1,0 +1,147 @@
+// End-to-end integration tests: the full train -> attack -> recover
+// pipeline on synthetic paper benchmarks, plus the HdcClassifier facade
+// and cross-model comparisons.
+#include <gtest/gtest.h>
+
+#include "robusthd/robusthd.hpp"
+
+namespace robusthd {
+namespace {
+
+data::Split har_split() {
+  const auto spec = data::scaled(data::dataset_by_name("UCIHAR"), 800, 300);
+  return data::make_synthetic(spec);
+}
+
+TEST(Integration, HdcClassifierEndToEnd) {
+  const auto split = har_split();
+  auto clf = core::HdcClassifier::train(split.train, {});
+  EXPECT_GT(clf.evaluate(split.test), 0.85);
+  EXPECT_EQ(clf.name(), "RobustHD");
+  EXPECT_EQ(clf.model().num_classes(), 12u);
+}
+
+TEST(Integration, CloneSharesEncoderButNotModel) {
+  const auto split = har_split();
+  auto clf = core::HdcClassifier::train(split.train, {});
+  auto copy = clf.clone();
+  // Attack the copy; the original must be unaffected.
+  util::Xoshiro256 rng(3);
+  auto regions = copy->memory_regions();
+  fault::BitFlipInjector::inject(regions, 0.4, fault::AttackMode::kRandom,
+                                 rng);
+  EXPECT_GT(clf.evaluate(split.test), copy->evaluate(split.test));
+}
+
+TEST(Integration, HdcIsFarMoreRobustThanBaselines) {
+  // The paper's headline claim as a single regression test.
+  const auto split = har_split();
+  auto hdc = core::HdcClassifier::train(split.train, {});
+  auto mlp = baseline::Mlp::train(split.train, {});
+  const double hdc_clean = hdc.evaluate(split.test);
+  const double mlp_clean = mlp.evaluate(split.test);
+
+  util::RunningStats hdc_loss, mlp_loss;
+  for (int r = 0; r < 3; ++r) {
+    auto hv_victim = hdc.clone();
+    auto mlp_victim = mlp.clone();
+    util::Xoshiro256 rng(50 + r);
+    auto hr = hv_victim->memory_regions();
+    fault::BitFlipInjector::inject(hr, 0.10, fault::AttackMode::kTargeted,
+                                   rng);
+    auto mr = mlp_victim->memory_regions();
+    fault::BitFlipInjector::inject(mr, 0.10, fault::AttackMode::kTargeted,
+                                   rng);
+    hdc_loss.add(util::quality_loss(hdc_clean,
+                                    hv_victim->evaluate(split.test)));
+    mlp_loss.add(util::quality_loss(mlp_clean,
+                                    mlp_victim->evaluate(split.test)));
+  }
+  EXPECT_LT(hdc_loss.mean(), 0.03);
+  EXPECT_GT(mlp_loss.mean(), 0.10);
+}
+
+TEST(Integration, RecoveryThroughFacade) {
+  const auto split = har_split();
+  auto clf = core::HdcClassifier::train(split.train, {});
+  const auto queries = clf.encoder().encode_all(split.test);
+  const double clean = clf.model().evaluate(queries, split.test.labels);
+
+  util::Xoshiro256 rng(4);
+  auto regions = clf.memory_regions();
+  fault::BitFlipInjector::inject(regions, 0.15,
+                                 fault::AttackMode::kClustered, rng);
+  const double attacked = clf.model().evaluate(queries, split.test.labels);
+
+  EXPECT_FALSE(clf.recovery_enabled());
+  clf.enable_recovery({});
+  EXPECT_TRUE(clf.recovery_enabled());
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    for (std::size_t i = 0; i < split.test.size(); ++i) {
+      clf.predict_and_recover(split.test.sample(i));
+    }
+  }
+  const double recovered = clf.model().evaluate(queries, split.test.labels);
+  EXPECT_GE(recovered, attacked - 0.02);
+  EXPECT_GE(recovered, clean - 0.03);
+}
+
+TEST(Integration, OnlineStreamDriverReportsTrace) {
+  const auto split = har_split();
+  auto clf = core::HdcClassifier::train(split.train, {});
+  const auto queries = clf.encoder().encode_all(split.test);
+  const double clean = clf.model().evaluate(queries, split.test.labels);
+
+  util::Xoshiro256 rng(5);
+  auto& model = clf.model();
+  auto regions = model.memory_regions();
+  fault::BitFlipInjector::inject(regions, 0.10,
+                                 fault::AttackMode::kClustered, rng);
+
+  model::RecoveryEngine engine(model, {});
+  std::vector<hv::BinVec> stream;
+  for (int e = 0; e < 4; ++e) {
+    stream.insert(stream.end(), queries.begin(), queries.end());
+  }
+  model::StreamConfig config;
+  config.eval_every = 150;
+  const auto result = model::run_recovery_stream(
+      model, engine, stream, nullptr, queries, split.test.labels, clean,
+      config);
+  EXPECT_GE(result.trace.size(), 3u);
+  EXPECT_EQ(result.trace.front().queries_seen, 0u);
+  EXPECT_GT(result.final_accuracy, 0.8);
+  EXPECT_GT(result.trusted_queries, stream.size() / 4);
+}
+
+TEST(Integration, StreamAttackerWithRecoveryStaysServiceable) {
+  const auto split = har_split();
+  auto clf = core::HdcClassifier::train(split.train, {});
+  const auto queries = clf.encoder().encode_all(split.test);
+  const double clean = clf.model().evaluate(queries, split.test.labels);
+
+  auto& model = clf.model();
+  model::RecoveryEngine engine(model, {});
+  fault::StreamAttacker attacker(0.06, 1200, 77);
+  std::vector<hv::BinVec> stream;
+  for (int e = 0; e < 4; ++e) {
+    stream.insert(stream.end(), queries.begin(), queries.end());
+  }
+  const auto result = model::run_recovery_stream(
+      model, engine, stream, &attacker, queries, split.test.labels, clean);
+  EXPECT_GE(result.final_accuracy, clean - 0.05);
+}
+
+TEST(Integration, AllPaperDatasetsTrainAndPredict) {
+  for (const auto& spec : data::paper_datasets()) {
+    const auto scaled_spec = data::scaled(spec, 300, 60);
+    const auto split = data::make_synthetic(scaled_spec);
+    core::HdcClassifierConfig config;
+    config.encoder.dimension = 2000;  // keep the sweep fast
+    auto clf = core::HdcClassifier::train(split.train, config);
+    EXPECT_GT(clf.evaluate(split.test), 0.6) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace robusthd

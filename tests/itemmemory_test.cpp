@@ -1,0 +1,69 @@
+// Tests for item memory: base hypervectors and the level chain.
+#include "robusthd/hv/itemmemory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace robusthd::hv {
+namespace {
+
+constexpr std::size_t kDim = 4096;
+
+TEST(ItemMemory, ShapesAndDeterminism) {
+  ItemMemory a(kDim, 20, 16, 7);
+  EXPECT_EQ(a.dimension(), kDim);
+  EXPECT_EQ(a.feature_count(), 20u);
+  EXPECT_EQ(a.level_count(), 16u);
+  ItemMemory b(kDim, 20, 16, 7);
+  EXPECT_EQ(a.base(3), b.base(3));
+  EXPECT_EQ(a.level(5), b.level(5));
+  ItemMemory c(kDim, 20, 16, 8);
+  EXPECT_NE(a.base(3), c.base(3));
+}
+
+TEST(ItemMemory, BaseVectorsQuasiOrthogonal) {
+  ItemMemory memory(kDim, 10, 8, 1);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      const double sim = similarity(memory.base(i), memory.base(j));
+      EXPECT_NEAR(sim, 0.5, 0.05) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(ItemMemory, LevelChainMonotoneDistance) {
+  const std::size_t levels = 16;
+  ItemMemory memory(kDim, 4, levels, 2);
+  // Distance from level 0 grows monotonically along the chain.
+  std::size_t previous = 0;
+  for (std::size_t j = 1; j < levels; ++j) {
+    const std::size_t d = hamming(memory.level(0), memory.level(j));
+    EXPECT_GT(d, previous) << "level " << j;
+    previous = d;
+  }
+  // Extremes are ~D/2 apart.
+  EXPECT_NEAR(static_cast<double>(previous), kDim / 2.0, kDim * 0.02);
+}
+
+TEST(ItemMemory, AdjacentLevelsAreClose) {
+  const std::size_t levels = 32;
+  ItemMemory memory(kDim, 4, levels, 3);
+  for (std::size_t j = 0; j + 1 < levels; ++j) {
+    const std::size_t d = hamming(memory.level(j), memory.level(j + 1));
+    // Each step flips ~ D/2/(levels-1) bits.
+    EXPECT_NEAR(static_cast<double>(d), kDim / 2.0 / (levels - 1),
+                kDim * 0.01);
+  }
+}
+
+TEST(ItemMemory, LevelIndexMapping) {
+  ItemMemory memory(kDim, 4, 8, 4);
+  EXPECT_EQ(memory.level_index(0.0f), 0u);
+  EXPECT_EQ(memory.level_index(1.0f), 7u);
+  EXPECT_EQ(memory.level_index(0.5f), 4u);  // rounds to nearest
+  // Clamped outside [0, 1].
+  EXPECT_EQ(memory.level_index(-5.0f), 0u);
+  EXPECT_EQ(memory.level_index(5.0f), 7u);
+}
+
+}  // namespace
+}  // namespace robusthd::hv

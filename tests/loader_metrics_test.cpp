@@ -1,0 +1,148 @@
+// Tests for the CSV loader, train/test splitting and classification
+// metrics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "robusthd/data/loader.hpp"
+#include "robusthd/model/metrics.hpp"
+
+namespace robusthd {
+namespace {
+
+TEST(CsvLoader, ParsesNumericLabelsLastColumn) {
+  const std::string csv =
+      "1.0,2.0,0\n"
+      "3.0,4.0,1\n"
+      "5.5,6.5,0\n";
+  const auto d = data::parse_csv(csv);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.feature_count(), 2u);
+  EXPECT_EQ(d.num_classes, 2u);
+  EXPECT_FLOAT_EQ(d.features(2, 1), 6.5f);
+  EXPECT_EQ(d.labels, (std::vector<int>{0, 1, 0}));
+}
+
+TEST(CsvLoader, StringLabelsFirstColumnWithHeader) {
+  const std::string csv =
+      "label,f1,f2\n"
+      "cat,1,2\n"
+      "dog,3,4\n"
+      "cat,5,6\n"
+      "bird,7,8\n";
+  data::CsvOptions options;
+  options.label_column = 0;
+  options.has_header = true;
+  const auto d = data::parse_csv(csv, options);
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.num_classes, 3u);
+  // First-appearance order: cat=0, dog=1, bird=2.
+  EXPECT_EQ(d.labels, (std::vector<int>{0, 1, 0, 2}));
+  EXPECT_FLOAT_EQ(d.features(3, 0), 7.0f);
+}
+
+TEST(CsvLoader, SkipsBlankLinesAndTrimsWhitespace) {
+  const std::string csv = " 1.0 , 2.0 , a \n\n 3.0 , 4.0 , b \r\n";
+  const auto d = data::parse_csv(csv);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_FLOAT_EQ(d.features(0, 0), 1.0f);
+  EXPECT_EQ(d.num_classes, 2u);
+}
+
+TEST(CsvLoader, RejectsMalformedInput) {
+  EXPECT_THROW(data::parse_csv(""), std::runtime_error);
+  EXPECT_THROW(data::parse_csv("1,2,a\n1,2\n"), std::runtime_error);  // ragged
+  EXPECT_THROW(data::parse_csv("1,oops,a\n"), std::runtime_error);  // text
+  data::CsvOptions bad;
+  bad.label_column = 7;
+  EXPECT_THROW(data::parse_csv("1,2,3\n", bad), std::runtime_error);
+}
+
+TEST(CsvLoader, FileRoundTrip) {
+  const std::string path = "/tmp/robusthd_loader_test.csv";
+  {
+    std::ofstream out(path);
+    out << "0.1,0.2,x\n0.3,0.4,y\n";
+  }
+  const auto d = data::load_csv(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_classes, 2u);
+  EXPECT_THROW(data::load_csv("/no/such/file.csv"), std::runtime_error);
+}
+
+TEST(TrainTestSplit, PartitionsWithoutLoss) {
+  std::string csv;
+  for (int i = 0; i < 100; ++i) {
+    csv += std::to_string(i) + ",0," + std::to_string(i % 3) + "\n";
+  }
+  const auto d = data::parse_csv(csv);
+  const auto split = data::train_test_split(d, 0.8, 7);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.train.num_classes, 3u);
+  // Every original sample appears exactly once (identified by feature 0).
+  std::set<float> seen;
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    seen.insert(split.train.features(i, 0));
+  }
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    seen.insert(split.test.features(i, 0));
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_THROW(data::train_test_split(d, 0.0), std::invalid_argument);
+  EXPECT_THROW(data::train_test_split(d, 1.0), std::invalid_argument);
+}
+
+TEST(Metrics, PerfectPredictions) {
+  const int truth[] = {0, 1, 2, 0, 1, 2};
+  const auto report = model::classification_report(truth, truth, 3);
+  EXPECT_DOUBLE_EQ(report.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report.macro_f1, 1.0);
+  for (const auto& m : report.per_class) {
+    EXPECT_DOUBLE_EQ(m.precision, 1.0);
+    EXPECT_DOUBLE_EQ(m.recall, 1.0);
+    EXPECT_EQ(m.support, 2u);
+  }
+}
+
+TEST(Metrics, KnownConfusion) {
+  // truth:  0 0 0 0 1 1
+  // pred:   0 0 1 1 1 0
+  const int truth[] = {0, 0, 0, 0, 1, 1};
+  const int pred[] = {0, 0, 1, 1, 1, 0};
+  const auto report = model::classification_report(pred, truth, 2);
+  EXPECT_NEAR(report.accuracy, 3.0 / 6.0, 1e-12);
+  // Class 0: precision 2/3, recall 2/4.
+  EXPECT_NEAR(report.per_class[0].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.per_class[0].recall, 0.5, 1e-12);
+  EXPECT_EQ(report.per_class[0].support, 4u);
+  // Class 1: precision 1/3, recall 1/2.
+  EXPECT_NEAR(report.per_class[1].precision, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.per_class[1].recall, 0.5, 1e-12);
+}
+
+TEST(Metrics, HandlesAbsentClass) {
+  // Class 2 never predicted nor present.
+  const int truth[] = {0, 1, 0};
+  const int pred[] = {0, 1, 1};
+  const auto report = model::classification_report(pred, truth, 3);
+  EXPECT_DOUBLE_EQ(report.per_class[2].precision, 0.0);
+  EXPECT_DOUBLE_EQ(report.per_class[2].recall, 0.0);
+  EXPECT_EQ(report.per_class[2].support, 0u);
+}
+
+TEST(Metrics, ReportRenders) {
+  const int truth[] = {0, 1, 0, 1};
+  const int pred[] = {0, 1, 1, 1};
+  const auto report = model::classification_report(pred, truth, 2);
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("precision"), std::string::npos);
+  EXPECT_NE(text.find("macro"), std::string::npos);
+  EXPECT_NE(text.find("accuracy: 75.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace robusthd

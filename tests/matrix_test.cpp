@@ -1,0 +1,113 @@
+// Tests for the dense matrix kernels behind the baseline trainers.
+#include "robusthd/util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::util {
+namespace {
+
+Matrix fill_random(std::size_t r, std::size_t c, Xoshiro256& rng) {
+  Matrix m(r, c);
+  for (auto& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+/// Reference O(n^3) multiply for cross-checking the blocked kernels.
+Matrix naive_mul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < a.cols(); ++p) acc += a(i, p) * b(p, j);
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+void expect_equal(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a(i, j), b(i, j), 1e-4f) << "at " << i << "," << j;
+    }
+  }
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FLOAT_EQ(m(1, 2), 1.5f);
+  m(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(m.row(0)[1], 7.0f);
+}
+
+TEST(Matrix, GemmMatchesNaive) {
+  Xoshiro256 rng(1);
+  const auto a = fill_random(7, 11, rng);
+  const auto b = fill_random(11, 5, rng);
+  Matrix out(7, 5);
+  gemm(a, b, out);
+  expect_equal(out, naive_mul(a, b));
+}
+
+TEST(Matrix, GemmBtMatchesNaive) {
+  Xoshiro256 rng(2);
+  const auto a = fill_random(6, 9, rng);
+  const auto b = fill_random(4, 9, rng);  // will be transposed
+  Matrix out(6, 4);
+  gemm_bt(a, b, out);
+  // naive a * b^T
+  Matrix bt(9, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) bt(j, i) = b(i, j);
+  }
+  expect_equal(out, naive_mul(a, bt));
+}
+
+TEST(Matrix, GemmAtMatchesNaive) {
+  Xoshiro256 rng(3);
+  const auto a = fill_random(9, 6, rng);  // will be transposed
+  const auto b = fill_random(9, 4, rng);
+  Matrix out(6, 4);
+  gemm_at(a, b, out);
+  Matrix at(6, 9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) at(j, i) = a(i, j);
+  }
+  expect_equal(out, naive_mul(at, b));
+}
+
+TEST(Matrix, GemvWithBias) {
+  Matrix w(2, 3);
+  w(0, 0) = 1;
+  w(0, 1) = 2;
+  w(0, 2) = 3;
+  w(1, 0) = -1;
+  w(1, 1) = 0;
+  w(1, 2) = 1;
+  const float x[] = {1.0f, 2.0f, 3.0f};
+  const float bias[] = {0.5f, -0.5f};
+  float y[2];
+  gemv(w, x, bias, y);
+  EXPECT_FLOAT_EQ(y[0], 14.5f);
+  EXPECT_FLOAT_EQ(y[1], 1.5f);
+}
+
+TEST(Matrix, GemvWithoutBias) {
+  Matrix w(1, 2);
+  w(0, 0) = 2;
+  w(0, 1) = 3;
+  const float x[] = {4.0f, 5.0f};
+  float y[1];
+  gemv(w, x, {}, y);
+  EXPECT_FLOAT_EQ(y[0], 23.0f);
+}
+
+}  // namespace
+}  // namespace robusthd::util

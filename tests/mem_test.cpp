@@ -1,0 +1,89 @@
+// Tests for the DRAM refresh-relaxation and ECC models.
+#include <gtest/gtest.h>
+
+#include "robusthd/mem/dram.hpp"
+#include "robusthd/mem/ecc.hpp"
+
+namespace robusthd::mem {
+namespace {
+
+TEST(Dram, BaseIntervalHasNegligibleErrors) {
+  const DramParams dram = DramParams::ddr4();
+  EXPECT_LT(bit_error_rate(dram.base_refresh_ms, dram), 1e-4);
+}
+
+TEST(Dram, ErrorRateMonotoneInInterval) {
+  const DramParams dram;
+  double previous = 0.0;
+  for (const double interval : {64.0, 128.0, 512.0, 2048.0, 8192.0}) {
+    const double ber = bit_error_rate(interval, dram);
+    EXPECT_GE(ber, previous);
+    previous = ber;
+  }
+  EXPECT_GT(previous, 0.3);  // far beyond the median retention
+}
+
+TEST(Dram, IntervalInversionRoundTrips) {
+  const DramParams dram;
+  for (const double ber : {0.01, 0.04, 0.06, 0.10}) {
+    const double interval = interval_for_error_rate(ber, dram);
+    EXPECT_NEAR(bit_error_rate(interval, dram), ber, ber * 0.02);
+  }
+}
+
+TEST(Dram, RelaxingSavesRefreshPowerOnly) {
+  const DramParams dram;
+  EXPECT_DOUBLE_EQ(relative_power(dram.base_refresh_ms, dram), 1.0);
+  const double relaxed = relative_power(dram.base_refresh_ms * 10, dram);
+  // Saves up to the refresh share, never more.
+  EXPECT_LT(relaxed, 1.0);
+  EXPECT_GT(relaxed, 1.0 - dram.refresh_power_fraction);
+  // Shrinking the interval below base does not "gain" power.
+  EXPECT_DOUBLE_EQ(relative_power(1.0, dram), 1.0);
+}
+
+TEST(Dram, EfficiencyGainSaturatesAtRefreshShare) {
+  const DramParams dram;
+  const double gain = energy_efficiency_gain(1e9, dram);
+  EXPECT_NEAR(gain, dram.refresh_power_fraction, 1e-6);
+  EXPECT_GT(energy_efficiency_gain(640.0, dram), 0.0);
+}
+
+TEST(Ecc, StorageOverheadIsAnEighth) {
+  EccParams params;
+  EXPECT_DOUBLE_EQ(params.storage_overhead(), 0.125);
+}
+
+TEST(Ecc, NoErrorsNoFailures) {
+  EXPECT_DOUBLE_EQ(uncorrectable_word_rate(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(residual_bit_error_rate(0.0), 0.0);
+}
+
+TEST(Ecc, SingleErrorsAreCorrected) {
+  // At very low BER nearly every faulty word has exactly one flip, which
+  // SECDED corrects: residual rate is ~quadratically suppressed.
+  const double ber = 1e-6;
+  EXPECT_LT(uncorrectable_word_rate(ber), 1e-8);
+  EXPECT_LT(residual_bit_error_rate(ber), ber / 100.0);
+}
+
+TEST(Ecc, PercentLevelBerOverwhelmsSecded) {
+  // The paper's point: at relaxed-refresh error rates ECC stops helping.
+  for (const double ber : {0.02, 0.04, 0.06}) {
+    EXPECT_GT(uncorrectable_word_rate(ber), 0.3);
+    EXPECT_GT(residual_bit_error_rate(ber), ber * 0.5);
+  }
+}
+
+TEST(Ecc, MonotoneInBer) {
+  double previous = 0.0;
+  for (const double ber : {1e-5, 1e-4, 1e-3, 1e-2, 0.1}) {
+    const double rate = uncorrectable_word_rate(ber);
+    EXPECT_GT(rate, previous);
+    previous = rate;
+  }
+  EXPECT_DOUBLE_EQ(uncorrectable_word_rate(1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace robusthd::mem

@@ -1,0 +1,182 @@
+// Tests for the MAGIC-NOR cost algebra, accelerator mapping, endurance
+// model and GPU reference.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "robusthd/pim/accelerator.hpp"
+#include "robusthd/pim/cost.hpp"
+#include "robusthd/pim/endurance.hpp"
+#include "robusthd/pim/gpu_ref.hpp"
+
+namespace robusthd::pim {
+namespace {
+
+TEST(Cost, GateSizes) {
+  EXPECT_EQ(cost_nor().cycles, 1u);
+  EXPECT_EQ(cost_not(1).cycles, 1u);
+  EXPECT_EQ(cost_and(1).cycles, 3u);
+  EXPECT_EQ(cost_or(1).cycles, 2u);
+  EXPECT_EQ(cost_xor(1).cycles, 5u);
+  EXPECT_EQ(cost_add(1).cycles, 9u);
+}
+
+TEST(Cost, BitwiseOpsScaleLinearly) {
+  EXPECT_EQ(cost_xor(100).cycles, 100 * cost_xor(1).cycles);
+  EXPECT_EQ(cost_add(32).cycles, 32 * cost_add(1).cycles);
+}
+
+TEST(Cost, MultiplyIsQuadratic) {
+  // The paper's claim: PIM write count grows quadratically with bit-width.
+  const auto c8 = cost_multiply(8).cycles;
+  const auto c16 = cost_multiply(16).cycles;
+  const auto c32 = cost_multiply(32).cycles;
+  EXPECT_GT(static_cast<double>(c16), 3.5 * static_cast<double>(c8));
+  EXPECT_LT(static_cast<double>(c16), 4.5 * static_cast<double>(c8));
+  EXPECT_GT(static_cast<double>(c32), 3.5 * static_cast<double>(c16));
+}
+
+TEST(Cost, OperatorAlgebra) {
+  const OpCost a{10, 20};
+  const OpCost b{1, 2};
+  const auto sum = a + b;
+  EXPECT_EQ(sum.cycles, 11u);
+  EXPECT_EQ(sum.switches, 22u);
+  const auto scaled = b * 5;
+  EXPECT_EQ(scaled.cycles, 5u);
+  EXPECT_EQ(scaled.switches, 10u);
+}
+
+TEST(Cost, PopcountIsLinearWithTreeConstant) {
+  const auto c100 = cost_popcount(100).cycles;
+  const auto c1000 = cost_popcount(1000).cycles;
+  EXPECT_GT(c1000, 8 * c100);
+  EXPECT_LT(c1000, 13 * c100);
+  EXPECT_EQ(cost_popcount(1).cycles, 0u);  // nothing to reduce
+  EXPECT_GT(cost_popcount(2).cycles, 0u);
+}
+
+TEST(Cost, PhysicalConversion) {
+  DeviceParams device;
+  device.switch_delay_ns = 2.0;
+  device.switch_energy_fj = 100.0;
+  const OpCost op{1000, 500};
+  const auto p = physical(op, device, 4);
+  EXPECT_DOUBLE_EQ(p.time_ns, 2000.0);
+  EXPECT_EQ(p.total_switches, 2000u);
+  EXPECT_DOUBLE_EQ(p.energy_pj, 2000 * 100.0 * 1e-3);
+}
+
+TEST(Accelerator, HdcBeatsDnnOnLatencyAndEnergy) {
+  DpimAccelerator accelerator;
+  DnnWorkloadSpec dnn;
+  dnn.layers = {{561, 512}, {512, 512}, {512, 12}};
+  HdcWorkloadSpec hdc{10000, 12, 561, true};
+  const auto dc = accelerator.cost_dnn(dnn);
+  const auto hc = accelerator.cost_hdc(hdc);
+  EXPECT_LT(hc.latency_us, dc.latency_us);
+  EXPECT_LT(hc.energy_uj, dc.energy_uj);
+  EXPECT_GT(hc.throughput_per_s, dc.throughput_per_s);
+}
+
+TEST(Accelerator, DnnCostScalesWithPrecision) {
+  DpimAccelerator accelerator;
+  DnnWorkloadSpec dnn8;
+  dnn8.layers = {{100, 100}};
+  DnnWorkloadSpec dnn16 = dnn8;
+  dnn16.weight_bits = 16;
+  const auto c8 = accelerator.cost_dnn(dnn8);
+  const auto c16 = accelerator.cost_dnn(dnn16);
+  // Quadratic multiply dominates: 16-bit should cost ~3-4x in switches.
+  EXPECT_GT(c16.device_switches, 3 * c8.device_switches);
+}
+
+TEST(Accelerator, HdcEncodingCostsExtra) {
+  DpimAccelerator accelerator;
+  HdcWorkloadSpec with{10000, 10, 561, true};
+  HdcWorkloadSpec without{10000, 10, 561, false};
+  const auto cw = accelerator.cost_hdc(with);
+  const auto co = accelerator.cost_hdc(without);
+  EXPECT_GT(cw.cycles, co.cycles);
+  EXPECT_GT(cw.device_switches, co.device_switches);
+}
+
+TEST(Accelerator, WearSurfaceScalesWithFootprint) {
+  DpimAccelerator accelerator;
+  HdcWorkloadSpec small{2000, 10, 561, true};
+  HdcWorkloadSpec large{20000, 10, 561, true};
+  EXPECT_LT(accelerator.cost_hdc(small).wear_cells,
+            accelerator.cost_hdc(large).wear_cells);
+}
+
+TEST(Lifetime, FailureFractionMonotone) {
+  DpimAccelerator accelerator;
+  HdcWorkloadSpec hdc{10000, 12, 561, true};
+  LifetimeModel lifetime(accelerator.cost_hdc(hdc), {});
+  double previous = -1.0;
+  for (const double days : {10.0, 100.0, 1000.0, 10000.0}) {
+    const double f = lifetime.failed_fraction(days);
+    EXPECT_GE(f, previous);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    previous = f;
+  }
+  EXPECT_DOUBLE_EQ(lifetime.failed_fraction(0.0), 0.0);
+}
+
+TEST(Lifetime, InverseIsConsistent) {
+  DpimAccelerator accelerator;
+  DnnWorkloadSpec dnn;
+  dnn.layers = {{561, 512}, {512, 12}};
+  LifetimeModel lifetime(accelerator.cost_dnn(dnn), {});
+  for (const double f : {0.001, 0.01, 0.1}) {
+    const double days = lifetime.days_until_failed_fraction(f);
+    EXPECT_NEAR(lifetime.failed_fraction(days), f, f * 0.05);
+  }
+}
+
+TEST(Lifetime, HigherServiceRateWearsFaster) {
+  DpimAccelerator accelerator;
+  HdcWorkloadSpec hdc{10000, 12, 561, true};
+  LifetimeConfig slow;
+  slow.inference_rate_per_s = 1.0;
+  LifetimeConfig fast;
+  fast.inference_rate_per_s = 100.0;
+  LifetimeModel a(accelerator.cost_hdc(hdc), slow);
+  LifetimeModel b(accelerator.cost_hdc(hdc), fast);
+  EXPECT_GT(a.days_until_failed_fraction(0.01),
+            b.days_until_failed_fraction(0.01));
+}
+
+TEST(Lifetime, MonteCarloAgreesWithAnalytic) {
+  DeviceParams device;
+  const double writes = device.endurance_writes * 0.5;  // below nominal
+  const double simulated =
+      simulate_failed_fraction(writes, device, 20000, 42);
+  // Analytic: Phi(ln(0.5)/sigma).
+  const double z = std::log(0.5) / device.endurance_sigma;
+  const double analytic = 0.5 * std::erfc(-z / std::sqrt(2.0));
+  EXPECT_NEAR(simulated, analytic, 0.02);
+}
+
+TEST(GpuRef, DnnCostsScaleWithWorkload) {
+  DnnWorkloadSpec small;
+  small.layers = {{100, 100}};
+  DnnWorkloadSpec large;
+  large.layers = {{1000, 1000}};
+  const auto cs = gpu_cost_dnn(small);
+  const auto cl = gpu_cost_dnn(large);
+  EXPECT_GT(cl.latency_us, cs.latency_us);
+  EXPECT_GT(cl.energy_uj, cs.energy_uj);
+  EXPECT_LT(cl.throughput_per_s, cs.throughput_per_s);
+}
+
+TEST(GpuRef, HdcGpuFasterWithoutEncoding) {
+  HdcWorkloadSpec with{10000, 10, 561, true};
+  HdcWorkloadSpec without{10000, 10, 561, false};
+  EXPECT_LT(gpu_cost_hdc(without).latency_us,
+            gpu_cost_hdc(with).latency_us);
+}
+
+}  // namespace
+}  // namespace robusthd::pim

@@ -1,0 +1,169 @@
+// Parameterised property sweeps across the library's core invariants —
+// the behaviours that must hold for every dimension, rate and seed, not
+// just the defaults the other suites exercise.
+#include <gtest/gtest.h>
+
+#include "robusthd/fault/injector.hpp"
+#include "robusthd/hv/binvec.hpp"
+#include "robusthd/hv/encoder.hpp"
+#include "robusthd/model/hdc_model.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd {
+namespace {
+
+// ---------------------------------------------------------------- binding
+
+class BindAlgebra
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(BindAlgebra, XorGroupProperties) {
+  const auto [dim, seed] = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 1000 + dim);
+  const auto a = hv::BinVec::random(dim, rng);
+  const auto b = hv::BinVec::random(dim, rng);
+  const auto c = hv::BinVec::random(dim, rng);
+  // Commutative, associative, self-inverse, identity.
+  EXPECT_EQ(hv::bind(a, b), hv::bind(b, a));
+  EXPECT_EQ(hv::bind(hv::bind(a, b), c), hv::bind(a, hv::bind(b, c)));
+  EXPECT_EQ(hv::bind(a, a), hv::BinVec(dim));
+  EXPECT_EQ(hv::bind(a, hv::BinVec(dim)), a);
+}
+
+TEST_P(BindAlgebra, BindingIsAnIsometry) {
+  const auto [dim, seed] = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 977 + dim);
+  const auto a = hv::BinVec::random(dim, rng);
+  const auto b = hv::BinVec::random(dim, rng);
+  const auto key = hv::BinVec::random(dim, rng);
+  EXPECT_EQ(hv::hamming(a, b),
+            hv::hamming(hv::bind(a, key), hv::bind(b, key)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSeeds, BindAlgebra,
+    ::testing::Combine(::testing::Values(64, 100, 1000, 10000),
+                       ::testing::Values(1, 2, 3)));
+
+// ------------------------------------------------------------- injection
+
+class InjectionRates : public ::testing::TestWithParam<double> {};
+
+TEST_P(InjectionRates, FlipCountTracksRateOnBinaryRegions) {
+  const double rate = GetParam();
+  std::vector<std::byte> buffer(1250, std::byte{0});
+  std::vector<fault::MemoryRegion> regions{{buffer, 1, "hv"}};
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(rate * 1e4));
+  const auto report =
+      fault::BitFlipInjector::inject(regions, rate, fault::AttackMode::kRandom, rng);
+  EXPECT_NEAR(report.rate(), rate, 1e-4);
+  // Flips are distinct, so the number of set bits equals the flip count.
+  std::size_t set = 0;
+  for (std::size_t i = 0; i < buffer.size() * 8; ++i) {
+    set += util::get_bit(std::span<const std::byte>(buffer), i);
+  }
+  EXPECT_EQ(set, report.flipped);
+}
+
+TEST_P(InjectionRates, DoubleInjectionPartiallyCancels) {
+  // Injecting twice with the same rate r flips some bits back: expected
+  // final flipped fraction is 2r(1-r) < 2r (sanity of independence).
+  const double rate = GetParam();
+  if (rate == 0.0) return;
+  std::vector<std::byte> buffer(2500, std::byte{0});
+  std::vector<fault::MemoryRegion> regions{{buffer, 1, "hv"}};
+  util::Xoshiro256 rng(99);
+  fault::BitFlipInjector::inject(regions, rate, fault::AttackMode::kRandom, rng);
+  fault::BitFlipInjector::inject(regions, rate, fault::AttackMode::kRandom, rng);
+  std::size_t set = 0;
+  const std::size_t total = buffer.size() * 8;
+  for (std::size_t i = 0; i < total; ++i) {
+    set += util::get_bit(std::span<const std::byte>(buffer), i);
+  }
+  const double expected = 2.0 * rate * (1.0 - rate);
+  EXPECT_NEAR(static_cast<double>(set) / static_cast<double>(total),
+              expected, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, InjectionRates,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.10, 0.20));
+
+// ------------------------------------------------------- model invariants
+
+class ModelDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ModelDims, FlipsDegradeSimilarityLinearly) {
+  // Flipping fraction r of a stored vector moves similarity toward 0.5 by
+  // the exact factor (1 - 2r) in expectation — the multiplicative margin
+  // shrink DESIGN.md relies on.
+  const std::size_t dim = GetParam();
+  util::Xoshiro256 rng(dim);
+  const auto query = hv::BinVec::random(dim, rng);
+  auto stored = query;  // similarity 1.0
+  const double rate = 0.1;
+  auto words = stored.mutable_words();
+  fault::MemoryRegion region{std::as_writable_bytes(words), 1, "hv"};
+  fault::BitFlipInjector::flip_random_bits(
+      region, static_cast<std::size_t>(rate * dim), rng);
+  stored.mask_tail();
+  // Expected similarity: 1 - r, sd ~ sqrt(r(1-r)/D) (tail flips excluded
+  // by masking, so allow a small extra tolerance).
+  EXPECT_NEAR(hv::similarity(query, stored), 1.0 - rate,
+              4.0 / std::sqrt(static_cast<double>(dim)) + 0.01);
+}
+
+TEST_P(ModelDims, TrainedModelBeatsChance) {
+  const std::size_t dim = GetParam();
+  util::Xoshiro256 rng(dim * 3 + 1);
+  std::vector<hv::BinVec> prototypes;
+  std::vector<hv::BinVec> samples;
+  std::vector<int> labels;
+  const std::size_t classes = 4;
+  for (std::size_t c = 0; c < classes; ++c) {
+    prototypes.push_back(hv::BinVec::random(dim, rng));
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      auto v = prototypes[c];
+      for (std::size_t d = 0; d < dim; ++d) {
+        if (rng.bernoulli(0.2)) v.flip(d);
+      }
+      samples.push_back(std::move(v));
+      labels.push_back(static_cast<int>(c));
+    }
+  }
+  const auto model = model::HdcModel::train(samples, labels, classes, {});
+  EXPECT_GT(model.evaluate(samples, labels), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ModelDims,
+                         ::testing::Values(512, 1000, 4096, 10000));
+
+// ----------------------------------------------------- encoder invariance
+
+class EncoderSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderSeeds, EncodingDistanceMonotoneInInputDistance) {
+  hv::EncoderConfig config;
+  config.dimension = 4096;
+  config.seed = static_cast<std::uint64_t>(GetParam());
+  hv::RecordEncoder encoder(32, config);
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 7);
+  std::vector<float> base(32);
+  for (auto& v : base) v = 0.2f + 0.6f * static_cast<float>(rng.uniform());
+  const auto h0 = encoder.encode(base);
+
+  double previous = 1.0;
+  for (const float delta : {0.02f, 0.08f, 0.2f, 0.4f}) {
+    auto moved = base;
+    for (auto& v : moved) v = std::clamp(v + delta, 0.0f, 1.0f);
+    const double sim = hv::similarity(h0, encoder.encode(moved));
+    EXPECT_LT(sim, previous + 0.02) << "delta " << delta;
+    previous = sim;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncoderSeeds, ::testing::Values(1, 7, 42));
+
+}  // namespace
+}  // namespace robusthd

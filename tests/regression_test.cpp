@@ -1,0 +1,143 @@
+// Tests for the hyperdimensional regressor (RegHD extension).
+#include "robusthd/model/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "robusthd/fault/injector.hpp"
+#include "robusthd/hv/encoder.hpp"
+#include "robusthd/util/rng.hpp"
+#include "robusthd/util/stats.hpp"
+
+namespace robusthd::model {
+namespace {
+
+/// Synthetic regression task: y = sum of a few features + mild
+/// nonlinearity, targets in roughly [0, 3].
+struct Task {
+  std::vector<hv::BinVec> train, test;
+  std::vector<double> train_y, test_y;
+  double target_spread = 0.0;
+};
+
+Task make_task(std::uint64_t seed) {
+  const std::size_t features = 24;
+  hv::EncoderConfig config;
+  config.dimension = 4000;
+  hv::RecordEncoder encoder(features, config);
+  util::Xoshiro256 rng(seed);
+
+  util::RunningStats spread;
+  auto sample = [&](std::vector<hv::BinVec>& xs, std::vector<double>& ys,
+                    std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<float> x(features);
+      for (auto& v : x) v = static_cast<float>(rng.uniform());
+      const double y = x[0] + 0.8 * x[1] + 0.5 * x[2] * x[2] +
+                       0.05 * rng.normal();
+      xs.push_back(encoder.encode(x));
+      ys.push_back(y);
+      spread.add(y);
+    }
+  };
+
+  Task task;
+  sample(task.train, task.train_y, 400);
+  sample(task.test, task.test_y, 150);
+  task.target_spread = spread.stddev();
+  return task;
+}
+
+TEST(HdcRegressor, BeatsPredictingTheMean) {
+  const auto task = make_task(1);
+  const auto model = HdcRegressor::train(task.train, task.train_y);
+  const double error = model.rmse(task.test, task.test_y);
+  // Predicting the mean would give RMSE ~= target spread; the regressor
+  // must do clearly better.
+  EXPECT_LT(error, 0.5 * task.target_spread);
+}
+
+TEST(HdcRegressor, PredictionsCorrelateWithTargets) {
+  const auto task = make_task(2);
+  const auto model = HdcRegressor::train(task.train, task.train_y);
+  // Pearson correlation between prediction and truth.
+  util::RunningStats ps, ys;
+  std::vector<double> preds;
+  for (std::size_t i = 0; i < task.test.size(); ++i) {
+    preds.push_back(model.predict(task.test[i]));
+    ps.add(preds.back());
+    ys.add(task.test_y[i]);
+  }
+  double cov = 0.0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    cov += (preds[i] - ps.mean()) * (task.test_y[i] - ys.mean());
+  }
+  cov /= static_cast<double>(preds.size() - 1);
+  const double correlation = cov / (ps.stddev() * ys.stddev());
+  EXPECT_GT(correlation, 0.85);
+}
+
+TEST(HdcRegressor, RobustToRandomFlips) {
+  const auto task = make_task(3);
+  auto model = HdcRegressor::train(task.train, task.train_y);
+  const double clean = model.rmse(task.test, task.test_y);
+  util::Xoshiro256 rng(4);
+  auto regions = model.memory_regions();
+  fault::BitFlipInjector::inject(regions, 0.05, fault::AttackMode::kRandom,
+                                 rng);
+  const double attacked = model.rmse(task.test, task.test_y);
+  // Error grows but stays the same order of magnitude (quantised int8
+  // hypervector weights degrade; they do not explode the way a dense
+  // regression on raw floats would under exponent flips).
+  EXPECT_LT(attacked, clean + task.target_spread);
+}
+
+TEST(HdcRegressor, HigherDimensionIsMoreRobust) {
+  const std::size_t features = 16;
+  util::Xoshiro256 rng(5);
+  auto build = [&](std::size_t dim) {
+    hv::EncoderConfig config;
+    config.dimension = dim;
+    hv::RecordEncoder encoder(features, config);
+    std::vector<hv::BinVec> xs;
+    std::vector<double> ys;
+    util::Xoshiro256 data_rng(6);  // same data for both dims
+    for (int i = 0; i < 300; ++i) {
+      std::vector<float> x(features);
+      for (auto& v : x) v = static_cast<float>(data_rng.uniform());
+      xs.push_back(encoder.encode(x));
+      ys.push_back(x[0] + x[1]);
+    }
+    return std::pair{std::move(xs), std::move(ys)};
+  };
+  auto [small_x, small_y] = build(500);
+  auto [large_x, large_y] = build(8000);
+  auto small = HdcRegressor::train(small_x, small_y);
+  auto large = HdcRegressor::train(large_x, large_y);
+
+  auto degradation = [&](HdcRegressor& m, auto& xs, auto& ys) {
+    const double clean = m.rmse(xs, ys);
+    util::RunningStats loss;
+    for (int r = 0; r < 3; ++r) {
+      auto victim = m;  // copy
+      util::Xoshiro256 attack_rng(100 + r);
+      auto regions = victim.memory_regions();
+      fault::BitFlipInjector::inject(regions, 0.05,
+                                     fault::AttackMode::kRandom, attack_rng);
+      loss.add(victim.rmse(xs, ys) - clean);
+    }
+    return loss.mean();
+  };
+  EXPECT_LT(degradation(large, large_x, large_y),
+            degradation(small, small_x, small_y));
+}
+
+TEST(HdcRegressor, EmptyTestSetIsZeroError) {
+  const auto task = make_task(7);
+  const auto model = HdcRegressor::train(task.train, task.train_y);
+  EXPECT_DOUBLE_EQ(model.rmse({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace robusthd::model

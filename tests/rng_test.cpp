@@ -1,0 +1,148 @@
+// Tests for the deterministic random-number substrate.
+#include "robusthd/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace robusthd::util {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(42), b(42), c(43);
+  const auto a1 = a.next();
+  EXPECT_EQ(a1, b.next());
+  EXPECT_NE(a1, c.next());
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    ASSERT_GE(u, -2.0);
+    ASSERT_LT(u, 3.0);
+  }
+}
+
+TEST(Xoshiro256, BelowIsUnbiased) {
+  Xoshiro256 rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (const auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(Xoshiro256, BelowZeroReturnsZero) {
+  Xoshiro256 rng(6);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 rng(8);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Xoshiro256, NormalMomentsMatch) {
+  Xoshiro256 rng(9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Xoshiro256, NormalScaleShift) {
+  Xoshiro256 rng(10);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Xoshiro256, FillRandomizesWords) {
+  Xoshiro256 rng(11);
+  std::vector<std::uint64_t> words(64, 0);
+  rng.fill(words);
+  std::size_t nonzero = 0;
+  for (const auto w : words) nonzero += (w != 0);
+  EXPECT_GT(nonzero, 60u);
+}
+
+TEST(Xoshiro256, ForkDecorrelates) {
+  Xoshiro256 a(12);
+  auto b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Shuffle, IsAPermutation) {
+  Xoshiro256 rng(13);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto sorted = v;
+  shuffle(std::span<int>(v), rng);
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));  // overwhelmingly likely
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Shuffle, HandlesDegenerateSizes) {
+  Xoshiro256 rng(14);
+  std::vector<int> empty;
+  shuffle(std::span<int>(empty), rng);
+  std::vector<int> one{5};
+  shuffle(std::span<int>(one), rng);
+  EXPECT_EQ(one[0], 5);
+}
+
+}  // namespace
+}  // namespace robusthd::util

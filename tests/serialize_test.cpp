@@ -1,0 +1,109 @@
+// Tests for model serialisation.
+#include "robusthd/core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "robusthd/data/synthetic.hpp"
+#include "robusthd/fault/injector.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::core {
+namespace {
+
+data::Split small_split() {
+  const auto spec = data::scaled(data::dataset_by_name("PAMAP"), 300, 100);
+  return data::make_synthetic(spec);
+}
+
+HdcClassifierConfig small_config() {
+  HdcClassifierConfig config;
+  config.encoder.dimension = 2000;
+  return config;
+}
+
+TEST(Serialize, BlobRoundTripsPredictions) {
+  const auto split = small_split();
+  auto original = HdcClassifier::train(split.train, small_config());
+  const auto blob = serialize(original);
+  EXPECT_GT(blob.size(), 1000u);
+
+  auto restored = deserialize(blob);
+  EXPECT_EQ(restored.model().num_classes(), original.model().num_classes());
+  EXPECT_EQ(restored.model().dimension(), original.model().dimension());
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    ASSERT_EQ(restored.predict(split.test.sample(i)),
+              original.predict(split.test.sample(i)))
+        << "sample " << i;
+  }
+}
+
+TEST(Serialize, RoundTripsMultibitModels) {
+  const auto split = small_split();
+  auto config = small_config();
+  config.model.precision_bits = 2;
+  auto original = HdcClassifier::train(split.train, config);
+  auto restored = deserialize(serialize(original));
+  EXPECT_EQ(restored.model().precision_bits(), 2u);
+  for (std::size_t i = 0; i < 30; ++i) {
+    ASSERT_EQ(restored.predict(split.test.sample(i)),
+              original.predict(split.test.sample(i)));
+  }
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::vector<std::byte> garbage(64, std::byte{0xAB});
+  EXPECT_THROW(deserialize(garbage), std::runtime_error);
+  std::vector<std::byte> tiny(4, std::byte{0});
+  EXPECT_THROW(deserialize(tiny), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedBlob) {
+  const auto split = small_split();
+  auto original = HdcClassifier::train(split.train, small_config());
+  auto blob = serialize(original);
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(deserialize(blob), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto split = small_split();
+  auto original = HdcClassifier::train(split.train, small_config());
+  const std::string path = "/tmp/robusthd_serialize_test.rhd";
+  save_model(original, path);
+  auto restored = load_model(path);
+  std::remove(path.c_str());
+  EXPECT_NEAR(restored.evaluate(split.test), original.evaluate(split.test),
+              1e-12);
+}
+
+TEST(Serialize, FileErrorsThrow) {
+  EXPECT_THROW(load_model("/nonexistent/dir/model.rhd"), std::runtime_error);
+  const auto split = small_split();
+  auto clf = HdcClassifier::train(split.train, small_config());
+  EXPECT_THROW(save_model(clf, "/nonexistent/dir/model.rhd"),
+               std::runtime_error);
+}
+
+TEST(Serialize, AttackedModelSurvivesRoundTrip) {
+  // Serialisation must preserve the *exact* stored bits — including
+  // injected faults (the blob is the attack surface at rest).
+  const auto split = small_split();
+  auto original = HdcClassifier::train(split.train, small_config());
+  util::Xoshiro256 rng(1);
+  auto regions = original.memory_regions();
+  fault::BitFlipInjector::inject(regions, 0.1, fault::AttackMode::kRandom,
+                                 rng);
+  auto restored = deserialize(serialize(original));
+  // Compare the D meaningful bits (deserialisation re-zeros the padding
+  // bits of the final word, which the injector may have flipped).
+  for (std::size_t c = 0; c < original.model().num_classes(); ++c) {
+    const auto& a = restored.model().class_vector(c).planes[0];
+    const auto& b = original.model().class_vector(c).planes[0];
+    EXPECT_EQ(hv::hamming_range(a, b, 0, a.dimension()), 0u) << c;
+  }
+}
+
+}  // namespace
+}  // namespace robusthd::core

@@ -1,0 +1,107 @@
+// Tests for streaming statistics and evaluation metrics.
+#include "robusthd/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace robusthd::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Accuracy, CountsMatches) {
+  const int pred[] = {0, 1, 2, 1};
+  const int truth[] = {0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(accuracy(pred, truth), 0.75);
+}
+
+TEST(Accuracy, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+}
+
+TEST(QualityLoss, FlooredAtZero) {
+  EXPECT_NEAR(quality_loss(0.95, 0.90), 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(quality_loss(0.90, 0.95), 0.0);
+}
+
+TEST(ConfusionMatrix, AccumulatesAndScores) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 0);
+  EXPECT_EQ(cm.at(0, 0), 2u);
+  EXPECT_EQ(cm.at(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+}
+
+TEST(ConfusionMatrix, IgnoresOutOfRange) {
+  ConfusionMatrix cm(2);
+  cm.add(-1, 0);
+  cm.add(0, 5);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(Softmax, SumsToOneAndOrders) {
+  const double scores[] = {1.0, 2.0, 3.0};
+  const auto p = softmax(scores);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(Softmax, TemperatureSharpens) {
+  const double scores[] = {1.0, 2.0};
+  const auto soft = softmax(scores, 10.0);
+  const auto sharp = softmax(scores, 0.1);
+  EXPECT_LT(soft[1], sharp[1]);
+  EXPECT_GT(sharp[1], 0.99);
+}
+
+TEST(Softmax, StableUnderLargeInputs) {
+  const double scores[] = {1000.0, 1001.0};
+  const auto p = softmax(scores);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Percentile, InterpolatesCorrectly) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+}  // namespace
+}  // namespace robusthd::util

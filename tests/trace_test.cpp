@@ -1,0 +1,94 @@
+// Tests for attack recording and replay.
+#include "robusthd/fault/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "robusthd/util/bitops.hpp"
+
+namespace robusthd::fault {
+namespace {
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.below(256));
+  return out;
+}
+
+TEST(AttackTrace, RecordCapturesEveryFlip) {
+  auto buffer = random_bytes(125, 1);
+  std::vector<MemoryRegion> regions{{buffer, 1, "hv"}};
+  util::Xoshiro256 rng(2);
+  AttackTrace trace;
+  const auto report = trace.record(regions, 0.05, AttackMode::kRandom, rng);
+  EXPECT_EQ(trace.size(), report.flipped);
+  EXPECT_EQ(trace.size(), 50u);
+}
+
+TEST(AttackTrace, ReplayReproducesTheAttackExactly) {
+  auto original = random_bytes(200, 3);
+  auto attacked = original;
+  std::vector<MemoryRegion> regions{{attacked, 8, "w"}};
+  util::Xoshiro256 rng(4);
+  AttackTrace trace;
+  trace.record(regions, 0.08, AttackMode::kTargeted, rng);
+
+  // Replay onto a fresh copy: must produce the identical corrupted state.
+  auto replayed = original;
+  std::vector<MemoryRegion> fresh{{replayed, 8, "w"}};
+  trace.replay(fresh);
+  EXPECT_EQ(replayed, attacked);
+
+  // Replaying again flips the same bits back to the original.
+  trace.replay(fresh);
+  EXPECT_EQ(replayed, original);
+}
+
+TEST(AttackTrace, MultiRegionAttribution) {
+  auto a = random_bytes(64, 5);
+  auto b = random_bytes(64, 6);
+  std::vector<MemoryRegion> regions{{a, 1, "a"}, {b, 1, "b"}};
+  util::Xoshiro256 rng(7);
+  AttackTrace trace;
+  trace.record(regions, 0.1, AttackMode::kRandom, rng);
+  bool saw_region0 = false, saw_region1 = false;
+  for (const auto& event : trace.events()) {
+    ASSERT_LT(event.region, 2u);
+    ASSERT_LT(event.bit, 512u);
+    saw_region0 |= event.region == 0;
+    saw_region1 |= event.region == 1;
+  }
+  EXPECT_TRUE(saw_region0);
+  EXPECT_TRUE(saw_region1);
+}
+
+TEST(AttackTrace, ReplayRejectsMismatchedShape) {
+  auto buffer = random_bytes(64, 8);
+  std::vector<MemoryRegion> regions{{buffer, 1, "x"}};
+  util::Xoshiro256 rng(9);
+  AttackTrace trace;
+  trace.record(regions, 0.1, AttackMode::kRandom, rng);
+  std::vector<std::byte> tiny(1);
+  std::vector<MemoryRegion> wrong{{tiny, 1, "tiny"}};
+  EXPECT_THROW(trace.replay(wrong), std::out_of_range);
+}
+
+TEST(AttackTrace, SerializationRoundTrip) {
+  auto buffer = random_bytes(100, 10);
+  std::vector<MemoryRegion> regions{{buffer, 8, "w"}};
+  util::Xoshiro256 rng(11);
+  AttackTrace trace;
+  trace.record(regions, 0.06, AttackMode::kRandom, rng);
+
+  const auto blob = trace.serialize();
+  const auto restored = AttackTrace::deserialize(blob);
+  ASSERT_EQ(restored.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(restored.events()[i], trace.events()[i]);
+  }
+  EXPECT_THROW(AttackTrace::deserialize(std::vector<std::byte>(3)),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace robusthd::fault

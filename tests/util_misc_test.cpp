@@ -1,0 +1,117 @@
+// Tests for the small utilities: table printing, CSV emission, timer, and
+// the fault-campaign runner.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "robusthd/fault/campaign.hpp"
+#include "robusthd/util/bitops.hpp"
+#include "robusthd/util/csv.hpp"
+#include "robusthd/util/table.hpp"
+#include "robusthd/util/timer.hpp"
+
+namespace robusthd {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  util::TextTable table({"name", "v"});
+  table.add_row({"long-name", "1"}).add_row({"x", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("| name      | v  |"), std::string::npos);
+  EXPECT_NE(text.find("| long-name | 1  |"), std::string::npos);
+  EXPECT_NE(text.find("| x         | 22 |"), std::string::npos);
+}
+
+TEST(TextTable, ToleratesShortRows) {
+  util::TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Formatting, PctAndFixed) {
+  EXPECT_EQ(util::pct(0.1234), "12.34%");
+  EXPECT_EQ(util::pct(0.1234, 0), "12%");
+  EXPECT_EQ(util::pct(1.0, 1), "100.0%");
+  EXPECT_EQ(util::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(util::fixed(-1.5, 0), "-2");  // round-half-to-even via iostream
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = "/tmp/robusthd_csv_test.csv";
+  {
+    util::CsvWriter csv(path, {"a", "b"});
+    ASSERT_TRUE(csv.ok());
+    csv.row(1, "x");
+    csv.row(2.5, "y,z");
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2.5,y,z");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, UnwritablePathIsSilentNoOp) {
+  util::CsvWriter csv("/nonexistent-dir/impossible.csv", {"a"});
+  EXPECT_FALSE(csv.ok());
+  csv.row(1);  // must not crash
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  util::Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.millis(), 15.0);
+  timer.reset();
+  EXPECT_LT(timer.millis(), 15.0);
+}
+
+TEST(Campaign, RunsRepetitionsAndAggregates) {
+  // A fake "model": a byte buffer whose "accuracy" is the fraction of
+  // zero bits — random flips lower it deterministically in expectation.
+  struct Fake {
+    std::vector<std::byte> bytes = std::vector<std::byte>(125, std::byte{0});
+  };
+  fault::CampaignConfig config;
+  config.error_rate = 0.10;
+  config.repetitions = 4;
+
+  int victims_made = 0;
+  const auto result = fault::run_campaign<Fake>(
+      config, 1.0,
+      [&] {
+        ++victims_made;
+        return Fake{};
+      },
+      [](Fake& fake) {
+        return std::vector<fault::MemoryRegion>{
+            {fake.bytes, 1, "fake"}};
+      },
+      [](const Fake& fake) {
+        std::size_t zeros = 0;
+        for (std::size_t i = 0; i < fake.bytes.size() * 8; ++i) {
+          zeros += !util::get_bit(
+              std::span<const std::byte>(fake.bytes), i);
+        }
+        return static_cast<double>(zeros) /
+               static_cast<double>(fake.bytes.size() * 8);
+      });
+
+  EXPECT_EQ(victims_made, 4);
+  EXPECT_EQ(result.faulty_accuracy.count(), 4u);
+  EXPECT_NEAR(result.faulty_accuracy.mean(), 0.90, 1e-9);
+  EXPECT_NEAR(result.mean_quality_loss(), 0.10, 1e-9);
+}
+
+}  // namespace
+}  // namespace robusthd

@@ -1,0 +1,123 @@
+// Tests for Start-Gap wear levelling and the crossbar HDC kernels.
+#include <gtest/gtest.h>
+
+#include "robusthd/pim/hdc_kernels.hpp"
+#include "robusthd/pim/wearlevel.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::pim {
+namespace {
+
+TEST(StartGap, MappingIsABijection) {
+  StartGapLeveler leveler(16, 5);
+  for (int step = 0; step < 200; ++step) {
+    std::vector<bool> seen(17, false);
+    for (std::size_t l = 0; l < 16; ++l) {
+      const auto p = leveler.physical_of(l);
+      ASSERT_LT(p, 17u);
+      ASSERT_FALSE(seen[p]) << "collision at step " << step;
+      seen[p] = true;
+    }
+    leveler.write(static_cast<std::size_t>(step) % 16);
+  }
+}
+
+TEST(StartGap, MappingRotatesOverTime) {
+  StartGapLeveler leveler(8, 1);  // gap moves on every write
+  const auto before = leveler.physical_of(3);
+  for (int i = 0; i < 40; ++i) leveler.write(0);
+  EXPECT_GT(leveler.gap_moves(), 30u);
+  // After many gap movements the mapping must have moved.
+  bool moved = false;
+  for (int i = 0; i < 9; ++i) {
+    if (leveler.physical_of(3) != before) moved = true;
+    leveler.write(0);
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(StartGap, LevelsAHotLine) {
+  // Pathological workload: every write hits logical line 0. Without
+  // levelling one physical line absorbs everything (imbalance = lines);
+  // Start-Gap spreads it to a small constant factor.
+  const std::size_t lines = 64;
+  StartGapLeveler leveler(lines, 8);
+  for (int i = 0; i < 200000; ++i) leveler.write(0);
+  EXPECT_LT(leveler.imbalance(), 10.0);
+  // Every physical line took some writes.
+  std::size_t untouched = 0;
+  for (const auto w : leveler.wear()) untouched += (w == 0);
+  EXPECT_EQ(untouched, 0u);
+}
+
+TEST(StartGap, UniformWorkloadStaysUniform) {
+  StartGapLeveler leveler(32, 100);
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 64000; ++i) {
+    leveler.write(static_cast<std::size_t>(rng.below(32)));
+  }
+  EXPECT_LT(leveler.imbalance(), 1.5);
+}
+
+TEST(CrossbarHdcUnit, StoresAndReadsClasses) {
+  util::Xoshiro256 rng(2);
+  CrossbarHdcUnit unit(256, 4);
+  std::vector<hv::BinVec> classes;
+  for (std::size_t c = 0; c < 4; ++c) {
+    classes.push_back(hv::BinVec::random(256, rng));
+    unit.load_class(c, classes.back());
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(unit.read_class(c), classes[c]);
+  }
+}
+
+TEST(CrossbarHdcUnit, HammingSearchMatchesSoftware) {
+  util::Xoshiro256 rng(3);
+  CrossbarHdcUnit unit(512, 6);
+  std::vector<hv::BinVec> classes;
+  for (std::size_t c = 0; c < 6; ++c) {
+    classes.push_back(hv::BinVec::random(512, rng));
+    unit.load_class(c, classes.back());
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto query = hv::BinVec::random(512, rng);
+    const auto distances = unit.hamming_search(query);
+    ASSERT_EQ(distances.size(), 6u);
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_EQ(distances[c], hv::hamming(query, classes[c])) << c;
+    }
+  }
+}
+
+TEST(CrossbarHdcUnit, NorStepsMatchCostAlgebra) {
+  util::Xoshiro256 rng(4);
+  CrossbarHdcUnit unit(128, 5);
+  for (std::size_t c = 0; c < 5; ++c) {
+    unit.load_class(c, hv::BinVec::random(128, rng));
+  }
+  unit.array().reset_counters();
+  unit.hamming_search(hv::BinVec::random(128, rng));
+  EXPECT_EQ(unit.array().nor_steps(),
+            CrossbarHdcUnit::expected_nor_steps(5));
+  EXPECT_EQ(unit.array().nor_steps(), 5 * cost_xor(1).cycles);
+}
+
+TEST(CrossbarHdcUnit, SearchWearLandsInScratchColumns) {
+  util::Xoshiro256 rng(5);
+  CrossbarHdcUnit unit(64, 2);
+  for (std::size_t c = 0; c < 2; ++c) {
+    unit.load_class(c, hv::BinVec::random(64, rng));
+  }
+  unit.array().reset_counters();
+  unit.hamming_search(hv::BinVec::random(64, rng));
+  // Class columns are never written by the search itself.
+  for (std::size_t d = 0; d < 64; ++d) {
+    EXPECT_EQ(unit.array().cell_writes(d, 0), 0u);
+    EXPECT_EQ(unit.array().cell_writes(d, 1), 0u);
+  }
+  EXPECT_GT(unit.array().total_writes(), 0u);
+}
+
+}  // namespace
+}  // namespace robusthd::pim

@@ -1,0 +1,231 @@
+// robusthd — command-line front end for the library.
+//
+// Subcommands:
+//   train   --dataset NAME --out FILE [--dimension D] [--levels L]
+//           [--train N] [--test N] [--precision B] [--seed S]
+//       Train on a synthetic paper benchmark and save the model.
+//       Alternatively --csv FILE [--label-col I] [--header 1]
+//       [--split 0.8] trains on a real CSV dataset (numeric features,
+//       label column anywhere; see data/loader.hpp).
+//   eval    --model FILE --dataset NAME [--test N] [--seed S]
+//       Load a model and report accuracy.
+//   attack  --model FILE --dataset NAME --rate R
+//           [--mode random|targeted|clustered] [--out FILE]
+//       Inject bit flips into a stored model, report the damage, and
+//       optionally save the attacked model.
+//   recover --model FILE --dataset NAME [--epochs E] [--out FILE]
+//       Run the RobustHD self-recovery over unlabeled queries.
+//   info    --model FILE
+//       Print a stored model's shape.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "robusthd/robusthd.hpp"
+#include "robusthd/util/timer.hpp"
+
+using namespace robusthd;
+
+namespace {
+
+/// Minimal --flag VALUE parser; every flag takes exactly one value.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+  long number(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+
+  double real(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+data::Split load_split(const Args& args) {
+  const auto csv = args.get("csv", "");
+  if (!csv.empty()) {
+    data::CsvOptions options;
+    options.label_column = static_cast<int>(args.number("label-col", -1));
+    options.has_header = args.number("header", 0) != 0;
+    const auto dataset = data::load_csv(csv, options);
+    auto split = data::train_test_split(
+        dataset, args.real("split", 0.8),
+        static_cast<std::uint64_t>(args.number("seed", 0x5eed)));
+    data::normalize_minmax(split);
+    return split;
+  }
+  const auto name = args.require("dataset");
+  const auto spec = data::scaled(
+      data::dataset_by_name(name),
+      static_cast<std::size_t>(args.number("train", 2000)),
+      static_cast<std::size_t>(args.number("test", 600)));
+  return data::make_synthetic(
+      spec, static_cast<std::uint64_t>(args.number("seed", 0x5eed)));
+}
+
+fault::AttackMode parse_mode(const std::string& mode) {
+  if (mode == "random") return fault::AttackMode::kRandom;
+  if (mode == "targeted") return fault::AttackMode::kTargeted;
+  if (mode == "clustered") return fault::AttackMode::kClustered;
+  std::fprintf(stderr, "unknown attack mode: %s\n", mode.c_str());
+  std::exit(2);
+}
+
+int cmd_train(const Args& args) {
+  const auto split = load_split(args);
+  core::HdcClassifierConfig config;
+  config.encoder.dimension =
+      static_cast<std::size_t>(args.number("dimension", 10000));
+  config.encoder.levels = static_cast<std::size_t>(args.number("levels", 32));
+  config.model.precision_bits =
+      static_cast<unsigned>(args.number("precision", 1));
+
+  util::Timer timer;
+  auto clf = core::HdcClassifier::train(split.train, config);
+  const double train_acc = clf.evaluate(split.train);
+  const double test_acc = clf.evaluate(split.test);
+  std::printf("trained in %.1fs: train %.2f%%, test %.2f%%\n",
+              timer.seconds(), train_acc * 100.0, test_acc * 100.0);
+
+  const auto out = args.require("out");
+  core::save_model(clf, out);
+  std::printf("saved %s (%zu classes x D=%zu, %u-bit)\n", out.c_str(),
+              clf.model().num_classes(), clf.model().dimension(),
+              clf.model().precision_bits());
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  auto clf = core::load_model(args.require("model"));
+  const auto split = load_split(args);
+  std::printf("test accuracy %.2f%%\n", clf.evaluate(split.test) * 100.0);
+  return 0;
+}
+
+int cmd_attack(const Args& args) {
+  auto clf = core::load_model(args.require("model"));
+  const auto split = load_split(args);
+  const double clean = clf.evaluate(split.test);
+
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+  auto regions = clf.memory_regions();
+  const auto report = fault::BitFlipInjector::inject(
+      regions, args.real("rate", 0.10),
+      parse_mode(args.get("mode", "random")), rng);
+  const double attacked = clf.evaluate(split.test);
+  std::printf("flipped %zu/%zu bits (%.2f%%): accuracy %.2f%% -> %.2f%% "
+              "(quality loss %.2f%%)\n",
+              report.flipped, report.total_bits, report.rate() * 100.0,
+              clean * 100.0, attacked * 100.0, (clean - attacked) * 100.0);
+
+  const auto out = args.get("out", "");
+  if (!out.empty()) {
+    core::save_model(clf, out);
+    std::printf("saved attacked model to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_recover(const Args& args) {
+  auto clf = core::load_model(args.require("model"));
+  const auto split = load_split(args);
+  const double before = clf.evaluate(split.test);
+
+  clf.enable_recovery({});
+  const auto epochs = args.number("epochs", 10);
+  for (long e = 0; e < epochs; ++e) {
+    for (std::size_t i = 0; i < split.test.size(); ++i) {
+      clf.predict_and_recover(split.test.sample(i));
+    }
+  }
+  const double after = clf.evaluate(split.test);
+  std::printf("recovery over %ld epochs (%zu updates, %zu bits): accuracy "
+              "%.2f%% -> %.2f%%\n",
+              epochs, clf.recovery_engine()->total_updates(),
+              clf.recovery_engine()->total_substituted_bits(),
+              before * 100.0, after * 100.0);
+
+  const auto out = args.get("out", "");
+  if (!out.empty()) {
+    core::save_model(clf, out);
+    std::printf("saved recovered model to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  auto clf = core::load_model(args.require("model"));
+  const auto& model = clf.model();
+  std::printf("RobustHD model: %zu classes, D=%zu, %u-bit precision, "
+              "%zu features, %zu levels, encoder seed %#zx\n",
+              model.num_classes(), model.dimension(),
+              model.precision_bits(), clf.encoder().feature_count(),
+              clf.encoder_config().levels,
+              static_cast<std::size_t>(clf.encoder_config().seed));
+  std::size_t bits = 0;
+  for (const auto& region : clf.memory_regions()) bits += region.bit_count();
+  std::printf("stored model size: %zu bits (%.1f KiB)\n", bits,
+              static_cast<double>(bits) / 8192.0);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: robusthd <train|eval|attack|recover|info> [--flag value]...\n"
+      "see the header comment of tools/robusthd_cli.cpp for flags\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  try {
+    if (command == "train") return cmd_train(args);
+    if (command == "eval") return cmd_eval(args);
+    if (command == "attack") return cmd_attack(args);
+    if (command == "recover") return cmd_recover(args);
+    if (command == "info") return cmd_info(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
