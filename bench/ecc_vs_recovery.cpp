@@ -36,6 +36,23 @@ int main() {
   const double clean = clf.model().evaluate(queries, split.test.labels);
   std::cout << "clean accuracy " << util::pct(clean) << "\n";
 
+  // Storage overhead accounting through the read-only region view — const
+  // callers never need the writable attack surface.
+  {
+    model::HdcModel probe = clf.model();
+    const core::EccProtectedModel protect(probe);
+    const std::size_t raw_bits =
+        probe.dimension() * probe.num_classes() * probe.precision_bits();
+    const std::size_t stored = fault::total_bits(
+        std::span<const fault::ConstMemoryRegion>(protect.memory_regions()));
+    std::cout << "ECC storage: " << stored << " bits for a " << raw_bits
+              << "-bit model (+"
+              << util::pct(static_cast<double>(stored) /
+                               static_cast<double>(raw_bits) -
+                           1.0)
+              << " overhead)\n";
+  }
+
   const double bers[] = {0.0005, 0.005, 0.02, 0.06};
   const char* arms[] = {"raw", "ecc", "recovery", "ecc+recovery"};
 

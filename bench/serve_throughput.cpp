@@ -1,0 +1,129 @@
+// Serving-runtime throughput bench: batched concurrent inference with the
+// background scrubber repairing injected faults while traffic flows.
+//
+// Emits one machine-readable JSON line to stdout and to BENCH_serve.json
+// (next to the binary) so CI and plotting scripts can diff runs:
+//
+//   {"bench":"serve_throughput","workers":4,"qps":...,"qps_serial":...,
+//    "speedup":...,"p50_ms":...,"p99_ms":...,"mean_batch":...,
+//    "repairs_per_sec":...,"substituted_bits":...,"accuracy":...}
+//
+// Knobs: ROBUSTHD_WORKERS (default 4), ROBUSTHD_SERVE_ROUNDS (default 20
+// passes over the encoded test set), plus the usual ROBUSTHD_TRAIN /
+// ROBUSTHD_TEST caps from bench_common.hpp.
+
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+namespace robusthd {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int run() {
+  const std::size_t workers = bench::env_size("ROBUSTHD_WORKERS", 4);
+  const std::size_t rounds = bench::env_size("ROBUSTHD_SERVE_ROUNDS", 20);
+
+  bench::header("serve throughput (batched concurrent inference + scrub)");
+  const auto split = bench::load("PAMAP");
+  hv::EncoderConfig encoder_config;
+  encoder_config.dimension = 4000;
+  const hv::RecordEncoder encoder(split.train.feature_count(),
+                                  encoder_config);
+  const auto train = encoder.encode_all(split.train);
+  const auto queries = encoder.encode_all(split.test);
+  const auto trained =
+      model::HdcModel::train(train, split.train.labels,
+                             split.train.num_classes, {});
+
+  // Serial baseline: one thread, direct predict, no queue/futures.
+  double qps_serial = 0.0;
+  {
+    model::HdcModel reference = trained;
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t answered = 0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (const auto& q : queries) {
+        volatile int sink = reference.predict(q);
+        (void)sink;
+        ++answered;
+      }
+    }
+    qps_serial = static_cast<double>(answered) / seconds_since(start);
+  }
+
+  // Server under attack: inject clustered faults, then keep serving so
+  // the scrubber repairs from trusted traffic while workers score.
+  serve::ServerConfig config;
+  config.worker_threads = workers;
+  config.max_batch = 16;
+  serve::Server server(trained, config);
+  server.inject_faults(0.10, fault::AttackMode::kClustered, 0xdac);
+  server.drain();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t answered = 0;
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto responses = server.predict_all(queries);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      ++answered;
+      if (responses[i].predicted == split.test.labels[i]) ++correct;
+    }
+  }
+  const double elapsed = seconds_since(start);
+  server.drain();
+  const auto stats = server.stats();
+  server.shutdown();
+
+  const double qps = static_cast<double>(answered) / elapsed;
+  const double repairs_per_sec =
+      static_cast<double>(stats.scrub_repairs) / elapsed;
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(answered);
+
+  util::TextTable table({"metric", "value"});
+  table.add_row({"workers", std::to_string(workers)});
+  table.add_row({"queries answered", std::to_string(answered)});
+  table.add_row({"qps (server)", util::fixed(qps, 1)});
+  table.add_row({"qps (serial)", util::fixed(qps_serial, 1)});
+  table.add_row({"speedup", util::fixed(qps / qps_serial, 2)});
+  table.add_row({"p50 latency (ms)",
+                 util::fixed(stats.end_to_end.p50_ns / 1e6, 3)});
+  table.add_row({"p99 latency (ms)",
+                 util::fixed(stats.end_to_end.p99_ns / 1e6, 3)});
+  table.add_row({"mean batch", util::fixed(stats.mean_batch, 2)});
+  table.add_row({"faults injected", std::to_string(stats.faults_injected)});
+  table.add_row({"scrub repairs", std::to_string(stats.scrub_repairs)});
+  table.add_row(
+      {"substituted bits", std::to_string(stats.scrub_substituted_bits)});
+  table.add_row({"accuracy under attack+repair",
+                 util::fixed(accuracy, 4)});
+  table.print(std::cout);
+
+  std::ostringstream json;
+  json << "{\"bench\":\"serve_throughput\""
+       << ",\"workers\":" << workers << ",\"qps\":" << qps
+       << ",\"qps_serial\":" << qps_serial
+       << ",\"speedup\":" << qps / qps_serial
+       << ",\"p50_ms\":" << stats.end_to_end.p50_ns / 1e6
+       << ",\"p99_ms\":" << stats.end_to_end.p99_ns / 1e6
+       << ",\"mean_batch\":" << stats.mean_batch
+       << ",\"repairs_per_sec\":" << repairs_per_sec
+       << ",\"substituted_bits\":" << stats.scrub_substituted_bits
+       << ",\"accuracy\":" << accuracy << "}";
+  std::cout << json.str() << "\n";
+  std::ofstream("BENCH_serve.json") << json.str() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace robusthd
+
+int main() { return robusthd::run(); }

@@ -16,7 +16,7 @@ namespace {
 
 /// Serves `passes` epochs of the test set while dripping a clustered
 /// attack; returns the accuracy trace.
-std::vector<double> serve(model::HdcModel model,  // by value: own victim
+std::vector<double> serve_stream(model::HdcModel model,  // by value: own victim
                           std::span<const hv::BinVec> queries,
                           std::span<const int> labels, double rate,
                           bool with_recovery) {
@@ -59,8 +59,8 @@ int main(int argc, char** argv) {
               spec.name.c_str(), clean * 100.0, rate * 100.0);
 
   const auto without =
-      serve(clf.model(), queries, split.test.labels, rate, false);
-  const auto with = serve(clf.model(), queries, split.test.labels, rate, true);
+      serve_stream(clf.model(), queries, split.test.labels, rate, false);
+  const auto with = serve_stream(clf.model(), queries, split.test.labels, rate, true);
 
   std::printf("%6s %18s %18s\n", "pass", "without recovery", "with recovery");
   for (std::size_t i = 0; i < without.size(); ++i) {

@@ -29,6 +29,11 @@ class EccProtectedModel {
   /// surface. Note it is ~12.5% larger than the raw model.
   std::vector<fault::MemoryRegion> memory_regions();
 
+  /// Read-only view of the same stored representation for const callers
+  /// (storage accounting, overhead reporting) — stored_bits() is const,
+  /// and region-level inspection should not force mutable access.
+  std::vector<fault::ConstMemoryRegion> memory_regions() const;
+
   /// Runs a scrub: decode/correct every protected word, then write the
   /// (possibly partially corrupted) payload back into the live model.
   mem::EccProtectedMemory::ScrubReport scrub_and_refresh();

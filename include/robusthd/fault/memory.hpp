@@ -28,7 +28,18 @@ struct MemoryRegion {
   std::size_t bit_count() const noexcept { return bytes.size() * 8; }
 };
 
+/// Read-only view of a stored region: what const callers (accounting,
+/// reporting, serialisation) get instead of the writable attack surface.
+struct ConstMemoryRegion {
+  std::span<const std::byte> bytes;
+  unsigned value_bits = 8;
+  std::string name;
+
+  std::size_t bit_count() const noexcept { return bytes.size() * 8; }
+};
+
 /// Total bits across regions.
 std::size_t total_bits(std::span<const MemoryRegion> regions) noexcept;
+std::size_t total_bits(std::span<const ConstMemoryRegion> regions) noexcept;
 
 }  // namespace robusthd::fault

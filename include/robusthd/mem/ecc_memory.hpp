@@ -49,6 +49,10 @@ class EccProtectedMemory {
   std::span<std::byte> stored_data() noexcept;
   std::span<std::byte> stored_checks() noexcept;
 
+  /// Read-only views of the same stored bits (accounting / inspection).
+  std::span<const std::byte> stored_data() const noexcept;
+  std::span<const std::byte> stored_checks() const noexcept;
+
   /// Decodes every word (correcting what it can) and writes the payload
   /// back to `out` (must be payload_size() bytes). Returns per-outcome
   /// counts.

@@ -77,6 +77,15 @@ class HdcModel {
   /// argmax of scores().
   int predict(const hv::BinVec& query) const;
 
+  /// Batched inference: predictions for every query, deterministically
+  /// parallel over the batch (scores() is const and queries are
+  /// independent, so results are bit-identical to the serial loop
+  /// regardless of thread count). `max_threads` as in util::parallel_for;
+  /// 1 forces the serial path. This is the const entry point the serving
+  /// runtime scores model snapshots through.
+  std::vector<int> predict_batch(std::span<const hv::BinVec> queries,
+                                 std::size_t max_threads = 0) const;
+
   /// Accuracy over a pre-encoded test set.
   double evaluate(std::span<const hv::BinVec> queries,
                   std::span<const int> labels) const;

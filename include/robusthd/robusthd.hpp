@@ -47,8 +47,17 @@
 #include "robusthd/pim/gpu_ref.hpp"
 #include "robusthd/pim/hdc_kernels.hpp"
 #include "robusthd/pim/wearlevel.hpp"
+#include "robusthd/serve/batcher.hpp"
+#include "robusthd/serve/model_snapshot.hpp"
+#include "robusthd/serve/request_queue.hpp"
+#include "robusthd/serve/scrubber.hpp"
+#include "robusthd/serve/server.hpp"
+#include "robusthd/serve/stats.hpp"
+#include "robusthd/serve/worker_pool.hpp"
+#include "robusthd/util/parallel.hpp"
 #include "robusthd/util/rng.hpp"
 #include "robusthd/util/stats.hpp"
+#include "robusthd/util/thread_pool.hpp"
 
 namespace robusthd {
 

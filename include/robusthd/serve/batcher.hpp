@@ -1,0 +1,65 @@
+#pragma once
+// Batch coalescing over the request queue.
+//
+// Scoring a query is a handful of word-parallel Hamming kernels; the
+// bookkeeping around it (snapshot acquisition, promise fulfilment,
+// stats) amortises much better over a batch. The batcher is the policy
+// layer: block for the first request, then greedily absorb whatever else
+// is already queued (up to max_batch), optionally lingering a bounded
+// time to let a batch fill under light load.
+//
+// Latency/throughput knobs:
+//  * max_batch — upper bound on coalescing (per-request latency under
+//    load is ~batch service time, so keep it modest);
+//  * linger — how long to hold an underfull batch open. Zero (default)
+//    never waits beyond the first blocking pop: idle-load latency stays
+//    at one queue hop, batches form naturally once the queue backs up.
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "robusthd/serve/request_queue.hpp"
+
+namespace robusthd::serve {
+
+template <typename T>
+class Batcher {
+ public:
+  Batcher(RequestQueue<T>& queue, std::size_t max_batch,
+          std::chrono::nanoseconds linger = std::chrono::nanoseconds::zero())
+      : queue_(queue),
+        max_batch_(max_batch == 0 ? 1 : max_batch),
+        linger_(linger) {}
+
+  std::size_t max_batch() const noexcept { return max_batch_; }
+
+  /// Fills `out` with 1..max_batch requests. Blocks until at least one
+  /// request is available. Returns false — with `out` empty — only when
+  /// the queue is closed and fully drained (the worker's exit signal).
+  bool next_batch(std::vector<T>& out) {
+    out.clear();
+    auto first = queue_.pop();
+    if (!first) return false;
+    out.push_back(std::move(*first));
+
+    const auto deadline = std::chrono::steady_clock::now() + linger_;
+    while (out.size() < max_batch_) {
+      auto next = queue_.try_pop();
+      if (!next && linger_ > std::chrono::nanoseconds::zero()) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now < deadline) next = queue_.pop_for(deadline - now);
+      }
+      if (!next) break;
+      out.push_back(std::move(*next));
+    }
+    return true;
+  }
+
+ private:
+  RequestQueue<T>& queue_;
+  const std::size_t max_batch_;
+  const std::chrono::nanoseconds linger_;
+};
+
+}  // namespace robusthd::serve

@@ -1,0 +1,85 @@
+#pragma once
+// Epoch-published model snapshots: readers stay off locks on the hot path.
+//
+// The serving workers score queries against an *immutable* HdcModel; the
+// recovery scrubber repairs its own private working copy and publishes a
+// fresh immutable snapshot when the repair actually changed bits. Readers
+// hold a cached shared_ptr and re-validate it against an atomic version
+// counter:
+//  * the common case (no publication since the last batch) is a single
+//    relaxed-to-acquire load — no shared cache line is written, no lock
+//    is touched;
+//  * only when the version moved does a reader take the mutex, and then
+//    just long enough to copy a shared_ptr;
+//  * retired snapshots are reclaimed by shared_ptr once the last in-
+//    flight batch referencing them completes (the epoch).
+//
+// A bare std::atomic<std::shared_ptr> would make even the refresh
+// wait-free, but libstdc++'s lock-bit implementation is opaque to
+// ThreadSanitizer (false data-race reports on every publish/acquire
+// pair), and a TSan-clean serve layer is worth more than shaving the
+// already-rare refresh. This is the same contract Montage's Recoverable
+// draws: recovery runs against its own state with an explicit
+// publication step, never inside the readers' hot path.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "robusthd/model/hdc_model.hpp"
+
+namespace robusthd::serve {
+
+class ModelSnapshot {
+ public:
+  explicit ModelSnapshot(model::HdcModel initial)
+      : current_(std::make_shared<const model::HdcModel>(std::move(initial))) {
+  }
+
+  ModelSnapshot(const ModelSnapshot&) = delete;
+  ModelSnapshot& operator=(const ModelSnapshot&) = delete;
+
+  /// The current immutable model. Hold the returned pointer for the whole
+  /// batch: every query in the batch then sees one consistent model.
+  std::shared_ptr<const model::HdcModel> acquire() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+  }
+
+  /// Lock-free revalidation for hot readers: when `cached_version` still
+  /// matches the published version, `cached` is left untouched and no
+  /// shared state is written. Otherwise refreshes both under the mutex.
+  void refresh(std::shared_ptr<const model::HdcModel>& cached,
+               std::uint64_t& cached_version) const {
+    const std::uint64_t v = version_.load(std::memory_order_acquire);
+    if (cached && v == cached_version) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cached = current_;
+    cached_version = version_.load(std::memory_order_relaxed);
+  }
+
+  /// Publishes `next` as the new current model. Single-writer by design
+  /// (the scrubber thread); safe against any number of readers. The
+  /// critical section is one shared_ptr move — the model copy itself is
+  /// prepared outside it.
+  void publish(model::HdcModel next) {
+    auto snapshot = std::make_shared<const model::HdcModel>(std::move(next));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    current_ = std::move(snapshot);
+    version_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Monotonic publication count (starts at 0 for the initial model).
+  std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::mutex mutex_;  ///< guards current_ (version_ is atomic)
+  std::shared_ptr<const model::HdcModel> current_;
+  std::atomic<std::uint64_t> version_{0};
+};
+
+}  // namespace robusthd::serve

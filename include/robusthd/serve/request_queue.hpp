@@ -1,0 +1,128 @@
+#pragma once
+// Bounded MPMC request queue — the admission edge of the serving runtime.
+//
+// Multiple producer threads (client frontends) push encoded queries;
+// multiple consumer threads (batching workers) pop them. The queue is
+// bounded so overload turns into backpressure (push blocks) or explicit
+// rejection (try_push fails) instead of unbounded memory growth — a
+// serving system's first line of defence.
+//
+// Shutdown contract: close() wakes every blocked producer and consumer.
+// Pushes after close fail; pops continue to *drain* whatever was accepted
+// before the close and only then report exhaustion. Graceful shutdown is
+// therefore "close, then join consumers": no accepted request is dropped.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace robusthd::serve {
+
+/// Mutex + condvar bounded queue. Simple by design: the hot cost of a
+/// serving cycle is scoring, not queue transfer, and a blocking queue
+/// gives exact FIFO and a provable drain-on-close — properties the
+/// lock-free trust ring (scrubber.hpp) deliberately trades away.
+template <typename T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (item not consumed)
+  /// if the queue is closed.
+  bool push(T&& item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; on failure (full or closed) `item` is untouched.
+  bool try_push(T& item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; drains remaining items after
+  /// close() and then returns nullopt.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return take(lock);
+  }
+
+  /// pop() with a timeout; nullopt on timeout or exhaustion.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    return take(lock);
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return take(lock);
+  }
+
+  /// Rejects future pushes and wakes every waiter. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Instantaneous number of queued items (monitoring only).
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::optional<T> take(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace robusthd::serve

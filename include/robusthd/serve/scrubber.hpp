@@ -1,0 +1,219 @@
+#pragma once
+// Background self-recovery: the paper's runtime repair loop as a service
+// component.
+//
+// Serving workers never mutate the model — they append trusted
+// high-confidence queries to a bounded lock-free MPMC ring and move on
+// (a full ring drops the hint: recovery pressure is advisory, inference
+// latency is not). A dedicated scrubber thread drains the ring, replays
+// the queries through a model::RecoveryEngine bound to its *private*
+// working copy of the model, and publishes an immutable snapshot through
+// ModelSnapshot whenever repairs changed stored bits. Fault injection is
+// funneled through the same thread (as a command), so every mutation of
+// the live model is serialised on the scrubber — the one-writer half of
+// the snapshot protocol.
+//
+// Because the engine re-runs the full predict → gate → detect → substitute
+// pipeline on each drained query, a single-producer in-order stream
+// reproduces model::RecoveryEngine's offline behaviour bit for bit — the
+// serve-time recovery path and the paper's experiment loop are the same
+// code, just decoupled by the ring.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "robusthd/fault/injector.hpp"
+#include "robusthd/hv/binvec.hpp"
+#include "robusthd/model/recovery.hpp"
+#include "robusthd/serve/model_snapshot.hpp"
+
+namespace robusthd::serve {
+
+/// Bounded lock-free MPMC ring (Vyukov sequence-number scheme). Producers
+/// are the serving workers; the consumer is the scrubber thread. push()
+/// fails (rather than blocks) when full — callers treat entries as
+/// droppable hints.
+class TrustRing {
+ public:
+  explicit TrustRing(std::size_t capacity)
+      : cells_(round_up_pow2(capacity)), mask_(cells_.size() - 1) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  TrustRing(const TrustRing&) = delete;
+  TrustRing& operator=(const TrustRing&) = delete;
+
+  std::size_t capacity() const noexcept { return cells_.size(); }
+
+  bool push(hv::BinVec&& value) noexcept {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool pop(hv::BinVec& out) noexcept {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          cell.sequence.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Approximate (racy) emptiness — monitoring only.
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    hv::BinVec value;
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  std::vector<Cell> cells_;
+  const std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producers claim here
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer claims here
+};
+
+/// Scrubber tuning.
+struct ScrubberConfig {
+  model::RecoveryConfig recovery{};
+  std::size_t ring_capacity = 1024;
+  /// Consumer poll interval when the ring is idle.
+  std::chrono::microseconds idle_wait{500};
+};
+
+/// Counters exported into ServerStats.
+struct ScrubberCounters {
+  std::uint64_t offered = 0;    ///< queries accepted into the ring
+  std::uint64_t processed = 0;  ///< queries replayed through the engine
+  std::uint64_t repairs = 0;
+  std::uint64_t substituted_bits = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t snapshots_published = 0;
+};
+
+/// The background recovery thread. Lifecycle: construct, start(), offer()
+/// from any thread, stop() (or destruction) to halt after a final drain.
+class Scrubber {
+ public:
+  Scrubber(ModelSnapshot& snapshot, const ScrubberConfig& config);
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  void start();
+  /// Drains outstanding work, then joins the thread. Idempotent.
+  void stop();
+
+  /// Hands a trusted query to the recovery loop. Returns false when the
+  /// ring is full (the hint is dropped; callers count, never retry).
+  bool offer(const hv::BinVec& query);
+
+  /// Schedules a bit-flip attack on the live model, executed *on the
+  /// scrubber thread* (mutation stays single-writer) and followed by a
+  /// snapshot publication so serving workers immediately see the damage.
+  void inject_faults(double rate, fault::AttackMode mode, std::uint64_t seed);
+
+  /// Blocks until everything offered/scheduled before the call has been
+  /// processed. The scrubber must be started.
+  void drain();
+
+  ScrubberCounters counters() const noexcept;
+
+  /// The recovery engine's working model. Only meaningful while the
+  /// scrubber thread is stopped (tests / post-shutdown inspection).
+  const model::HdcModel& working_model() const noexcept { return working_; }
+  const model::RecoveryEngine& engine() const noexcept { return engine_; }
+
+ private:
+  struct FaultCommand {
+    double rate;
+    fault::AttackMode mode;
+    std::uint64_t seed;
+  };
+
+  void thread_main();
+  void run_commands();
+  void publish_if_dirty();
+
+  ModelSnapshot& snapshot_;
+  ScrubberConfig config_;
+  model::HdcModel working_;      ///< the live (authoritative) model
+  model::RecoveryEngine engine_;  ///< bound to working_
+  TrustRing ring_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+
+  std::mutex command_mutex_;
+  std::vector<FaultCommand> commands_;
+
+  // offered_/scheduled_ are bumped by producers *after* a successful
+  // hand-off; done_ by the consumer after processing. drain() waits for
+  // done_ to catch the snapshot it took of the hand-off counters.
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> scheduled_commands_{0};
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> done_commands_{0};
+
+  std::atomic<std::uint64_t> repairs_{0};
+  std::atomic<std::uint64_t> substituted_bits_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+  std::atomic<std::uint64_t> published_{0};
+  std::uint64_t dirty_bits_ = 0;  ///< scrubber-thread-local
+};
+
+}  // namespace robusthd::serve

@@ -1,0 +1,149 @@
+#pragma once
+// robusthd::serve::Server — concurrent batched inference with in-service
+// self-recovery.
+//
+//   clients --submit()--> [bounded MPMC queue] --> batcher --> workers
+//                                                               |
+//                        futures <--(promise results)-----------+--trusted queries--> [lock-free ring]
+//                                                                                          |
+//                                   workers <--acquire()-- [model snapshots] <--publish()--scrubber thread
+//
+// The serving path is read-only: workers score immutable model snapshots
+// and never touch the stored planes. The repair path is single-writer:
+// the scrubber replays trusted queries through the paper's RecoveryEngine
+// on a private working copy and publishes repaired snapshots. The two
+// meet only at the version-gated snapshot pointer, so inference latency is
+// independent of recovery activity — the paper's "repair while serving"
+// claim, made concrete.
+//
+// Determinism: scoring is pure, so for a fixed model snapshot the
+// server's predictions are bit-identical to calling HdcModel::predict
+// serially — batching, worker count and scheduling cannot change a
+// result (serve_test asserts this).
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "robusthd/fault/injector.hpp"
+#include "robusthd/hv/binvec.hpp"
+#include "robusthd/model/hdc_model.hpp"
+#include "robusthd/serve/batcher.hpp"
+#include "robusthd/serve/model_snapshot.hpp"
+#include "robusthd/serve/request_queue.hpp"
+#include "robusthd/serve/scrubber.hpp"
+#include "robusthd/serve/stats.hpp"
+#include "robusthd/serve/worker_pool.hpp"
+
+namespace robusthd::serve {
+
+/// Server tuning knobs (docs/serving.md discusses the trade-offs).
+struct ServerConfig {
+  std::size_t worker_threads = 4;    ///< 0 = hardware_threads()
+  std::size_t queue_capacity = 1024; ///< admission bound (backpressure)
+  std::size_t max_batch = 32;        ///< coalescing bound
+  /// How long a worker holds an underfull batch open (0 = never).
+  std::chrono::microseconds batch_linger{0};
+  /// Run the background scrubber. Requires a 1-bit model.
+  bool enable_recovery = true;
+  ScrubberConfig scrubber{};
+};
+
+/// What a client gets back for one query.
+struct Response {
+  int predicted = -1;
+  double confidence = 0.0;
+  /// Confidence cleared the recovery gate — the query was forwarded to
+  /// the scrubber as a pseudo-labeled repair hint.
+  bool trusted = false;
+  /// Snapshot publication count the scoring model carried (telemetry:
+  /// lets a client correlate answers with repair activity).
+  std::uint64_t model_version = 0;
+};
+
+class Server {
+ public:
+  /// Takes ownership of the model (it becomes snapshot version 0).
+  /// Throws std::invalid_argument when recovery is enabled on a
+  /// multi-bit model (the substitution operator is binary-only).
+  explicit Server(model::HdcModel model, const ServerConfig& config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues a query; blocks while the queue is full (backpressure).
+  /// The future is fulfilled by a worker; after shutdown() it carries a
+  /// broken-promise error only if the server never accepted the request.
+  std::future<Response> submit(hv::BinVec query);
+
+  /// Non-blocking admission; returns nullopt when the queue is full or
+  /// the server is shutting down (the rejection is counted).
+  std::optional<std::future<Response>> try_submit(hv::BinVec query);
+
+  /// Convenience: submits the whole span and waits for every response,
+  /// preserving order.
+  std::vector<Response> predict_all(std::span<const hv::BinVec> queries);
+
+  /// Schedules bit flips on the live model (executed on the recovery
+  /// thread when the scrubber runs, otherwise applied synchronously) and
+  /// publishes the damaged snapshot — the fault-injection hook for
+  /// benches and tests.
+  void inject_faults(double rate, fault::AttackMode mode, std::uint64_t seed);
+
+  /// Blocks until every accepted request has been answered and the
+  /// scrubber has caught up with everything offered so far.
+  void drain();
+
+  /// Graceful shutdown: stop admitting, drain the queue, join workers,
+  /// drain + stop the scrubber. Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServerStats stats() const;
+
+  /// The model snapshot workers are currently scoring against.
+  std::shared_ptr<const model::HdcModel> current_model() const {
+    return snapshot_.acquire();
+  }
+
+  const ServerConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Request {
+    hv::BinVec query;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_main(std::size_t worker_index);
+
+  ServerConfig config_;
+  ModelSnapshot snapshot_;
+  RequestQueue<Request> queue_;
+  std::unique_ptr<Scrubber> scrubber_;  ///< null when recovery disabled
+  WorkerPool workers_;
+  bool shut_down_ = false;
+
+  std::mutex direct_fault_mutex_;  ///< serialises no-scrubber inject_faults
+
+  // Counters (relaxed; monotone).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> trusted_{0};
+  std::atomic<std::uint64_t> scrub_dropped_{0};
+  std::atomic<std::uint64_t> direct_faults_{0};  ///< no-scrubber injections
+  LatencyHistogram queue_wait_;
+  LatencyHistogram service_;
+  LatencyHistogram end_to_end_;
+  BatchSizeDistribution batch_sizes_;
+};
+
+}  // namespace robusthd::serve

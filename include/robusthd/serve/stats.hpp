@@ -1,0 +1,144 @@
+#pragma once
+// Observability surface of the serving runtime.
+//
+// Everything here is updated from hot paths, so the recording side is
+// lock-free: log2-bucketed histograms over relaxed atomic counters. The
+// reading side (stats()) takes a consistent-enough snapshot for
+// monitoring — counters are monotone, so a snapshot is always a valid
+// recent state even while workers keep recording.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace robusthd::serve {
+
+/// Lock-free latency histogram: value v lands in bucket floor(log2(v)),
+/// covering 1ns .. ~2^47 ns (~1.6 days) — far wider than any sane service
+/// time. Percentiles are bucket-resolution (a factor-of-2 band), which is
+/// the standard monitoring trade-off.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(std::uint64_t nanos) noexcept {
+    const auto bucket = static_cast<std::size_t>(
+        std::bit_width(nanos | 1) - 1);  // log2, 0 for 0/1ns
+    buckets_[bucket < kBuckets ? bucket : kBuckets - 1].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double mean_ns = 0.0;
+    double p50_ns = 0.0;
+    double p99_ns = 0.0;
+  };
+
+  Summary summarize() const noexcept {
+    Summary s;
+    std::array<std::uint64_t, kBuckets> counts{};
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      counts[b] = buckets_[b].load(std::memory_order_relaxed);
+      s.count += counts[b];
+    }
+    if (s.count == 0) return s;
+    s.mean_ns = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+                static_cast<double>(s.count);
+    s.p50_ns = percentile_from(counts, s.count, 0.50);
+    s.p99_ns = percentile_from(counts, s.count, 0.99);
+    return s;
+  }
+
+ private:
+  static double percentile_from(
+      const std::array<std::uint64_t, kBuckets>& counts, std::uint64_t total,
+      double p) noexcept {
+    const auto rank = static_cast<std::uint64_t>(
+        p * static_cast<double>(total - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen >= rank) {
+        // Geometric midpoint of the bucket's [2^b, 2^(b+1)) band.
+        return static_cast<double>(1ull << b) * 1.5;
+      }
+    }
+    return static_cast<double>(1ull << (kBuckets - 1));
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// Exact small-value distribution for batch sizes (1..kMax, clamped).
+class BatchSizeDistribution {
+ public:
+  static constexpr std::size_t kMax = 64;
+
+  void record(std::size_t batch) noexcept {
+    const std::size_t slot = batch == 0 ? 0 : (batch <= kMax ? batch - 1
+                                                             : kMax - 1);
+    buckets_[slot].fetch_add(1, std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    items_.fetch_add(batch, std::memory_order_relaxed);
+  }
+
+  std::uint64_t batches() const noexcept {
+    return batches_.load(std::memory_order_relaxed);
+  }
+
+  double mean() const noexcept {
+    const auto b = batches_.load(std::memory_order_relaxed);
+    return b == 0 ? 0.0
+                  : static_cast<double>(items_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(b);
+  }
+
+  std::uint64_t at(std::size_t batch_size) const noexcept {
+    return batch_size == 0 || batch_size > kMax
+               ? 0
+               : buckets_[batch_size - 1].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kMax> buckets_{};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> items_{0};
+};
+
+/// Point-in-time snapshot returned by Server::stats().
+struct ServerStats {
+  // Admission.
+  std::uint64_t submitted = 0;   ///< requests accepted into the queue
+  std::uint64_t rejected = 0;    ///< try_submit failures (queue full/closed)
+  std::uint64_t completed = 0;   ///< promises fulfilled
+  std::size_t queue_depth = 0;   ///< instantaneous
+
+  // Batching.
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;
+
+  // Per-stage latency.
+  LatencyHistogram::Summary queue_wait;  ///< enqueue -> dequeue
+  LatencyHistogram::Summary service;     ///< score + respond, per query
+  LatencyHistogram::Summary end_to_end;  ///< enqueue -> promise fulfilled
+
+  // Recovery / trust flow.
+  std::uint64_t trusted = 0;        ///< confidence cleared the gate
+  std::uint64_t scrub_offered = 0;  ///< trusted queries handed to the ring
+  std::uint64_t scrub_dropped = 0;  ///< ring full — hint lost (advisory)
+  std::uint64_t scrub_processed = 0;
+  std::uint64_t scrub_repairs = 0;          ///< engine updates committed
+  std::uint64_t scrub_substituted_bits = 0; ///< bits actually rewritten
+  std::uint64_t faults_injected = 0;        ///< via inject_faults()
+  std::uint64_t snapshots_published = 0;
+  std::uint64_t model_version = 0;
+};
+
+}  // namespace robusthd::serve

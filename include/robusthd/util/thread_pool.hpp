@@ -1,0 +1,75 @@
+#pragma once
+// Persistent worker pool for repeated data-parallel sections.
+//
+// util::parallel_for spawns and joins threads on every call — fine for
+// one-shot experiment loops, fatal for a serving runtime that runs the
+// same parallel section thousands of times per second. ThreadPool keeps
+// its workers alive across calls: parallel_for() here hands each worker
+// the same static contiguous partition of [0, n) that util::parallel_for
+// would compute, so results stay bit-identical to the serial loop (and to
+// the spawning implementation) while the per-call cost drops to one
+// condition-variable broadcast.
+//
+// One parallel section at a time: calls are serialised by an internal
+// mutex, so the pool is safe to share but not a work-stealing scheduler.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace robusthd::util {
+
+/// Fixed-size pool of persistent workers executing static partitions.
+class ThreadPool {
+ public:
+  /// `threads` == 0 means hardware_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Invokes fn(i) for every i in [0, n) across the pool's workers;
+  /// blocks until every index has been visited. The partition is the
+  /// same static chunking as util::parallel_for, so any output indexed
+  /// by i is identical to the serial loop. Exceptions thrown by fn are
+  /// rethrown on the calling thread (first one wins).
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    run_ranges(n, [&fn](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+
+ private:
+  /// Type-erased once per section (not per index): each worker receives
+  /// one contiguous [begin, end) range through this callback.
+  void run_ranges(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+  void worker_main(std::size_t index);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex section_mutex_;  ///< serialises parallel sections
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t chunk_ = 0;
+  std::size_t active_workers_ = 0;  ///< workers with a non-empty range
+  std::size_t remaining_ = 0;       ///< workers still running this section
+  std::uint64_t generation_ = 0;    ///< bumped per section
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace robusthd::util

@@ -25,6 +25,19 @@ std::vector<fault::MemoryRegion> EccProtectedModel::memory_regions() {
   return regions;
 }
 
+std::vector<fault::ConstMemoryRegion> EccProtectedModel::memory_regions()
+    const {
+  std::vector<fault::ConstMemoryRegion> regions;
+  regions.reserve(planes_.size() * 2);
+  for (std::size_t i = 0; i < planes_.size(); ++i) {
+    regions.push_back(fault::ConstMemoryRegion{
+        planes_[i].stored_data(), 1, "ecc/data" + std::to_string(i)});
+    regions.push_back(fault::ConstMemoryRegion{
+        planes_[i].stored_checks(), 1, "ecc/check" + std::to_string(i)});
+  }
+  return regions;
+}
+
 mem::EccProtectedMemory::ScrubReport EccProtectedModel::scrub_and_refresh() {
   mem::EccProtectedMemory::ScrubReport total;
   std::size_t slot = 0;

@@ -15,6 +15,12 @@ std::size_t total_bits(std::span<const MemoryRegion> regions) noexcept {
   return total;
 }
 
+std::size_t total_bits(std::span<const ConstMemoryRegion> regions) noexcept {
+  std::size_t total = 0;
+  for (const auto& r : regions) total += r.bit_count();
+  return total;
+}
+
 namespace {
 
 /// Samples `count` distinct values in [0, n) — hash-set rejection, which is

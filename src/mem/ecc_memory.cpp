@@ -150,6 +150,15 @@ std::span<std::byte> EccProtectedMemory::stored_checks() noexcept {
   return {reinterpret_cast<std::byte*>(checks_.data()), checks_.size()};
 }
 
+std::span<const std::byte> EccProtectedMemory::stored_data() const noexcept {
+  return {reinterpret_cast<const std::byte*>(words_.data()),
+          words_.size() * 8};
+}
+
+std::span<const std::byte> EccProtectedMemory::stored_checks() const noexcept {
+  return {reinterpret_cast<const std::byte*>(checks_.data()), checks_.size()};
+}
+
 EccProtectedMemory::ScrubReport EccProtectedMemory::read_all(
     std::span<std::byte> out) {
   ScrubReport report;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "robusthd/util/parallel.hpp"
 #include "robusthd/util/rng.hpp"
 
 namespace robusthd::model {
@@ -157,12 +158,24 @@ int HdcModel::predict(const hv::BinVec& query) const {
       std::max_element(s.begin(), s.end()) - s.begin());
 }
 
+std::vector<int> HdcModel::predict_batch(std::span<const hv::BinVec> queries,
+                                         std::size_t max_threads) const {
+  std::vector<int> out(queries.size());
+  // Templated parallel_for: the per-query lambda is invoked directly
+  // (no std::function dispatch on the scoring hot path).
+  util::parallel_for(
+      queries.size(), [&](std::size_t i) { out[i] = predict(queries[i]); },
+      max_threads);
+  return out;
+}
+
 double HdcModel::evaluate(std::span<const hv::BinVec> queries,
                           std::span<const int> labels) const {
   if (queries.empty()) return 0.0;
+  const auto predicted = predict_batch(queries);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    correct += (predict(queries[i]) == labels[i]);
+    correct += (predicted[i] == labels[i]);
   }
   return static_cast<double>(correct) / static_cast<double>(queries.size());
 }

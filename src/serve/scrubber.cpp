@@ -1,0 +1,151 @@
+#include "robusthd/serve/scrubber.hpp"
+
+#include <utility>
+
+namespace robusthd::serve {
+
+Scrubber::Scrubber(ModelSnapshot& snapshot, const ScrubberConfig& config)
+    : snapshot_(snapshot),
+      config_(config),
+      working_(*snapshot.acquire()),  // private copy: the live model
+      engine_(working_, config.recovery),
+      ring_(config.ring_capacity) {}
+
+Scrubber::~Scrubber() { stop(); }
+
+void Scrubber::start() {
+  if (started_) return;
+  started_ = true;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread(&Scrubber::thread_main, this);
+}
+
+void Scrubber::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+bool Scrubber::offer(const hv::BinVec& query) {
+  hv::BinVec copy = query;
+  if (!ring_.push(std::move(copy))) return false;
+  offered_.fetch_add(1, std::memory_order_release);
+  wake_cv_.notify_one();
+  return true;
+}
+
+void Scrubber::inject_faults(double rate, fault::AttackMode mode,
+                             std::uint64_t seed) {
+  {
+    const std::lock_guard<std::mutex> lock(command_mutex_);
+    commands_.push_back(FaultCommand{rate, mode, seed});
+  }
+  scheduled_commands_.fetch_add(1, std::memory_order_release);
+  wake_cv_.notify_one();
+}
+
+void Scrubber::drain() {
+  const std::uint64_t target = offered_.load(std::memory_order_acquire);
+  const std::uint64_t cmd_target =
+      scheduled_commands_.load(std::memory_order_acquire);
+  while (done_.load(std::memory_order_acquire) < target ||
+         done_commands_.load(std::memory_order_acquire) < cmd_target) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+ScrubberCounters Scrubber::counters() const noexcept {
+  ScrubberCounters c;
+  c.offered = offered_.load(std::memory_order_relaxed);
+  c.processed = done_.load(std::memory_order_relaxed);
+  c.repairs = repairs_.load(std::memory_order_relaxed);
+  c.substituted_bits = substituted_bits_.load(std::memory_order_relaxed);
+  c.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  c.snapshots_published = published_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void Scrubber::run_commands() {
+  std::vector<FaultCommand> pending;
+  {
+    const std::lock_guard<std::mutex> lock(command_mutex_);
+    pending.swap(commands_);
+  }
+  for (const auto& cmd : pending) {
+    util::Xoshiro256 rng(cmd.seed);
+    auto regions = working_.memory_regions();
+    const auto report =
+        fault::BitFlipInjector::inject(regions, cmd.rate, cmd.mode, rng);
+    faults_injected_.fetch_add(report.flipped, std::memory_order_relaxed);
+    // Publish immediately: serving workers must see the damage the same
+    // way deployed hardware would — recovery races real traffic.
+    snapshot_.publish(working_);
+    published_.fetch_add(1, std::memory_order_relaxed);
+    dirty_bits_ = 0;
+    done_commands_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void Scrubber::publish_if_dirty() {
+  if (dirty_bits_ == 0) return;
+  snapshot_.publish(working_);
+  published_.fetch_add(1, std::memory_order_relaxed);
+  dirty_bits_ = 0;
+}
+
+void Scrubber::thread_main() {
+  hv::BinVec query;
+  for (;;) {
+    run_commands();
+
+    bool worked = false;
+    while (ring_.pop(query)) {
+      worked = true;
+      // The full paper pipeline per trusted query: predict, re-gate the
+      // confidence, chunk-level fault detection, probabilistic
+      // substitution. The worker's trust decision was only a pre-filter;
+      // the engine's own gates remain authoritative.
+      const auto result = engine_.observe(query);
+      if (result.substituted_bits > 0) {
+        repairs_.fetch_add(1, std::memory_order_relaxed);
+        substituted_bits_.fetch_add(result.substituted_bits,
+                                    std::memory_order_relaxed);
+        dirty_bits_ += result.substituted_bits;
+      }
+      done_.fetch_add(1, std::memory_order_release);
+    }
+
+    // Repairs are published at ring-empty boundaries: batches of repairs
+    // coalesce into one snapshot copy instead of one per substitution.
+    publish_if_dirty();
+
+    if (stop_.load(std::memory_order_acquire)) {
+      // Final drain: accept no new wakeups, but consume what is already
+      // in the ring so stop() == "process everything offered, then halt".
+      run_commands();
+      while (ring_.pop(query)) {
+        const auto result = engine_.observe(query);
+        if (result.substituted_bits > 0) {
+          repairs_.fetch_add(1, std::memory_order_relaxed);
+          substituted_bits_.fetch_add(result.substituted_bits,
+                                      std::memory_order_relaxed);
+          dirty_bits_ += result.substituted_bits;
+        }
+        done_.fetch_add(1, std::memory_order_release);
+      }
+      publish_if_dirty();
+      return;
+    }
+
+    if (!worked) {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      // Timed wait: wakeups are advisory (producers notify without the
+      // lock), the timeout bounds any missed-notify window.
+      wake_cv_.wait_for(lock, config_.idle_wait);
+    }
+  }
+}
+
+}  // namespace robusthd::serve

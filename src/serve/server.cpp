@@ -1,0 +1,204 @@
+#include "robusthd/serve/server.hpp"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "robusthd/model/confidence.hpp"
+#include "robusthd/util/parallel.hpp"
+
+namespace robusthd::serve {
+
+namespace {
+
+ServerConfig normalized(ServerConfig config) {
+  if (config.worker_threads == 0) {
+    config.worker_threads = util::hardware_threads();
+  }
+  if (config.queue_capacity == 0) config.queue_capacity = 1;
+  if (config.max_batch == 0) config.max_batch = 1;
+  return config;
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+Server::Server(model::HdcModel model, const ServerConfig& config)
+    : config_(normalized(config)),
+      snapshot_(std::move(model)),
+      queue_(config_.queue_capacity) {
+  if (config_.enable_recovery) {
+    if (snapshot_.acquire()->precision_bits() != 1) {
+      throw std::invalid_argument(
+          "serve::Server recovery requires a binary (1-bit) model; "
+          "set ServerConfig::enable_recovery = false for multi-bit models");
+    }
+    scrubber_ = std::make_unique<Scrubber>(snapshot_, config_.scrubber);
+    scrubber_->start();
+  }
+  workers_.start(config_.worker_threads,
+                 [this](std::size_t w) { worker_main(w); });
+}
+
+Server::~Server() { shutdown(); }
+
+std::future<Response> Server::submit(hv::BinVec query) {
+  Request request{std::move(query), std::promise<Response>(),
+                  std::chrono::steady_clock::now()};
+  auto future = request.promise.get_future();
+  // push() only consumes the request on success; on failure the promise
+  // is still ours to fail explicitly.
+  if (!queue_.push(std::move(request))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    request.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("serve::Server is shut down")));
+    return future;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+std::optional<std::future<Response>> Server::try_submit(hv::BinVec query) {
+  Request request{std::move(query), std::promise<Response>(),
+                  std::chrono::steady_clock::now()};
+  auto future = request.promise.get_future();
+  if (!queue_.try_push(request)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+std::vector<Response> Server::predict_all(
+    std::span<const hv::BinVec> queries) {
+  std::vector<std::future<Response>> futures;
+  futures.reserve(queries.size());
+  for (const auto& q : queries) futures.push_back(submit(q));
+  std::vector<Response> responses;
+  responses.reserve(queries.size());
+  for (auto& f : futures) responses.push_back(f.get());
+  return responses;
+}
+
+void Server::inject_faults(double rate, fault::AttackMode mode,
+                           std::uint64_t seed) {
+  if (scrubber_) {
+    scrubber_->inject_faults(rate, mode, seed);
+    return;
+  }
+  // No recovery thread to own the mutation: apply copy-on-write under a
+  // lock (publication itself stays atomic for the readers).
+  const std::lock_guard<std::mutex> lock(direct_fault_mutex_);
+  model::HdcModel damaged = *snapshot_.acquire();
+  util::Xoshiro256 rng(seed);
+  auto regions = damaged.memory_regions();
+  const auto report = fault::BitFlipInjector::inject(regions, rate, mode, rng);
+  direct_faults_.fetch_add(report.flipped, std::memory_order_relaxed);
+  snapshot_.publish(std::move(damaged));
+}
+
+void Server::drain() {
+  while (completed_.load(std::memory_order_acquire) <
+         submitted_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  if (scrubber_) scrubber_->drain();
+}
+
+void Server::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  queue_.close();     // wakes workers; pops drain accepted requests
+  workers_.join();    // every accepted promise is now fulfilled
+  if (scrubber_) scrubber_->stop();  // final ring drain, then halt
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.depth();
+  s.batches = batch_sizes_.batches();
+  s.mean_batch = batch_sizes_.mean();
+  s.queue_wait = queue_wait_.summarize();
+  s.service = service_.summarize();
+  s.end_to_end = end_to_end_.summarize();
+  s.trusted = trusted_.load(std::memory_order_relaxed);
+  s.scrub_dropped = scrub_dropped_.load(std::memory_order_relaxed);
+  s.faults_injected = direct_faults_.load(std::memory_order_relaxed);
+  if (scrubber_) {
+    const auto c = scrubber_->counters();
+    s.scrub_offered = c.offered;
+    s.scrub_processed = c.processed;
+    s.scrub_repairs = c.repairs;
+    s.scrub_substituted_bits = c.substituted_bits;
+    s.faults_injected += c.faults_injected;
+    s.snapshots_published = c.snapshots_published;
+  }
+  s.model_version = snapshot_.version();
+  return s;
+}
+
+void Server::worker_main(std::size_t) {
+  Batcher<Request> batcher(queue_, config_.max_batch, config_.batch_linger);
+  const model::ConfidenceConfig confidence =
+      config_.scrubber.recovery.confidence;
+  const double trust_threshold =
+      config_.scrubber.recovery.confidence_threshold;
+
+  // Per-worker cached snapshot: refreshed only when the published version
+  // moves, so steady-state batches take no lock at all.
+  std::shared_ptr<const model::HdcModel> model;
+  std::uint64_t version = 0;
+
+  std::vector<Request> batch;
+  while (batcher.next_batch(batch)) {
+    // One snapshot per batch: every query in the batch is scored against
+    // the same immutable model, however the scrubber races us.
+    snapshot_.refresh(model, version);
+    batch_sizes_.record(batch.size());
+    const auto dequeued = std::chrono::steady_clock::now();
+
+    for (auto& request : batch) {
+      queue_wait_.record(elapsed_ns(request.enqueued, dequeued));
+      const auto start = std::chrono::steady_clock::now();
+
+      const auto similarities = model->scores(request.query);
+      const auto conf =
+          model::assess(similarities, confidence, model->dimension());
+
+      Response response;
+      response.predicted = conf.predicted;
+      response.confidence = conf.top_probability;
+      response.model_version = version;
+      if (scrubber_ && conf.top_probability >= trust_threshold) {
+        // Pre-filter only: the engine re-runs its own (stricter) gates on
+        // the scrub thread. A full ring drops the hint — serving latency
+        // must not wait on recovery.
+        response.trusted = true;
+        trusted_.fetch_add(1, std::memory_order_relaxed);
+        if (!scrubber_->offer(request.query)) {
+          scrub_dropped_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+
+      const auto end = std::chrono::steady_clock::now();
+      service_.record(elapsed_ns(start, end));
+      end_to_end_.record(elapsed_ns(request.enqueued, end));
+      // Count before fulfilling: once a client sees its future ready,
+      // stats().completed already includes it.
+      completed_.fetch_add(1, std::memory_order_release);
+      request.promise.set_value(response);
+    }
+  }
+}
+
+}  // namespace robusthd::serve

@@ -1,11 +1,5 @@
 #include "robusthd/util/parallel.hpp"
 
-#include <algorithm>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
-
 namespace robusthd::util {
 
 std::size_t hardware_threads() noexcept {
@@ -15,39 +9,7 @@ std::size_t hardware_threads() noexcept {
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t max_threads) {
-  if (n == 0) return;
-  std::size_t workers = max_threads == 0 ? hardware_threads() : max_threads;
-  workers = std::min(workers, n);
-
-  // Below this, thread startup costs more than it saves.
-  constexpr std::size_t kSerialThreshold = 16;
-  if (workers <= 1 || n < kSerialThreshold) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  auto run_range = [&](std::size_t begin, std::size_t end) {
-    try {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  const std::size_t chunk = (n + workers - 1) / workers;
-  for (std::size_t w = 1; w < workers; ++w) {
-    const std::size_t begin = w * chunk;
-    if (begin >= n) break;
-    threads.emplace_back(run_range, begin, std::min(begin + chunk, n));
-  }
-  run_range(0, std::min(chunk, n));
-  for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  detail::parallel_run(n, fn, max_threads);
 }
 
 }  // namespace robusthd::util

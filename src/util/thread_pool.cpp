@@ -1,0 +1,98 @@
+#include "robusthd/util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "robusthd/util/parallel.hpp"
+
+namespace robusthd::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = threads == 0 ? hardware_threads() : threads;
+  workers_.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    workers_.emplace_back(&ThreadPool::worker_main, this, w);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_ranges(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  // Tiny sections and single-worker pools run inline: a broadcast would
+  // cost more than it buys, and inline execution keeps the pool reentrant
+  // for small n (fn may itself use the pool).
+  if (workers_.size() <= 1 || n < detail::kParallelSerialThreshold) {
+    body(0, n);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> section(section_mutex_);
+  const std::size_t workers = std::min(workers_.size(), n);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  // chunk >= 1, so the number of non-empty ranges is ceil(n / chunk).
+  const std::size_t active = (n + chunk - 1) / chunk;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    body_ = &body;
+    n_ = n;
+    chunk_ = chunk;
+    active_workers_ = active;
+    remaining_ = active;
+    first_error_ = nullptr;
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    body_ = nullptr;
+    if (first_error_) {
+      auto error = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+void ThreadPool::worker_main(std::size_t index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t begin = 0, end = 0;
+    bool participate = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(
+          lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      if (index < active_workers_) {
+        participate = true;
+        body = body_;
+        begin = index * chunk_;
+        end = std::min(begin + chunk_, n_);
+      }
+    }
+    if (!participate) continue;
+
+    std::exception_ptr error;
+    try {
+      (*body)(begin, end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace robusthd::util

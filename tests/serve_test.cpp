@@ -1,0 +1,432 @@
+// Tests for the serving runtime: queue semantics, ring semantics,
+// deterministic correctness vs direct inference, drain-on-shutdown,
+// multi-producer stress, and scrubber equivalence with the offline
+// recovery engine. This binary is also the TSan gate for the repo's
+// concurrency code (see .github/workflows/ci.yml).
+#include "robusthd/serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "robusthd/fault/injector.hpp"
+#include "robusthd/model/recovery.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::serve {
+namespace {
+
+constexpr std::size_t kDim = 2000;
+constexpr std::size_t kClasses = 5;
+
+/// Same tight-cluster geometry recovery_test uses: queries agree with
+/// their prototype on ~96% of dimensions.
+struct World {
+  std::vector<hv::BinVec> queries;
+  std::vector<int> labels;
+  model::HdcModel model;
+};
+
+World make_world(std::uint64_t seed, std::size_t queries_per_class = 30) {
+  World w;
+  util::Xoshiro256 rng(seed);
+  std::vector<hv::BinVec> prototypes;
+  std::vector<hv::BinVec> train;
+  std::vector<int> train_labels;
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    prototypes.push_back(hv::BinVec::random(kDim, rng));
+  }
+  auto noisy = [&](std::size_t c) {
+    auto v = prototypes[c];
+    for (std::size_t d = 0; d < kDim; ++d) {
+      if (rng.bernoulli(0.04)) v.flip(d);
+    }
+    return v;
+  };
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      train.push_back(noisy(c));
+      train_labels.push_back(static_cast<int>(c));
+    }
+    for (std::size_t i = 0; i < queries_per_class; ++i) {
+      w.queries.push_back(noisy(c));
+      w.labels.push_back(static_cast<int>(c));
+    }
+  }
+  w.model = model::HdcModel::train(train, train_labels, kClasses, {});
+  return w;
+}
+
+// ---------------------------------------------------------------- queue --
+
+TEST(RequestQueue, FifoAndBounds) {
+  RequestQueue<int> queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(queue.try_push(v));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(queue.try_push(overflow));
+  EXPECT_EQ(overflow, 99);  // untouched on failure
+  EXPECT_EQ(queue.depth(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto v = queue.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(RequestQueue, CloseDrainsThenExhausts) {
+  RequestQueue<int> queue(8);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    ASSERT_TRUE(queue.try_push(v));
+  }
+  queue.close();
+  int rejected = 7;
+  EXPECT_FALSE(queue.try_push(rejected));
+  // Accepted items drain in order...
+  for (int i = 0; i < 3; ++i) {
+    const auto v = queue.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  // ...then pop reports exhaustion instead of blocking.
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(RequestQueue, PopForTimesOut) {
+  RequestQueue<int> queue(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.pop_for(std::chrono::milliseconds(20)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(15));
+}
+
+TEST(RequestQueue, BlockedProducerWakesOnPop) {
+  RequestQueue<int> queue(1);
+  int first = 1;
+  ASSERT_TRUE(queue.try_push(first));
+  std::thread producer([&] {
+    int second = 2;
+    EXPECT_TRUE(queue.push(std::move(second)));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(queue.pop().value(), 1);
+  producer.join();
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+// ----------------------------------------------------------------- ring --
+
+TEST(TrustRing, FifoSingleThread) {
+  util::Xoshiro256 rng(1);
+  TrustRing ring(8);
+  std::vector<hv::BinVec> sent;
+  for (int i = 0; i < 8; ++i) {
+    sent.push_back(hv::BinVec::random(64, rng));
+    auto copy = sent.back();
+    ASSERT_TRUE(ring.push(std::move(copy)));
+  }
+  auto extra = sent.front();
+  EXPECT_FALSE(ring.push(std::move(extra)));  // full
+  hv::BinVec out;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, sent[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_FALSE(ring.pop(out));  // empty
+}
+
+TEST(TrustRing, MultiProducerNoLossNoDuplication) {
+  TrustRing ring(1024);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(p) + 100);
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Encode (producer, index) in the first bits of the vector.
+        hv::BinVec v(64);
+        const auto id = static_cast<std::size_t>(p * kPerProducer + i);
+        for (std::size_t b = 0; b < 32; ++b) v.set(b, (id >> b) & 1);
+        while (!ring.push(std::move(v))) {
+          v = hv::BinVec(64);
+          for (std::size_t b = 0; b < 32; ++b) v.set(b, (id >> b) & 1);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    hv::BinVec out;
+    int drained = 0;
+    while (drained < kProducers * kPerProducer) {
+      if (ring.pop(out)) {
+        std::size_t id = 0;
+        for (std::size_t b = 0; b < 32; ++b) {
+          id |= static_cast<std::size_t>(out.get(b)) << b;
+        }
+        ++seen[id];
+        ++drained;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    done.store(true);
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int n) { return n == 1; }));
+}
+
+// --------------------------------------------------------------- server --
+
+TEST(Server, BitIdenticalToDirectInference) {
+  auto world = make_world(21);
+  const auto reference = world.model;  // the server takes ownership
+
+  ServerConfig config;
+  config.worker_threads = 1;
+  config.enable_recovery = false;  // snapshots never change
+  Server server(world.model, config);
+
+  const auto responses = server.predict_all(world.queries);
+  ASSERT_EQ(responses.size(), world.queries.size());
+  for (std::size_t i = 0; i < world.queries.size(); ++i) {
+    EXPECT_EQ(responses[i].predicted, reference.predict(world.queries[i]))
+        << "query " << i;
+    EXPECT_EQ(responses[i].model_version, 0u);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, world.queries.size());
+  EXPECT_EQ(stats.completed, world.queries.size());
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(Server, ManyWorkersStayBitIdentical) {
+  auto world = make_world(22);
+  const auto reference = world.model;
+  const auto expected = reference.predict_batch(world.queries, 1);
+
+  ServerConfig config;
+  config.worker_threads = 4;
+  config.max_batch = 8;
+  config.enable_recovery = false;
+  Server server(world.model, config);
+
+  const auto responses = server.predict_all(world.queries);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].predicted, expected[i]) << "query " << i;
+  }
+}
+
+TEST(Server, ShutdownDrainsQueue) {
+  auto world = make_world(23);
+  ServerConfig config;
+  config.worker_threads = 2;
+  config.queue_capacity = 64;
+  config.enable_recovery = false;
+  Server server(world.model, config);
+
+  std::vector<std::future<Response>> futures;
+  for (const auto& q : world.queries) futures.push_back(server.submit(q));
+  server.shutdown();  // must fulfil every accepted promise
+
+  std::size_t answered = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    const auto response = f.get();  // throws if the promise was broken
+    EXPECT_GE(response.predicted, 0);
+    ++answered;
+  }
+  EXPECT_EQ(answered, world.queries.size());
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.queue_depth, 0u);
+
+  // Post-shutdown submissions are rejected with a visible error.
+  auto late = server.submit(world.queries[0]);
+  EXPECT_THROW(late.get(), std::runtime_error);
+}
+
+TEST(Server, MultiProducerStressNoLostNoDuplicated) {
+  auto world = make_world(24);
+  const auto expected = world.model.predict_batch(world.queries, 1);
+
+  ServerConfig config;
+  config.worker_threads = 3;
+  config.queue_capacity = 32;  // small: exercises producer backpressure
+  config.max_batch = 4;
+  config.enable_recovery = false;
+  Server server(world.model, config);
+
+  constexpr int kProducers = 4;
+  constexpr int kRounds = 5;
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::pair<std::size_t, std::future<Response>>> futures;
+        for (std::size_t i = static_cast<std::size_t>(p);
+             i < world.queries.size(); i += kProducers) {
+          futures.emplace_back(i, server.submit(world.queries[i]));
+        }
+        for (auto& [index, future] : futures) {
+          const auto response = future.get();  // exactly one response each
+          ++answered;
+          if (response.predicted != expected[index]) ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  // ceil(queries / producers) per producer per round, summed exactly.
+  std::uint64_t expected_total = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    expected_total += kRounds * ((world.queries.size() -
+                                  static_cast<std::size_t>(p) + kProducers -
+                                  1) /
+                                 kProducers);
+  }
+  EXPECT_EQ(answered.load(), expected_total);
+  EXPECT_EQ(mismatches.load(), 0u);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, stats.submitted);
+}
+
+// ------------------------------------------------------------- scrubber --
+
+model::RecoveryConfig generous_recovery() {
+  model::RecoveryConfig config;
+  config.max_updates_per_chunk = 0;
+  config.repair_balance_slack = 4;
+  config.max_total_substitution_fraction = 0.5;
+  return config;
+}
+
+TEST(Scrubber, ReproducesOfflineRecoveryEngine) {
+  auto world = make_world(25);
+  util::Xoshiro256 attack_rng(26);
+  auto regions = world.model.memory_regions();
+  fault::BitFlipInjector::inject(regions, 0.15,
+                                 fault::AttackMode::kClustered, attack_rng);
+  const auto attacked = world.model;
+
+  // Offline reference: the paper's experiment loop.
+  model::HdcModel offline_model = attacked;
+  model::RecoveryEngine offline(offline_model, generous_recovery());
+  constexpr int kEpochs = 6;
+  for (int e = 0; e < kEpochs; ++e) {
+    for (const auto& q : world.queries) offline.observe(q);
+  }
+
+  // Serve-side: same queries, same order, through the ring + thread.
+  ModelSnapshot snapshot(attacked);
+  ScrubberConfig config;
+  config.recovery = generous_recovery();
+  config.ring_capacity = 64;  // deliberately small: exercises full-ring
+  Scrubber scrubber(snapshot, config);
+  scrubber.start();
+  for (int e = 0; e < kEpochs; ++e) {
+    for (const auto& q : world.queries) {
+      while (!scrubber.offer(q)) {
+        std::this_thread::yield();  // retry: equivalence needs every query
+      }
+    }
+  }
+  scrubber.drain();
+  scrubber.stop();
+
+  // The background path is the offline engine, verbatim.
+  EXPECT_EQ(scrubber.engine().total_updates(), offline.total_updates());
+  EXPECT_EQ(scrubber.engine().total_substituted_bits(),
+            offline.total_substituted_bits());
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    EXPECT_EQ(scrubber.working_model().class_vector(c).planes[0],
+              offline_model.class_vector(c).planes[0])
+        << "class " << c;
+  }
+  EXPECT_GT(scrubber.counters().processed, 0u);
+
+  // And the published snapshot is the repaired model.
+  ASSERT_GT(snapshot.version(), 0u);
+  const auto published = snapshot.acquire();
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    EXPECT_EQ(published->class_vector(c).planes[0],
+              offline_model.class_vector(c).planes[0]);
+  }
+}
+
+TEST(Server, RepairsInjectedFaultsWhileServing) {
+  auto world = make_world(27);
+  const auto clean = world.model;
+
+  ServerConfig config;
+  config.worker_threads = 2;
+  config.max_batch = 8;
+  config.enable_recovery = true;
+  config.scrubber.recovery = generous_recovery();
+  Server server(world.model, config);
+
+  // Damage the live model mid-service, then keep serving traffic so the
+  // scrubber has trusted queries to heal from.
+  server.inject_faults(0.15, fault::AttackMode::kClustered, 28);
+  server.drain();
+  const auto damaged = *server.current_model();
+
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    (void)server.predict_all(world.queries);
+  }
+  server.drain();
+  server.shutdown();
+
+  const auto stats = server.stats();
+  EXPECT_GT(stats.faults_injected, 0u);
+  EXPECT_GT(stats.trusted, 0u);
+  EXPECT_GT(stats.scrub_processed, 0u);
+  EXPECT_GT(stats.scrub_substituted_bits, 0u);
+  EXPECT_GT(stats.snapshots_published, 1u);  // damage + at least one repair
+
+  // Bit-level agreement with the clean trained planes improved.
+  const auto healed = *server.current_model();
+  double before = 0.0, after = 0.0;
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    before += hv::similarity(damaged.class_vector(c).planes[0],
+                             clean.class_vector(c).planes[0]);
+    after += hv::similarity(healed.class_vector(c).planes[0],
+                            clean.class_vector(c).planes[0]);
+  }
+  EXPECT_GT(after, before);
+}
+
+TEST(Server, RecoveryRejectsMultibitModels) {
+  util::Xoshiro256 rng(29);
+  std::vector<hv::BinVec> train{hv::BinVec::random(256, rng),
+                                hv::BinVec::random(256, rng)};
+  std::vector<int> labels{0, 1};
+  model::HdcConfig model_config;
+  model_config.precision_bits = 2;
+  auto model = model::HdcModel::train(train, labels, 2, model_config);
+  ServerConfig config;
+  config.enable_recovery = true;
+  EXPECT_THROW(Server(std::move(model), config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace robusthd::serve

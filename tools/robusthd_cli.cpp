@@ -17,6 +17,13 @@
 //       Run the RobustHD self-recovery over unlabeled queries.
 //   info    --model FILE
 //       Print a stored model's shape.
+//   serve-bench --dataset NAME [--model FILE] [--workers N] [--rounds R]
+//           [--rate R --mode random|targeted|clustered]
+//           [--batch B] [--dimension D]
+//       Drive the concurrent serving runtime (robusthd::serve) over the
+//       test queries, optionally injecting faults so the background
+//       scrubber repairs the model while it serves; prints a throughput/
+//       latency table (see also bench/serve_throughput.cpp).
 
 #include <cstdio>
 #include <cstdlib>
@@ -184,6 +191,81 @@ int cmd_recover(const Args& args) {
   return 0;
 }
 
+int cmd_serve_bench(const Args& args) {
+  const auto split = load_split(args);
+
+  // Either load a stored model (its encoder re-encodes the queries) or
+  // train a fresh one at a serving-friendly dimension.
+  model::HdcModel model;
+  std::vector<hv::BinVec> queries;
+  const auto model_file = args.get("model", "");
+  if (!model_file.empty()) {
+    auto clf = core::load_model(model_file);
+    queries = clf.encoder().encode_all(split.test);
+    model = clf.model();
+  } else {
+    core::HdcClassifierConfig config;
+    config.encoder.dimension =
+        static_cast<std::size_t>(args.number("dimension", 4000));
+    auto clf = core::HdcClassifier::train(split.train, config);
+    queries = clf.encoder().encode_all(split.test);
+    model = clf.model();
+  }
+
+  serve::ServerConfig config;
+  config.worker_threads = static_cast<std::size_t>(args.number("workers", 4));
+  config.max_batch = static_cast<std::size_t>(args.number("batch", 16));
+  if (model.precision_bits() != 1) {
+    std::printf("note: %u-bit model, serving without the recovery "
+                "scrubber (substitution is binary-only)\n",
+                model.precision_bits());
+    config.enable_recovery = false;
+  }
+  serve::Server server(std::move(model), config);
+
+  const double rate = args.real("rate", 0.0);
+  if (rate > 0.0) {
+    server.inject_faults(rate, parse_mode(args.get("mode", "clustered")),
+                         static_cast<std::uint64_t>(args.number("seed", 1)));
+    server.drain();
+  }
+
+  const auto rounds = args.number("rounds", 10);
+  util::Timer timer;
+  std::size_t correct = 0;
+  for (long r = 0; r < rounds; ++r) {
+    const auto responses = server.predict_all(queries);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      if (responses[i].predicted == split.test.labels[i]) ++correct;
+    }
+  }
+  const double elapsed = timer.seconds();
+  server.drain();
+  const auto stats = server.stats();
+  server.shutdown();
+
+  const auto answered = static_cast<double>(stats.completed);
+  std::printf("served %zu queries with %zu workers in %.2fs: %.0f qps\n",
+              static_cast<std::size_t>(stats.completed),
+              server.config().worker_threads, elapsed, answered / elapsed);
+  std::printf("latency p50 %.3f ms, p99 %.3f ms; mean batch %.2f\n",
+              stats.end_to_end.p50_ns / 1e6, stats.end_to_end.p99_ns / 1e6,
+              stats.mean_batch);
+  std::printf("accuracy %.2f%%; trusted %zu, scrub processed %zu, "
+              "repairs %zu (%zu bits), snapshots published %zu\n",
+              100.0 * static_cast<double>(correct) / answered,
+              static_cast<std::size_t>(stats.trusted),
+              static_cast<std::size_t>(stats.scrub_processed),
+              static_cast<std::size_t>(stats.scrub_repairs),
+              static_cast<std::size_t>(stats.scrub_substituted_bits),
+              static_cast<std::size_t>(stats.snapshots_published));
+  if (rate > 0.0) {
+    std::printf("faults injected: %zu\n",
+                static_cast<std::size_t>(stats.faults_injected));
+  }
+  return 0;
+}
+
 int cmd_info(const Args& args) {
   auto clf = core::load_model(args.require("model"));
   const auto& model = clf.model();
@@ -203,7 +285,8 @@ int cmd_info(const Args& args) {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: robusthd <train|eval|attack|recover|info> [--flag value]...\n"
+      "usage: robusthd <train|eval|attack|recover|serve-bench|info>\n"
+      "       [--flag value]...\n"
       "see the header comment of tools/robusthd_cli.cpp for flags\n");
 }
 
@@ -221,6 +304,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(args);
     if (command == "attack") return cmd_attack(args);
     if (command == "recover") return cmd_recover(args);
+    if (command == "serve-bench") return cmd_serve_bench(args);
     if (command == "info") return cmd_info(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
