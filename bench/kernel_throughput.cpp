@@ -1,0 +1,188 @@
+// Kernel-layer throughput bench: measures the SIMD similarity kernels
+// against the portable scalar reference and the batched distance-matrix
+// prediction path against the per-pair scalar baseline it replaced.
+//
+// Emits one machine-readable JSON line to stdout and to BENCH_kernels.json
+// (next to the binary):
+//
+//   {"bench":"kernel_throughput","isa":"avx512",
+//    "hamming_gbits_s":{"scalar":...,"avx2":...,"avx512":...},
+//    "matrix_gdist_s":{"scalar":...,...},
+//    "batch_pred_per_s":...,"scalar_pairwise_pred_per_s":...,
+//    "batch_speedup":...,"wordops_per_pred":...}
+//
+// The acceptance number is batch_speedup: batched distance-matrix
+// prediction (active ISA) over per-pair scalar-kernel prediction, both
+// measured here on the same model and query stream. wordops_per_pred is
+// pim::hdc_search_wordops for the same shape, tying the measured kernels
+// to the analytic GPU/PIM cost models (docs/performance.md).
+//
+// Knobs: ROBUSTHD_KT_DIM (default 10000), ROBUSTHD_KT_CLASSES (26),
+// ROBUSTHD_KT_BATCH (256), ROBUSTHD_KT_MS (per-measurement budget, 300).
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace robusthd {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Runs `body` repeatedly for at least `budget_s` seconds (after one
+/// untimed warmup call) and returns iterations per second.
+template <typename Body>
+double measure_rate(double budget_s, Body&& body) {
+  body();  // warmup: page in, settle dispatch
+  std::size_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    body();
+    ++iters;
+    elapsed = seconds_since(start);
+  } while (elapsed < budget_s);
+  return static_cast<double>(iters) / elapsed;
+}
+
+int run() {
+  const std::size_t dim = bench::env_size("ROBUSTHD_KT_DIM", 10000);
+  const std::size_t classes = bench::env_size("ROBUSTHD_KT_CLASSES", 26);
+  const std::size_t batch = bench::env_size("ROBUSTHD_KT_BATCH", 256);
+  const double budget_s =
+      static_cast<double>(bench::env_size("ROBUSTHD_KT_MS", 300)) / 1000.0;
+  const std::size_t words = util::words_for_bits(dim);
+
+  bench::header("kernel throughput (SIMD dispatch vs scalar reference)");
+  std::cout << "active isa: " << kernels::isa_name(kernels::active_isa())
+            << "  dim=" << dim << " classes=" << classes
+            << " batch=" << batch << "\n";
+
+  util::Xoshiro256 rng(0x51ead);
+  std::vector<hv::BinVec> planes_store, queries_store;
+  std::vector<const std::uint64_t*> planes, queries;
+  for (std::size_t c = 0; c < classes; ++c) {
+    planes_store.push_back(hv::BinVec::random(dim, rng));
+  }
+  for (const auto& p : planes_store) planes.push_back(p.words().data());
+  for (std::size_t q = 0; q < batch; ++q) {
+    queries_store.push_back(hv::BinVec::random(dim, rng));
+  }
+  for (const auto& q : queries_store) queries.push_back(q.words().data());
+
+  // Per-ISA raw kernel throughput: pairwise Hamming (Gbit/s of compared
+  // dimensions) and the distance matrix (G distances/s worth of
+  // query x plane pairs).
+  std::ostringstream hamming_json, matrix_json;
+  hamming_json << "{";
+  matrix_json << "{";
+  bool first = true;
+  for (const auto isa : {kernels::Isa::kScalar, kernels::Isa::kAvx2,
+                         kernels::Isa::kAvx512}) {
+    const auto* ops = kernels::ops_for(isa);
+    if (ops == nullptr) continue;
+
+    const double hamming_rate = measure_rate(budget_s, [&] {
+      volatile std::size_t sink =
+          ops->hamming(queries[0], planes[0], words);
+      (void)sink;
+    });
+    const double gbits = hamming_rate * static_cast<double>(dim) / 1.0e9;
+
+    std::vector<std::uint32_t> out(batch * classes);
+    const double matrix_rate = measure_rate(budget_s, [&] {
+      ops->hamming_matrix(queries.data(), batch, planes.data(), classes,
+                          words, out.data());
+    });
+    const double gdist = matrix_rate * static_cast<double>(batch) *
+                         static_cast<double>(classes) / 1.0e9;
+
+    std::cout << "  " << kernels::isa_name(isa) << ": hamming "
+              << gbits << " Gbit/s, matrix " << gdist << " Gdist/s\n";
+    const char* sep = first ? "" : ",";
+    hamming_json << sep << "\"" << kernels::isa_name(isa) << "\":" << gbits;
+    matrix_json << sep << "\"" << kernels::isa_name(isa) << "\":" << gdist;
+    first = false;
+  }
+  hamming_json << "}";
+  matrix_json << "}";
+
+  // End-to-end prediction: batched matrix path (active ISA) vs the per-pair
+  // scalar baseline this PR replaced — the same work predict() used to do,
+  // pinned to the scalar kernel table.
+  std::vector<hv::SignedAccumulator> accs;
+  for (std::size_t c = 0; c < classes; ++c) {
+    hv::SignedAccumulator acc(dim);
+    for (int i = 0; i < 4; ++i) acc.add(hv::BinVec::random(dim, rng));
+    accs.push_back(std::move(acc));
+  }
+  const auto model = model::HdcModel::from_accumulators(accs, 1);
+
+  const double batch_rate = measure_rate(budget_s, [&] {
+    volatile int sink = model.predict_batch(queries_store, 1).back();
+    (void)sink;
+  });
+  const double batch_pred_per_s = batch_rate * static_cast<double>(batch);
+
+  const auto* scalar = kernels::ops_for(kernels::Isa::kScalar);
+  std::vector<std::uint32_t> row(classes);
+  const double scalar_rate = measure_rate(budget_s, [&] {
+    // Per-pair scalar baseline: k independent hamming scans per query,
+    // argmin by distance — the pre-kernel predict() inner loop.
+    int last = -1;
+    for (std::size_t q = 0; q < batch; ++q) {
+      std::size_t best = 0;
+      std::uint32_t best_d = UINT32_MAX;
+      for (std::size_t c = 0; c < classes; ++c) {
+        row[c] = static_cast<std::uint32_t>(
+            scalar->hamming(queries[q], planes[c], words));
+        if (row[c] < best_d) {
+          best_d = row[c];
+          best = c;
+        }
+      }
+      last = static_cast<int>(best);
+    }
+    volatile int sink = last;
+    (void)sink;
+  });
+  const double scalar_pred_per_s = scalar_rate * static_cast<double>(batch);
+  const double speedup =
+      scalar_pred_per_s > 0.0 ? batch_pred_per_s / scalar_pred_per_s : 0.0;
+
+  std::cout << "  batched (" << kernels::isa_name(kernels::active_isa())
+            << "): " << batch_pred_per_s << " pred/s\n"
+            << "  per-pair scalar baseline: " << scalar_pred_per_s
+            << " pred/s\n"
+            << "  speedup: " << speedup << "x\n";
+
+  std::ostringstream json;
+  json << "{\"bench\":\"kernel_throughput\""
+       << ",\"isa\":\"" << kernels::isa_name(kernels::active_isa()) << "\""
+       << ",\"dim\":" << dim << ",\"classes\":" << classes
+       << ",\"batch\":" << batch
+       << ",\"hamming_gbits_s\":" << hamming_json.str()
+       << ",\"matrix_gdist_s\":" << matrix_json.str()
+       << ",\"batch_pred_per_s\":" << batch_pred_per_s
+       << ",\"scalar_pairwise_pred_per_s\":" << scalar_pred_per_s
+       << ",\"batch_speedup\":" << speedup << ",\"wordops_per_pred\":"
+       << pim::hdc_search_wordops(dim, classes) << "}";
+  std::cout << json.str() << "\n";
+  std::ofstream("BENCH_kernels.json") << json.str() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace robusthd
+
+int main() { return robusthd::run(); }

@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "robusthd/robusthd.hpp"
 
 using namespace robusthd;
@@ -78,6 +82,48 @@ void BM_Predict(benchmark::State& state) {
 }
 BENCHMARK(BM_Predict)->Arg(2)->Arg(12)->Arg(26);
 
+void BM_EncodeInto(benchmark::State& state) {
+  // Workspace-reuse variant of BM_Encode: the bit-sliced counter and the
+  // output vector persist across iterations, so steady state allocates
+  // nothing per sample. The gap to BM_Encode is the allocator cost the
+  // serve workers no longer pay.
+  const auto features = static_cast<std::size_t>(state.range(0));
+  hv::EncoderConfig config;
+  hv::RecordEncoder encoder(features, config);
+  util::Xoshiro256 rng(4);
+  std::vector<float> sample(features);
+  for (auto& v : sample) v = static_cast<float>(rng.uniform());
+  hv::EncodeWorkspace ws;
+  hv::BinVec out;
+  for (auto _ : state) {
+    encoder.encode_into(sample, out, ws);
+    benchmark::DoNotOptimize(out.words().data());
+  }
+  state.SetItemsProcessed(state.iterations() * features);
+}
+BENCHMARK(BM_EncodeInto)->Arg(75)->Arg(561)->Arg(784);
+
+void BM_PredictBatch(benchmark::State& state) {
+  // Batched inference through the blocked distance-matrix kernel; compare
+  // per-query items/s against BM_Predict to see the batching win.
+  const auto classes = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(5);
+  std::vector<hv::BinVec> encoded;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < classes * 8; ++i) {
+    encoded.push_back(hv::BinVec::random(kDim, rng));
+    labels.push_back(static_cast<int>(i % classes));
+  }
+  auto model = model::HdcModel::train(encoded, labels, classes, {});
+  std::vector<hv::BinVec> queries;
+  for (int i = 0; i < 256; ++i) queries.push_back(hv::BinVec::random(kDim, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_batch(queries, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * queries.size());
+}
+BENCHMARK(BM_PredictBatch)->Arg(2)->Arg(12)->Arg(26);
+
 void BM_InjectRandom(benchmark::State& state) {
   util::Xoshiro256 rng(6);
   auto vec = hv::BinVec::random(kDim, rng);
@@ -103,6 +149,80 @@ void BM_CrossbarRippleAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_CrossbarRippleAdd);
 
+// Per-ISA kernel microbenchmarks, registered dynamically for every tier
+// the host can actually run (scalar is always present; AVX2/AVX-512 appear
+// when hardware + OS support them). Names come out as e.g.
+// "BM_KernelHamming/avx512" so runs on different hosts stay comparable.
+void register_isa_benchmarks() {
+  static util::Xoshiro256 rng(7);
+  static const auto a = hv::BinVec::random(kDim, rng);
+  static const auto b = hv::BinVec::random(kDim, rng);
+  static std::vector<hv::BinVec> planes_store;
+  static std::vector<const std::uint64_t*> planes;
+  if (planes.empty()) {
+    for (int i = 0; i < 26; ++i) {
+      planes_store.push_back(hv::BinVec::random(kDim, rng));
+    }
+    for (const auto& p : planes_store) planes.push_back(p.words().data());
+  }
+  static std::vector<hv::BinVec> queries_store;
+  static std::vector<const std::uint64_t*> queries;
+  if (queries.empty()) {
+    for (int i = 0; i < 32; ++i) {
+      queries_store.push_back(hv::BinVec::random(kDim, rng));
+    }
+    for (const auto& q : queries_store) queries.push_back(q.words().data());
+  }
+
+  for (const auto isa : {kernels::Isa::kScalar, kernels::Isa::kAvx2,
+                         kernels::Isa::kAvx512}) {
+    const auto* ops = kernels::ops_for(isa);
+    if (ops == nullptr) continue;
+    const std::string suffix = kernels::isa_name(isa);
+    const std::size_t words = a.word_count();
+
+    benchmark::RegisterBenchmark(
+        ("BM_KernelPopcount/" + suffix).c_str(),
+        [ops, words](benchmark::State& state) {
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(ops->popcount(a.words().data(), words));
+          }
+          state.SetItemsProcessed(state.iterations() * kDim);
+        });
+
+    benchmark::RegisterBenchmark(
+        ("BM_KernelHamming/" + suffix).c_str(),
+        [ops, words](benchmark::State& state) {
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(
+                ops->hamming(a.words().data(), b.words().data(), words));
+          }
+          state.SetItemsProcessed(state.iterations() * kDim);
+        });
+
+    benchmark::RegisterBenchmark(
+        ("BM_KernelHammingMatrix/" + suffix).c_str(),
+        [ops, words](benchmark::State& state) {
+          std::vector<std::uint32_t> out(queries.size() * planes.size());
+          for (auto _ : state) {
+            ops->hamming_matrix(queries.data(), queries.size(), planes.data(),
+                                planes.size(), words, out.data());
+            benchmark::DoNotOptimize(out.data());
+          }
+          // One "item" = one query/plane Hamming distance.
+          state.SetItemsProcessed(state.iterations() * queries.size() *
+                                  planes.size());
+        });
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_isa_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,6 +20,7 @@ namespace robusthd::hv {
 /// planes, which costs O(planes) word ops per word of input.
 class BitSliceCounter {
  public:
+  BitSliceCounter() = default;
   explicit BitSliceCounter(std::size_t dimension);
 
   std::size_t dimension() const noexcept { return dim_; }
@@ -29,6 +30,11 @@ class BitSliceCounter {
   /// counts += bits (each dimension incremented where `bits` has a 1).
   void add(const BinVec& bits);
 
+  /// counts += (a XOR b) — the fused bind-then-bundle step of record
+  /// encoding. Equivalent to add(bind(a, b)) but never materialises the
+  /// bound vector, so an encode loop does zero allocations per feature.
+  void add_bound(const BinVec& a, const BinVec& b);
+
   /// Per-dimension count.
   std::uint32_t count(std::size_t dim) const noexcept;
 
@@ -37,10 +43,23 @@ class BitSliceCounter {
   /// thresholded vectors unbiased when the bundle size is even).
   BinVec threshold_majority(const BinVec* tie_break = nullptr) const;
 
+  /// Allocation-free variant: writes the majority threshold into `out`
+  /// (resized only when the dimension changed). Word-parallel bit-sliced
+  /// compare — O(planes) word ops per 64 dimensions, not O(D * planes).
+  void threshold_majority_into(BinVec& out,
+                               const BinVec* tie_break = nullptr) const;
+
   /// Threshold against an arbitrary cut: bit i = count(i) > cut.
   BinVec threshold(std::uint32_t cut) const;
 
+  /// Clears the counters for reuse. Plane storage is zeroed in place and
+  /// kept, so a reused counter (EncodeWorkspace) allocates nothing once
+  /// its plane count has stabilised.
   void reset();
+
+  /// Re-targets the counter to `dimension`, reusing plane storage when the
+  /// word width is unchanged.
+  void resize(std::size_t dimension);
 
  private:
   std::size_t dim_ = 0;

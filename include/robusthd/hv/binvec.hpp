@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "robusthd/kernels/kernels.hpp"
 #include "robusthd/util/bitops.hpp"
 #include "robusthd/util/rng.hpp"
 
@@ -43,8 +44,10 @@ class BinVec {
   }
   void flip(std::size_t i) noexcept { util::flip_bit(mutable_words(), i); }
 
-  /// Number of set bits.
-  std::size_t count_ones() const noexcept { return util::popcount(words()); }
+  /// Number of set bits (SIMD-dispatched).
+  std::size_t count_ones() const noexcept {
+    return kernels::popcount(words_.data(), words_.size());
+  }
 
   /// In-place XOR binding with another vector of equal dimension.
   BinVec& bind(const BinVec& other) noexcept;
@@ -53,7 +56,7 @@ class BinVec {
   BinVec& invert() noexcept;
 
   /// Circular left rotation by `amount` bit positions (permutation op used
-  /// for sequence encoding).
+  /// for sequence encoding). Word-level funnel shift: O(D/64), not O(D).
   BinVec rotated(std::size_t amount) const;
 
   /// Read-only / mutable word views. The mutable view is what the fault

@@ -40,6 +40,12 @@ class RecordEncoder final : public Encoder {
   /// hypervector.
   BinVec encode(std::span<const float> features) const override;
 
+  /// Zero-allocation encode: fused bind-then-ripple-add into the
+  /// workspace's counter, word-parallel majority threshold into `out`.
+  /// Steady state (ws warm, out sized) allocates nothing.
+  void encode_into(std::span<const float> features, BinVec& out,
+                   EncodeWorkspace& ws) const override;
+
  private:
   ItemMemory memory_;
   BinVec tie_break_;  ///< fixed random vector breaking majority ties

@@ -7,12 +7,28 @@
 // `bench/ablation_encoders` checks that they do.
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "robusthd/data/dataset.hpp"
+#include "robusthd/hv/accumulator.hpp"
 #include "robusthd/hv/binvec.hpp"
 
 namespace robusthd::hv {
+
+/// Reusable encode scratch: owns the bit-sliced bundle counter so a hot
+/// encode loop (trainer, serve worker) performs zero heap allocations per
+/// sample once the counter's plane stack has reached its working depth.
+/// One workspace per thread; never share across threads.
+struct EncodeWorkspace {
+  BitSliceCounter counter;
+
+  /// Fingerprint of the owned storage. Steady-state paths assert (debug)
+  /// that it stops changing — i.e. that encoding really allocates nothing.
+  std::pair<std::size_t, std::size_t> capacity_signature() const noexcept {
+    return {counter.dimension(), counter.plane_count()};
+  }
+};
 
 /// Maps normalised feature vectors (values in [0,1]) to binary
 /// hypervectors. Implementations are deterministic in their seed and
@@ -26,6 +42,15 @@ class Encoder {
 
   /// Encodes one sample.
   virtual BinVec encode(std::span<const float> features) const = 0;
+
+  /// Allocation-aware variant: encodes into `out`, reusing `ws` across
+  /// calls. The default forwards to encode(); encoders with a hot path
+  /// (RecordEncoder) override it with a zero-allocation implementation.
+  virtual void encode_into(std::span<const float> features, BinVec& out,
+                           EncodeWorkspace& ws) const {
+    (void)ws;
+    out = encode(features);
+  }
 
   /// Encodes every row of a dataset.
   std::vector<BinVec> encode_all(const data::Dataset& dataset) const;

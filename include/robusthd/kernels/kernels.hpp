@@ -1,0 +1,109 @@
+#pragma once
+// robusthd::kernels — runtime-dispatched SIMD similarity kernels.
+//
+// Binary HDC inference is bit-parallel by construction: every hot loop in
+// this repo reduces to XOR + popcount over packed 64-bit words. This layer
+// provides those loops as ISA-specialised kernels selected once per process
+// (CPUID + OS state), so `hv`, `model`, `serve` and the recovery engine all
+// run the fastest code the host can execute while staying bit-identical to
+// the portable scalar reference:
+//
+//   * popcount        — set bits over a word span
+//   * hamming         — popcount(a XOR b)
+//   * hamming_masked  — Hamming over a word range with first/last-word
+//                       masks (the chunked-detector primitive)
+//   * hamming_matrix  — blocked queries x planes distance matrix: a batch
+//                       of queries is scored in one pass over the stored
+//                       class planes instead of Q*K independent scans
+//
+// Variants: portable scalar (the reference all others are tested against),
+// AVX2 (Harley–Seal carry-save popcount), AVX-512 (VPOPCNTDQ). Dispatch
+// honours two environment overrides, read once at first use:
+//
+//   ROBUSTHD_FORCE_SCALAR=1       force the scalar reference
+//   ROBUSTHD_ISA=scalar|avx2|avx512   cap the selected ISA
+//
+// The layer depends on nothing above <cstdint>; hv::BinVec and the model
+// layers call into it, never the other way around.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace robusthd::kernels {
+
+/// Instruction-set tiers, ordered by preference.
+enum class Isa { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Human-readable ISA name ("scalar", "avx2", "avx512").
+const char* isa_name(Isa isa) noexcept;
+
+/// One resolved kernel table. All function pointers are non-null.
+struct Ops {
+  /// Total set bits over words[0, n).
+  std::size_t (*popcount)(const std::uint64_t* words, std::size_t n);
+
+  /// popcount(a XOR b) over n words.
+  std::size_t (*hamming)(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n);
+
+  /// Hamming over n >= 1 words where word 0 is ANDed with `first_mask`,
+  /// word n-1 with `last_mask` (both masks apply when n == 1), and interior
+  /// words are taken whole — the bit-range [begin, end) primitive after the
+  /// caller resolves word offsets.
+  std::size_t (*hamming_masked)(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t n, std::uint64_t first_mask,
+                                std::uint64_t last_mask);
+
+  /// Blocked distance matrix: out[q * num_planes + p] =
+  /// hamming(queries[q], planes[p], words). Queries are tiled so each
+  /// stored plane is streamed once per query block rather than once per
+  /// query — the batched associative-search kernel.
+  void (*hamming_matrix)(const std::uint64_t* const* queries,
+                         std::size_t num_queries,
+                         const std::uint64_t* const* planes,
+                         std::size_t num_planes, std::size_t words,
+                         std::uint32_t* out);
+};
+
+/// The kernel table for the ISA selected at first use. Thread-safe; the
+/// selection is made exactly once per process.
+const Ops& ops() noexcept;
+
+/// The ISA behind ops().
+Isa active_isa() noexcept;
+
+/// True when hardware + OS can execute `isa` (kScalar is always true).
+bool isa_supported(Isa isa) noexcept;
+
+/// Kernel table for a specific ISA, or nullptr when the host cannot run
+/// it (or it was compiled out). The equivalence tests iterate every tier
+/// against the scalar reference through this.
+const Ops* ops_for(Isa isa) noexcept;
+
+// ---- Convenience wrappers over the active table -------------------------
+
+inline std::size_t popcount(const std::uint64_t* words, std::size_t n) {
+  return ops().popcount(words, n);
+}
+
+inline std::size_t hamming(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n) {
+  return ops().hamming(a, b, n);
+}
+
+inline std::size_t hamming_masked(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t n,
+                                  std::uint64_t first_mask,
+                                  std::uint64_t last_mask) {
+  return ops().hamming_masked(a, b, n, first_mask, last_mask);
+}
+
+inline void hamming_matrix(const std::uint64_t* const* queries,
+                           std::size_t num_queries,
+                           const std::uint64_t* const* planes,
+                           std::size_t num_planes, std::size_t words,
+                           std::uint32_t* out) {
+  ops().hamming_matrix(queries, num_queries, planes, num_planes, words, out);
+}
+
+}  // namespace robusthd::kernels

@@ -18,6 +18,16 @@
 
 namespace robusthd::model {
 
+/// Reusable buffers for the blocked batch-scoring path (one per thread;
+/// capacities persist across batches, so steady-state scoring performs no
+/// allocations).
+struct ScoreWorkspace {
+  std::vector<const std::uint64_t*> plane_ptrs;  ///< flattened class planes
+  std::vector<const std::uint64_t*> query_ptrs;
+  std::vector<std::uint32_t> distances;  ///< q x (k * planes) row-major
+  std::vector<double> scores;            ///< q x k row-major
+};
+
 /// Training hyper-parameters.
 struct HdcConfig {
   unsigned precision_bits = 1;     ///< deployed model precision (Table 1)
@@ -69,10 +79,26 @@ class HdcModel {
   /// (1-bit: 1 - hamming/D).
   std::vector<double> scores(const hv::BinVec& query) const;
 
+  /// Batched scores: one blocked pass over the stored class planes
+  /// (kernels::hamming_matrix) scores every query against every class.
+  /// Results land in ws.scores (row q holds scores(*queries[q])), bit-
+  /// identical to the per-query path. The plane-weighted multi-precision
+  /// models run through the same kernel — every plane is one more row of
+  /// the distance matrix.
+  void scores_batch(std::span<const hv::BinVec* const> queries,
+                    ScoreWorkspace& ws) const;
+
   /// Per-class similarity restricted to the dimensions [begin, end) — the
   /// "treat each chunk as a separate HDC model" primitive of Section 4.2.
   std::vector<double> chunk_scores(const hv::BinVec& query, std::size_t begin,
                                    std::size_t end) const;
+
+  /// All `chunks` equal ranges at once: row c of `out` (k doubles) holds
+  /// chunk_scores(query, begin_c, end_c). One call, one output buffer —
+  /// the RecoveryEngine's per-observation chunk sweep without per-chunk
+  /// vector churn.
+  void chunk_scores_all(const hv::BinVec& query, std::size_t chunks,
+                        std::vector<double>& out) const;
 
   /// argmax of scores().
   int predict(const hv::BinVec& query) const;
@@ -96,6 +122,10 @@ class HdcModel {
   std::vector<fault::MemoryRegion> memory_regions();
 
  private:
+  /// Shared scoring core: writes classes() doubles at `out`.
+  void chunk_scores_into(const hv::BinVec& query, std::size_t begin,
+                         std::size_t end, double* out) const;
+
   std::size_t dim_ = 0;
   unsigned precision_bits_ = 1;
   std::vector<ClassVector> classes_;

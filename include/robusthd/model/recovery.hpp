@@ -151,6 +151,7 @@ class RecoveryEngine {
   std::size_t total_updates_ = 0;
   std::size_t total_substituted_bits_ = 0;
   std::vector<SimStats> sim_stats_;  ///< per class
+  std::vector<double> chunk_scores_buf_;  ///< reused chunks × classes rows
   double best_health_ = -1.0;  ///< best population win-sim mean seen
   bool frozen_ = false;        ///< watchdog tripped
 

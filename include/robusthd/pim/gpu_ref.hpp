@@ -8,6 +8,8 @@
 // the GTX 1080's public specs derated to realistic utilisation; Figure 2
 // reports *ratios* to this baseline, so only consistency matters.
 
+#include <cstddef>
+
 #include "robusthd/pim/accelerator.hpp"
 
 namespace robusthd::pim {
@@ -34,6 +36,17 @@ struct GpuCost {
   double energy_uj = 0.0;
   double throughput_per_s = 0.0;
 };
+
+/// Canonical word-op count of a batched Hamming similarity search:
+/// XOR + popcount + reduce (3 word ops) per 64-bit word of every
+/// (query, class-plane) pair. This is exactly the work the
+/// robusthd::kernels distance-matrix kernel performs, so the GPU cost
+/// model, the accelerator cost algebra and the measured kernel throughput
+/// (bench/kernel_throughput → BENCH_kernels.json) all price the same
+/// number; kernels_test cross-checks the distances themselves against the
+/// crossbar unit's in-memory search.
+double hdc_search_wordops(std::size_t dimension, std::size_t classes,
+                          std::size_t batch = 1) noexcept;
 
 /// DNN inference on the GPU: MAC-bound compute plus weight traffic.
 GpuCost gpu_cost_dnn(const DnnWorkloadSpec& spec,

@@ -29,6 +29,7 @@
 #include "robusthd/hv/encoder.hpp"
 #include "robusthd/hv/itemmemory.hpp"
 #include "robusthd/hv/sequence.hpp"
+#include "robusthd/kernels/kernels.hpp"
 #include "robusthd/mem/dram.hpp"
 #include "robusthd/mem/ecc.hpp"
 #include "robusthd/mem/ecc_memory.hpp"

@@ -34,6 +34,7 @@
 
 #include "robusthd/fault/injector.hpp"
 #include "robusthd/hv/binvec.hpp"
+#include "robusthd/hv/encoder_base.hpp"
 #include "robusthd/model/hdc_model.hpp"
 #include "robusthd/serve/batcher.hpp"
 #include "robusthd/serve/model_snapshot.hpp"
@@ -54,6 +55,10 @@ struct ServerConfig {
   /// Run the background scrubber. Requires a 1-bit model.
   bool enable_recovery = true;
   ScrubberConfig scrubber{};
+  /// Optional server-side encoder: enables submit_features(), with the
+  /// encoding done on the worker threads through per-worker reusable
+  /// workspaces (zero allocations per request at steady state).
+  std::shared_ptr<const hv::Encoder> encoder;
 };
 
 /// What a client gets back for one query.
@@ -88,6 +93,11 @@ class Server {
   /// the server is shutting down (the rejection is counted).
   std::optional<std::future<Response>> try_submit(hv::BinVec query);
 
+  /// Enqueues a raw (normalised) feature vector; a worker encodes it with
+  /// ServerConfig::encoder before scoring. Throws std::logic_error when no
+  /// encoder was configured.
+  std::future<Response> submit_features(std::vector<float> features);
+
   /// Convenience: submits the whole span and waits for every response,
   /// preserving order.
   std::vector<Response> predict_all(std::span<const hv::BinVec> queries);
@@ -118,6 +128,10 @@ class Server {
  private:
   struct Request {
     hv::BinVec query;
+    /// Raw features for server-side encoding; empty when `query` arrived
+    /// pre-encoded (`from_features` disambiguates zero-feature models).
+    std::vector<float> features;
+    bool from_features = false;
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point enqueued;
   };

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <span>
 
+#include "robusthd/kernels/kernels.hpp"
+
 namespace robusthd::util {
 
 /// Number of 64-bit words needed to hold `bits` bits.
@@ -43,21 +45,15 @@ inline void flip_bit(std::span<std::byte> bytes, std::size_t i) noexcept {
   bytes[i >> 3] ^= std::byte{static_cast<unsigned char>(1u << (i & 7))};
 }
 
-/// Population count over a word span.
+/// Population count over a word span (SIMD-dispatched).
 inline std::size_t popcount(std::span<const std::uint64_t> words) noexcept {
-  std::size_t total = 0;
-  for (const auto w : words) total += static_cast<std::size_t>(std::popcount(w));
-  return total;
+  return kernels::popcount(words.data(), words.size());
 }
 
-/// Hamming distance between two equally sized word spans.
+/// Hamming distance between two equally sized word spans (SIMD-dispatched).
 inline std::size_t hamming(std::span<const std::uint64_t> a,
                            std::span<const std::uint64_t> b) noexcept {
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
-  }
-  return total;
+  return kernels::hamming(a.data(), b.data(), a.size());
 }
 
 /// Mask with the low `n` bits set (n in [0,64]).

@@ -1,6 +1,7 @@
 #include "robusthd/hv/accumulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -11,21 +12,45 @@ namespace robusthd::hv {
 BitSliceCounter::BitSliceCounter(std::size_t dimension)
     : dim_(dimension), words_(util::words_for_bits(dimension)) {}
 
+namespace {
+
+/// Ripple-carry add of the 1-bit operand `word` into the plane stack at
+/// word index `w`, growing the stack only when the count overflows every
+/// existing plane.
+inline void ripple_add_word(std::vector<std::vector<std::uint64_t>>& planes,
+                            std::size_t words, std::size_t w,
+                            std::uint64_t carry) {
+  for (std::size_t p = 0; p < planes.size() && carry; ++p) {
+    const std::uint64_t sum = planes[p][w] ^ carry;
+    carry &= planes[p][w];
+    planes[p][w] = sum;
+  }
+  if (carry) {
+    planes.emplace_back(words, 0);
+    planes.back()[w] = carry;
+  }
+}
+
+}  // namespace
+
 void BitSliceCounter::add(const BinVec& bits) {
   assert(bits.dimension() == dim_);
   const auto in = bits.words();
   // Ripple-carry add of a 1-bit operand across all planes, word-parallel.
   for (std::size_t w = 0; w < words_; ++w) {
-    std::uint64_t carry = in[w];
-    for (std::size_t p = 0; p < planes_.size() && carry; ++p) {
-      const std::uint64_t sum = planes_[p][w] ^ carry;
-      carry &= planes_[p][w];
-      planes_[p][w] = sum;
-    }
-    if (carry) {
-      planes_.emplace_back(words_, 0);
-      planes_.back()[w] = carry;
-    }
+    ripple_add_word(planes_, words_, w, in[w]);
+  }
+  ++added_;
+}
+
+void BitSliceCounter::add_bound(const BinVec& a, const BinVec& b) {
+  assert(a.dimension() == dim_ && b.dimension() == dim_);
+  const auto aw = a.words();
+  const auto bw = b.words();
+  // Fused XOR-bind + bundle: the bound vector exists only as one word of
+  // live register state per iteration.
+  for (std::size_t w = 0; w < words_; ++w) {
+    ripple_add_word(planes_, words_, w, aw[w] ^ bw[w]);
   }
   ++added_;
 }
@@ -40,29 +65,87 @@ std::uint32_t BitSliceCounter::count(std::size_t dim) const noexcept {
   return c;
 }
 
-BinVec BitSliceCounter::threshold_majority(const BinVec* tie_break) const {
-  const std::uint32_t total = static_cast<std::uint32_t>(added_);
-  BinVec out(dim_);
-  for (std::size_t i = 0; i < dim_; ++i) {
-    const std::uint32_t c = count(i);
-    if (2 * c > total) {
-      out.set(i, true);
-    } else if (2 * c == total && tie_break != nullptr) {
-      out.set(i, tie_break->get(i));
-    }
+namespace {
+
+/// Bit-sliced comparison of every dimension's count against the constant
+/// `cut` for one word column: `gt` gets a 1 where count > cut, `eq` where
+/// count == cut. Planes at p >= plane_count are treated as zero so the
+/// comparison is exact even when `cut` needs more bits than the stack
+/// holds.
+inline void compare_counts_word(
+    const std::vector<std::vector<std::uint64_t>>& planes, std::size_t w,
+    std::uint32_t cut, std::uint64_t& gt, std::uint64_t& eq) noexcept {
+  gt = 0;
+  eq = ~0ULL;
+  const std::size_t cut_bits =
+      cut == 0 ? 0 : static_cast<std::size_t>(std::bit_width(cut));
+  const std::size_t top = std::max(planes.size(), cut_bits);
+  for (std::size_t p = top; p-- > 0;) {
+    const std::uint64_t plane = p < planes.size() ? planes[p][w] : 0;
+    const std::uint64_t cbit = (cut >> p) & 1u ? ~0ULL : 0;
+    gt |= eq & plane & ~cbit;
+    eq &= ~(plane ^ cbit);
   }
+}
+
+}  // namespace
+
+void BitSliceCounter::threshold_majority_into(BinVec& out,
+                                              const BinVec* tie_break) const {
+  if (out.dimension() != dim_) out = BinVec(dim_);
+  const auto total = static_cast<std::uint32_t>(added_);
+  // count*2 > total  <=>  count > floor(total/2)  (for odd totals the
+  // strict inequality rounds the same way); ties (count*2 == total) only
+  // exist when the total is even.
+  const std::uint32_t cut = total / 2;
+  const bool ties_possible = (total % 2) == 0;
+  auto ow = out.mutable_words();
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t gt, eq;
+    compare_counts_word(planes_, w, cut, gt, eq);
+    std::uint64_t bits = gt;
+    if (ties_possible && tie_break != nullptr) {
+      bits |= eq & tie_break->words()[w];
+    }
+    ow[w] = bits;
+  }
+  out.mask_tail();
+}
+
+BinVec BitSliceCounter::threshold_majority(const BinVec* tie_break) const {
+  BinVec out(dim_);
+  threshold_majority_into(out, tie_break);
   return out;
 }
 
 BinVec BitSliceCounter::threshold(std::uint32_t cut) const {
   BinVec out(dim_);
-  for (std::size_t i = 0; i < dim_; ++i) out.set(i, count(i) > cut);
+  auto ow = out.mutable_words();
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t gt, eq;
+    compare_counts_word(planes_, w, cut, gt, eq);
+    ow[w] = gt;
+  }
+  out.mask_tail();
   return out;
 }
 
 void BitSliceCounter::reset() {
-  planes_.clear();
+  // Zero in place: plane storage survives, so steady-state reuse through
+  // EncodeWorkspace performs no allocations once the stack has grown to
+  // its working depth (ceil(log2(bundle size)) planes).
+  for (auto& plane : planes_) std::fill(plane.begin(), plane.end(), 0);
   added_ = 0;
+}
+
+void BitSliceCounter::resize(std::size_t dimension) {
+  const std::size_t words = util::words_for_bits(dimension);
+  if (words != words_) {
+    planes_.clear();
+    words_ = words;
+  }
+  dim_ = dimension;
+  reset();
 }
 
 void SignedAccumulator::add(const BinVec& bits, std::int32_t weight) {

@@ -24,16 +24,52 @@ BinVec& BinVec::invert() noexcept {
   return *this;
 }
 
+namespace {
+
+/// OR-accumulates `src` shifted left by `shift` bit positions into `dst`
+/// (big-endian-free funnel over the packed word array). Bits pushed past
+/// the top of the array are dropped; bits pushed into the tail region of
+/// the last word are cleaned up by the caller's mask_tail().
+void or_shifted_left(std::span<std::uint64_t> dst,
+                     std::span<const std::uint64_t> src,
+                     std::size_t shift) noexcept {
+  const std::size_t ws = shift >> 6;
+  const std::size_t bs = shift & 63;
+  for (std::size_t w = dst.size(); w-- > ws;) {
+    std::uint64_t v = src[w - ws] << bs;
+    if (bs != 0 && w > ws) v |= src[w - ws - 1] >> (64 - bs);
+    dst[w] |= v;
+  }
+}
+
+/// OR-accumulates `src` shifted right by `shift` bit positions into `dst`.
+void or_shifted_right(std::span<std::uint64_t> dst,
+                      std::span<const std::uint64_t> src,
+                      std::size_t shift) noexcept {
+  const std::size_t ws = shift >> 6;
+  const std::size_t bs = shift & 63;
+  for (std::size_t w = 0; w + ws < src.size(); ++w) {
+    std::uint64_t v = src[w + ws] >> bs;
+    if (bs != 0 && w + ws + 1 < src.size()) v |= src[w + ws + 1] << (64 - bs);
+    dst[w] |= v;
+  }
+}
+
+}  // namespace
+
 BinVec BinVec::rotated(std::size_t amount) const {
   BinVec out(dim_);
   if (dim_ == 0) return out;
   amount %= dim_;
   if (amount == 0) return *this;
-  // Straightforward bit copy; rotation is not on the inference hot path.
-  for (std::size_t i = 0; i < dim_; ++i) {
-    const std::size_t j = (i + amount) % dim_;
-    if (get(i)) out.set(j, true);
-  }
+  // rot(v, s) over the D-bit field is (v << s) | (v >> (D - s)): the low
+  // D - s bits shift up, the top s bits wrap to the bottom. Both halves are
+  // word-level funnel shifts, so the whole rotation is O(D/64) — it sits on
+  // the SequenceEncoder path, which makes it hot for streaming workloads.
+  // The tail-bits-zero invariant on `words()` makes the wrapped half exact.
+  or_shifted_left(out.mutable_words(), words(), amount);
+  or_shifted_right(out.mutable_words(), words(), dim_ - amount);
+  out.mask_tail();
   return out;
 }
 
@@ -46,7 +82,8 @@ void BinVec::mask_tail() noexcept {
 
 std::size_t hamming(const BinVec& a, const BinVec& b) noexcept {
   assert(a.dimension() == b.dimension());
-  return util::hamming(a.words(), b.words());
+  return kernels::hamming(a.words().data(), b.words().data(),
+                          a.words().size());
 }
 
 double similarity(const BinVec& a, const BinVec& b) noexcept {
@@ -67,25 +104,16 @@ std::size_t hamming_range(const BinVec& a, const BinVec& b, std::size_t begin,
   assert(begin <= end && end <= a.dimension());
   if (begin >= end) return 0;
 
-  const auto aw = a.words();
-  const auto bw = b.words();
+  // Resolve the bit range to words + edge masks; the masked kernel does
+  // the rest at whatever ISA the dispatcher selected.
   const std::size_t first_word = begin >> 6;
   const std::size_t last_word = (end - 1) >> 6;
-
-  std::size_t total = 0;
-  for (std::size_t w = first_word; w <= last_word; ++w) {
-    std::uint64_t x = aw[w] ^ bw[w];
-    if (w == first_word) {
-      const std::size_t skip = begin & 63;
-      x &= ~util::low_mask(skip);
-    }
-    if (w == last_word) {
-      const std::size_t keep = ((end - 1) & 63) + 1;
-      x &= util::low_mask(keep);
-    }
-    total += static_cast<std::size_t>(std::popcount(x));
-  }
-  return total;
+  const std::uint64_t first_mask = ~util::low_mask(begin & 63);
+  const std::uint64_t last_mask = util::low_mask(((end - 1) & 63) + 1);
+  return kernels::hamming_masked(a.words().data() + first_word,
+                                 b.words().data() + first_word,
+                                 last_word - first_word + 1, first_mask,
+                                 last_mask);
 }
 
 }  // namespace robusthd::hv

@@ -12,16 +12,26 @@ RecordEncoder::RecordEncoder(std::size_t feature_count,
 }
 
 BinVec RecordEncoder::encode(std::span<const float> features) const {
+  // Per-thread workspace: repeated encodes on the same thread (encode_all
+  // under parallel_for, trainer loops) reuse the counter's plane storage,
+  // so even this convenience overload is allocation-free at steady state.
+  thread_local EncodeWorkspace ws;
+  BinVec out;
+  encode_into(features, out, ws);
+  return out;
+}
+
+void RecordEncoder::encode_into(std::span<const float> features, BinVec& out,
+                                EncodeWorkspace& ws) const {
   assert(features.size() == memory_.feature_count());
-  BitSliceCounter acc(memory_.dimension());
-  BinVec bound(memory_.dimension());
+  ws.counter.resize(memory_.dimension());
   for (std::size_t k = 0; k < features.size(); ++k) {
     const auto& level = memory_.level(memory_.level_index(features[k]));
-    bound = level;
-    bound.bind(memory_.base(k));
-    acc.add(bound);
+    // Fused bind-then-ripple-add: L(f_k) XOR B_k goes straight into the
+    // bit-sliced counters without materialising the bound vector.
+    ws.counter.add_bound(level, memory_.base(k));
   }
-  return acc.threshold_majority(&tie_break_);
+  ws.counter.threshold_majority_into(out, &tie_break_);
 }
 
 }  // namespace robusthd::hv

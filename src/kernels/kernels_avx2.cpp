@@ -1,0 +1,211 @@
+// AVX2 kernels: Harley–Seal carry-save popcount (Muła/Kurz/Lemire) for the
+// long reductions, PSHUFB nibble popcount for the blocked matrix kernel.
+// This TU is the only place compiled with -mavx2; it is reached strictly
+// through the runtime dispatcher, so building it never makes the library
+// require AVX2 at load time.
+
+#include "kernels_internal.hpp"
+
+#if defined(ROBUSTHD_KERNELS_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace robusthd::kernels::detail {
+
+namespace {
+
+/// Per-64-bit-lane popcount of a 256-bit vector (PSHUFB nibble LUT + SAD).
+inline __m256i popcount256(__m256i v) noexcept {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                      _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+/// Carry-save adder: (h, l) = a + b + c in bit-sliced form.
+inline void csa(__m256i& h, __m256i& l, __m256i a, __m256i b,
+                __m256i c) noexcept {
+  const __m256i u = _mm256_xor_si256(a, b);
+  h = _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c));
+  l = _mm256_xor_si256(u, c);
+}
+
+inline std::uint64_t hsum256(__m256i v) noexcept {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+/// Harley–Seal reduction over `vecs` 256-bit blocks produced by `load`;
+/// `load(i)` yields block i. Fusing the XOR into the loader makes the same
+/// routine serve popcount (identity load) and Hamming (xor load).
+template <typename Load>
+std::uint64_t harley_seal(Load load, std::size_t vecs) noexcept {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i total = zero, ones = zero, twos = zero, fours = zero,
+          eights = zero;
+  __m256i twos_a, twos_b, fours_a, fours_b, eights_a, eights_b, sixteens;
+
+  std::size_t i = 0;
+  for (; i + 16 <= vecs; i += 16) {
+    csa(twos_a, ones, ones, load(i + 0), load(i + 1));
+    csa(twos_b, ones, ones, load(i + 2), load(i + 3));
+    csa(fours_a, twos, twos, twos_a, twos_b);
+    csa(twos_a, ones, ones, load(i + 4), load(i + 5));
+    csa(twos_b, ones, ones, load(i + 6), load(i + 7));
+    csa(fours_b, twos, twos, twos_a, twos_b);
+    csa(eights_a, fours, fours, fours_a, fours_b);
+    csa(twos_a, ones, ones, load(i + 8), load(i + 9));
+    csa(twos_b, ones, ones, load(i + 10), load(i + 11));
+    csa(fours_a, twos, twos, twos_a, twos_b);
+    csa(twos_a, ones, ones, load(i + 12), load(i + 13));
+    csa(twos_b, ones, ones, load(i + 14), load(i + 15));
+    csa(fours_b, twos, twos, twos_a, twos_b);
+    csa(eights_b, fours, fours, fours_a, fours_b);
+    csa(sixteens, eights, eights, eights_a, eights_b);
+    total = _mm256_add_epi64(total, popcount256(sixteens));
+  }
+  total = _mm256_slli_epi64(total, 4);
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(popcount256(eights), 3));
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(popcount256(fours), 2));
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(popcount256(twos), 1));
+  total = _mm256_add_epi64(total, popcount256(ones));
+  for (; i < vecs; ++i) total = _mm256_add_epi64(total, popcount256(load(i)));
+  return hsum256(total);
+}
+
+std::size_t popcount_avx2(const std::uint64_t* words, std::size_t n) {
+  const std::size_t vecs = n / 4;
+  std::uint64_t total = harley_seal(
+      [&](std::size_t i) {
+        return _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(words + 4 * i));
+      },
+      vecs);
+  for (std::size_t i = vecs * 4; i < n; ++i) total += word_popcount(words[i]);
+  return static_cast<std::size_t>(total);
+}
+
+std::size_t hamming_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n) {
+  const std::size_t vecs = n / 4;
+  std::uint64_t total = harley_seal(
+      [&](std::size_t i) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(a + 4 * i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(b + 4 * i));
+        return _mm256_xor_si256(va, vb);
+      },
+      vecs);
+  for (std::size_t i = vecs * 4; i < n; ++i) {
+    total += word_popcount(a[i] ^ b[i]);
+  }
+  return static_cast<std::size_t>(total);
+}
+
+std::size_t hamming_masked_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t n, std::uint64_t first_mask,
+                                std::uint64_t last_mask) {
+  if (n == 0) return 0;
+  if (n == 1) return word_popcount((a[0] ^ b[0]) & first_mask & last_mask);
+  // Masked edge words scalar, SIMD over the full interior.
+  std::size_t total = word_popcount((a[0] ^ b[0]) & first_mask) +
+                      word_popcount((a[n - 1] ^ b[n - 1]) & last_mask);
+  return total + hamming_avx2(a + 1, b + 1, n - 2);
+}
+
+void hamming_matrix_avx2(const std::uint64_t* const* queries,
+                         std::size_t num_queries,
+                         const std::uint64_t* const* planes,
+                         std::size_t num_planes, std::size_t words,
+                         std::uint32_t* out) {
+  constexpr std::size_t kBlock = 4;
+  const std::size_t vecs = words / 4;
+  std::size_t q = 0;
+  for (; q + kBlock <= num_queries; q += kBlock) {
+    const std::uint64_t* q0 = queries[q + 0];
+    const std::uint64_t* q1 = queries[q + 1];
+    const std::uint64_t* q2 = queries[q + 2];
+    const std::uint64_t* q3 = queries[q + 3];
+    for (std::size_t p = 0; p < num_planes; ++p) {
+      const std::uint64_t* plane = planes[p];
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (std::size_t v = 0; v < vecs; ++v) {
+        // One plane load serves all four queries in the block.
+        const __m256i pw = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(plane + 4 * v));
+        acc0 = _mm256_add_epi64(
+            acc0, popcount256(_mm256_xor_si256(
+                      _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(q0 + 4 * v)),
+                      pw)));
+        acc1 = _mm256_add_epi64(
+            acc1, popcount256(_mm256_xor_si256(
+                      _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(q1 + 4 * v)),
+                      pw)));
+        acc2 = _mm256_add_epi64(
+            acc2, popcount256(_mm256_xor_si256(
+                      _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(q2 + 4 * v)),
+                      pw)));
+        acc3 = _mm256_add_epi64(
+            acc3, popcount256(_mm256_xor_si256(
+                      _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(q3 + 4 * v)),
+                      pw)));
+      }
+      std::uint64_t d0 = hsum256(acc0), d1 = hsum256(acc1),
+                    d2 = hsum256(acc2), d3 = hsum256(acc3);
+      for (std::size_t w = vecs * 4; w < words; ++w) {
+        const std::uint64_t pw = plane[w];
+        d0 += word_popcount(q0[w] ^ pw);
+        d1 += word_popcount(q1[w] ^ pw);
+        d2 += word_popcount(q2[w] ^ pw);
+        d3 += word_popcount(q3[w] ^ pw);
+      }
+      out[(q + 0) * num_planes + p] = static_cast<std::uint32_t>(d0);
+      out[(q + 1) * num_planes + p] = static_cast<std::uint32_t>(d1);
+      out[(q + 2) * num_planes + p] = static_cast<std::uint32_t>(d2);
+      out[(q + 3) * num_planes + p] = static_cast<std::uint32_t>(d3);
+    }
+  }
+  for (; q < num_queries; ++q) {
+    for (std::size_t p = 0; p < num_planes; ++p) {
+      out[q * num_planes + p] =
+          static_cast<std::uint32_t>(hamming_avx2(queries[q], planes[p],
+                                                  words));
+    }
+  }
+}
+
+constexpr Ops kAvx2Ops{popcount_avx2, hamming_avx2, hamming_masked_avx2,
+                       hamming_matrix_avx2};
+
+}  // namespace
+
+const Ops* avx2_ops() noexcept { return &kAvx2Ops; }
+
+}  // namespace robusthd::kernels::detail
+
+#else  // ROBUSTHD_KERNELS_HAVE_AVX2
+
+namespace robusthd::kernels::detail {
+
+// Compiled out (toolchain lacks AVX2 support): the dispatcher sees no table.
+const Ops* avx2_ops() noexcept { return nullptr; }
+
+}  // namespace robusthd::kernels::detail
+
+#endif  // ROBUSTHD_KERNELS_HAVE_AVX2

@@ -1,0 +1,164 @@
+// AVX-512 kernels: VPOPCNTDQ gives a native per-64-bit-lane popcount, so
+// every kernel is a straight-line XOR + VPOPCNTQ + ADD stream over 512-bit
+// blocks, with masked loads covering the tail words (masked-out lanes read
+// as zero and contribute nothing). This TU is the only place compiled with
+// AVX-512 flags; it is reached strictly through the runtime dispatcher.
+
+#include "kernels_internal.hpp"
+
+#if defined(ROBUSTHD_KERNELS_HAVE_AVX512)
+
+#include <immintrin.h>
+
+namespace robusthd::kernels::detail {
+
+namespace {
+
+inline __mmask8 tail_mask(std::size_t remaining) noexcept {
+  return static_cast<__mmask8>((1u << remaining) - 1u);
+}
+
+std::size_t popcount_avx512(const std::uint64_t* words, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_loadu_si512(words + i)));
+  }
+  if (i < n) {
+    const __m512i v = _mm512_maskz_loadu_epi64(tail_mask(n - i), words + i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+}
+
+std::size_t hamming_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  // Two independent accumulators hide the VPOPCNTQ latency.
+  __m512i acc2 = _mm512_setzero_si512();
+  for (; i + 16 <= n; i += 16) {
+    const __m512i x0 = _mm512_xor_si512(_mm512_loadu_si512(a + i),
+                                        _mm512_loadu_si512(b + i));
+    const __m512i x1 = _mm512_xor_si512(_mm512_loadu_si512(a + i + 8),
+                                        _mm512_loadu_si512(b + i + 8));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x0));
+    acc2 = _mm512_add_epi64(acc2, _mm512_popcnt_epi64(x1));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + i),
+                                       _mm512_loadu_si512(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_mask(n - i);
+    const __m512i x = _mm512_xor_si512(_mm512_maskz_loadu_epi64(m, a + i),
+                                       _mm512_maskz_loadu_epi64(m, b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  acc = _mm512_add_epi64(acc, acc2);
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+}
+
+std::size_t hamming_masked_avx512(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t n,
+                                  std::uint64_t first_mask,
+                                  std::uint64_t last_mask) {
+  if (n == 0) return 0;
+  if (n == 1) return word_popcount((a[0] ^ b[0]) & first_mask & last_mask);
+  const std::size_t total = word_popcount((a[0] ^ b[0]) & first_mask) +
+                            word_popcount((a[n - 1] ^ b[n - 1]) & last_mask);
+  return total + hamming_avx512(a + 1, b + 1, n - 2);
+}
+
+void hamming_matrix_avx512(const std::uint64_t* const* queries,
+                           std::size_t num_queries,
+                           const std::uint64_t* const* planes,
+                           std::size_t num_planes, std::size_t words,
+                           std::uint32_t* out) {
+  constexpr std::size_t kBlock = 4;
+  const std::size_t vecs = words / 8;
+  const __mmask8 tail =
+      words % 8 != 0 ? tail_mask(words % 8) : static_cast<__mmask8>(0);
+  std::size_t q = 0;
+  for (; q + kBlock <= num_queries; q += kBlock) {
+    const std::uint64_t* q0 = queries[q + 0];
+    const std::uint64_t* q1 = queries[q + 1];
+    const std::uint64_t* q2 = queries[q + 2];
+    const std::uint64_t* q3 = queries[q + 3];
+    for (std::size_t p = 0; p < num_planes; ++p) {
+      const std::uint64_t* plane = planes[p];
+      __m512i acc0 = _mm512_setzero_si512();
+      __m512i acc1 = _mm512_setzero_si512();
+      __m512i acc2 = _mm512_setzero_si512();
+      __m512i acc3 = _mm512_setzero_si512();
+      for (std::size_t v = 0; v < vecs; ++v) {
+        // One plane load is XOR-popcounted against all four queries.
+        const __m512i pw = _mm512_loadu_si512(plane + 8 * v);
+        acc0 = _mm512_add_epi64(
+            acc0, _mm512_popcnt_epi64(
+                      _mm512_xor_si512(_mm512_loadu_si512(q0 + 8 * v), pw)));
+        acc1 = _mm512_add_epi64(
+            acc1, _mm512_popcnt_epi64(
+                      _mm512_xor_si512(_mm512_loadu_si512(q1 + 8 * v), pw)));
+        acc2 = _mm512_add_epi64(
+            acc2, _mm512_popcnt_epi64(
+                      _mm512_xor_si512(_mm512_loadu_si512(q2 + 8 * v), pw)));
+        acc3 = _mm512_add_epi64(
+            acc3, _mm512_popcnt_epi64(
+                      _mm512_xor_si512(_mm512_loadu_si512(q3 + 8 * v), pw)));
+      }
+      if (tail) {
+        const std::size_t off = vecs * 8;
+        const __m512i pw = _mm512_maskz_loadu_epi64(tail, plane + off);
+        acc0 = _mm512_add_epi64(
+            acc0, _mm512_popcnt_epi64(_mm512_xor_si512(
+                      _mm512_maskz_loadu_epi64(tail, q0 + off), pw)));
+        acc1 = _mm512_add_epi64(
+            acc1, _mm512_popcnt_epi64(_mm512_xor_si512(
+                      _mm512_maskz_loadu_epi64(tail, q1 + off), pw)));
+        acc2 = _mm512_add_epi64(
+            acc2, _mm512_popcnt_epi64(_mm512_xor_si512(
+                      _mm512_maskz_loadu_epi64(tail, q2 + off), pw)));
+        acc3 = _mm512_add_epi64(
+            acc3, _mm512_popcnt_epi64(_mm512_xor_si512(
+                      _mm512_maskz_loadu_epi64(tail, q3 + off), pw)));
+      }
+      out[(q + 0) * num_planes + p] =
+          static_cast<std::uint32_t>(_mm512_reduce_add_epi64(acc0));
+      out[(q + 1) * num_planes + p] =
+          static_cast<std::uint32_t>(_mm512_reduce_add_epi64(acc1));
+      out[(q + 2) * num_planes + p] =
+          static_cast<std::uint32_t>(_mm512_reduce_add_epi64(acc2));
+      out[(q + 3) * num_planes + p] =
+          static_cast<std::uint32_t>(_mm512_reduce_add_epi64(acc3));
+    }
+  }
+  for (; q < num_queries; ++q) {
+    for (std::size_t p = 0; p < num_planes; ++p) {
+      out[q * num_planes + p] = static_cast<std::uint32_t>(
+          hamming_avx512(queries[q], planes[p], words));
+    }
+  }
+}
+
+constexpr Ops kAvx512Ops{popcount_avx512, hamming_avx512,
+                         hamming_masked_avx512, hamming_matrix_avx512};
+
+}  // namespace
+
+const Ops* avx512_ops() noexcept { return &kAvx512Ops; }
+
+}  // namespace robusthd::kernels::detail
+
+#else  // ROBUSTHD_KERNELS_HAVE_AVX512
+
+namespace robusthd::kernels::detail {
+
+// Compiled out (toolchain lacks AVX-512 support): dispatcher sees no table.
+const Ops* avx512_ops() noexcept { return nullptr; }
+
+}  // namespace robusthd::kernels::detail
+
+#endif  // ROBUSTHD_KERNELS_HAVE_AVX512

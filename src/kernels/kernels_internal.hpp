@@ -1,0 +1,41 @@
+#pragma once
+// Internal glue between the dispatch unit and the per-ISA translation
+// units. Each ISA lives in its own TU compiled with exactly the flags it
+// needs, so the rest of the library keeps the portable baseline ABI and
+// the dispatcher can select at runtime without illegal-instruction risk.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "robusthd/kernels/kernels.hpp"
+
+namespace robusthd::kernels::detail {
+
+/// Portable reference kernels (always available; the equivalence oracle).
+const Ops& scalar_ops() noexcept;
+
+/// AVX2 Harley–Seal kernels; nullptr when compiled out.
+const Ops* avx2_ops() noexcept;
+
+/// AVX-512 VPOPCNTDQ kernels; nullptr when compiled out.
+const Ops* avx512_ops() noexcept;
+
+/// Scalar popcount of one word without assuming the POPCNT instruction —
+/// shared by the tail paths of every variant (std::popcount lowers to the
+/// best sequence each TU's flags permit).
+inline std::size_t word_popcount(std::uint64_t w) noexcept {
+  return static_cast<std::size_t>(std::popcount(w));
+}
+
+/// Applies the first/last word masks in place for the masked-range kernels.
+/// n >= 1; when n == 1 both masks intersect.
+inline std::uint64_t masked_word(std::uint64_t x, std::size_t i, std::size_t n,
+                                 std::uint64_t first_mask,
+                                 std::uint64_t last_mask) noexcept {
+  if (i == 0) x &= first_mask;
+  if (i + 1 == n) x &= last_mask;
+  return x;
+}
+
+}  // namespace robusthd::kernels::detail

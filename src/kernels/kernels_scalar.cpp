@@ -1,0 +1,87 @@
+// Portable scalar kernels — the reference implementation every SIMD
+// variant is tested bit-for-bit against. Compiled with the project's
+// baseline flags only, so it runs on any x86-64 (or non-x86) host.
+//
+// The matrix kernel still blocks queries (4 at a time) so a stored plane
+// word is loaded once per block instead of once per query: even without
+// wider registers, the blocked layout roughly halves memory traffic on
+// large batches, and it keeps the traversal order identical to the SIMD
+// variants.
+
+#include "kernels_internal.hpp"
+
+namespace robusthd::kernels::detail {
+
+namespace {
+
+std::size_t popcount_scalar(const std::uint64_t* words, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += word_popcount(words[i]);
+  return total;
+}
+
+std::size_t hamming_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += word_popcount(a[i] ^ b[i]);
+  return total;
+}
+
+std::size_t hamming_masked_scalar(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t n,
+                                  std::uint64_t first_mask,
+                                  std::uint64_t last_mask) {
+  if (n == 0) return 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += word_popcount(masked_word(a[i] ^ b[i], i, n, first_mask,
+                                       last_mask));
+  }
+  return total;
+}
+
+void hamming_matrix_scalar(const std::uint64_t* const* queries,
+                           std::size_t num_queries,
+                           const std::uint64_t* const* planes,
+                           std::size_t num_planes, std::size_t words,
+                           std::uint32_t* out) {
+  constexpr std::size_t kBlock = 4;
+  std::size_t q = 0;
+  for (; q + kBlock <= num_queries; q += kBlock) {
+    const std::uint64_t* q0 = queries[q + 0];
+    const std::uint64_t* q1 = queries[q + 1];
+    const std::uint64_t* q2 = queries[q + 2];
+    const std::uint64_t* q3 = queries[q + 3];
+    for (std::size_t p = 0; p < num_planes; ++p) {
+      const std::uint64_t* plane = planes[p];
+      std::size_t d0 = 0, d1 = 0, d2 = 0, d3 = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t pw = plane[w];
+        d0 += word_popcount(q0[w] ^ pw);
+        d1 += word_popcount(q1[w] ^ pw);
+        d2 += word_popcount(q2[w] ^ pw);
+        d3 += word_popcount(q3[w] ^ pw);
+      }
+      out[(q + 0) * num_planes + p] = static_cast<std::uint32_t>(d0);
+      out[(q + 1) * num_planes + p] = static_cast<std::uint32_t>(d1);
+      out[(q + 2) * num_planes + p] = static_cast<std::uint32_t>(d2);
+      out[(q + 3) * num_planes + p] = static_cast<std::uint32_t>(d3);
+    }
+  }
+  for (; q < num_queries; ++q) {
+    for (std::size_t p = 0; p < num_planes; ++p) {
+      out[q * num_planes + p] =
+          static_cast<std::uint32_t>(hamming_scalar(queries[q], planes[p],
+                                                    words));
+    }
+  }
+}
+
+constexpr Ops kScalarOps{popcount_scalar, hamming_scalar,
+                         hamming_masked_scalar, hamming_matrix_scalar};
+
+}  // namespace
+
+const Ops& scalar_ops() noexcept { return kScalarOps; }
+
+}  // namespace robusthd::kernels::detail

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "robusthd/kernels/kernels.hpp"
 #include "robusthd/util/parallel.hpp"
 #include "robusthd/util/rng.hpp"
 
@@ -20,11 +21,12 @@ struct NearestTwo {
   std::size_t second_distance = std::numeric_limits<std::size_t>::max();
 };
 
-NearestTwo predict_with_signs(const std::vector<hv::BinVec>& signs,
-                              const hv::BinVec& query) {
+/// Scans a distance row produced by the matrix kernel; tie-breaking
+/// (lowest index wins) matches the historical per-pair loop exactly.
+NearestTwo nearest_two(const std::uint32_t* distances, std::size_t classes) {
   NearestTwo out;
-  for (std::size_t c = 0; c < signs.size(); ++c) {
-    const std::size_t d = hv::hamming(query, signs[c]);
+  for (std::size_t c = 0; c < classes; ++c) {
+    const std::size_t d = distances[c];
     if (d < out.best_distance) {
       out.second_distance = out.best_distance;
       out.second = out.best;
@@ -66,13 +68,26 @@ HdcModel HdcModel::train(std::span<const hv::BinVec> encoded,
   signs.reserve(num_classes);
   for (const auto& acc : accs) signs.push_back(acc.sign());
 
+  // The epoch loop scores each sample against every sign snapshot through
+  // the 1 x k distance-matrix kernel; sign refreshes reallocate the word
+  // storage, so the pointer table entry is refreshed alongside.
+  std::vector<const std::uint64_t*> sign_ptrs(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    sign_ptrs[c] = signs[c].words().data();
+  }
+  std::vector<std::uint32_t> distances(num_classes);
+  const std::size_t words = util::words_for_bits(model.dim_);
+
   const auto min_margin = static_cast<std::size_t>(
       config.retrain_margin * static_cast<double>(model.dim_));
   for (std::size_t epoch = 0; epoch < config.retrain_epochs; ++epoch) {
     std::size_t updates = 0;
     for (std::size_t i = 0; i < encoded.size(); ++i) {
       const int truth = labels[i];
-      const auto nearest = predict_with_signs(signs, encoded[i]);
+      const std::uint64_t* query = encoded[i].words().data();
+      kernels::hamming_matrix(&query, 1, sign_ptrs.data(), num_classes,
+                              words, distances.data());
+      const auto nearest = nearest_two(distances.data(), num_classes);
       const bool wrong = nearest.best != truth;
       const bool thin_margin =
           !wrong && nearest.second_distance - nearest.best_distance <
@@ -82,10 +97,12 @@ HdcModel HdcModel::train(std::span<const hv::BinVec> encoded,
         const int rival = wrong ? nearest.best : nearest.second;
         accs[t].add(encoded[i], +1);
         signs[t] = accs[t].sign();
+        sign_ptrs[t] = signs[t].words().data();
         if (rival >= 0) {
           const auto g = static_cast<std::size_t>(rival);
           accs[g].add(encoded[i], -1);
           signs[g] = accs[g].sign();
+          sign_ptrs[g] = signs[g].words().data();
         }
         ++updates;
       }
@@ -132,12 +149,13 @@ std::vector<double> HdcModel::scores(const hv::BinVec& query) const {
   return chunk_scores(query, 0, dim_);
 }
 
-std::vector<double> HdcModel::chunk_scores(const hv::BinVec& query,
-                                           std::size_t begin,
-                                           std::size_t end) const {
-  std::vector<double> out(classes_.size(), 0.0);
+void HdcModel::chunk_scores_into(const hv::BinVec& query, std::size_t begin,
+                                 std::size_t end, double* out) const {
   const std::size_t width = end - begin;
-  if (width == 0) return out;
+  if (width == 0) {
+    std::fill(out, out + classes_.size(), 0.0);
+    return;
+  }
   const double denom = static_cast<double>(width) *
                        static_cast<double>((1u << precision_bits_) - 1);
   for (std::size_t c = 0; c < classes_.size(); ++c) {
@@ -149,7 +167,80 @@ std::vector<double> HdcModel::chunk_scores(const hv::BinVec& query,
     }
     out[c] = score / denom;
   }
+}
+
+std::vector<double> HdcModel::chunk_scores(const hv::BinVec& query,
+                                           std::size_t begin,
+                                           std::size_t end) const {
+  std::vector<double> out(classes_.size(), 0.0);
+  chunk_scores_into(query, begin, end, out.data());
   return out;
+}
+
+void HdcModel::chunk_scores_all(const hv::BinVec& query, std::size_t chunks,
+                                std::vector<double>& out) const {
+  out.resize(chunks * classes_.size());
+  for (std::size_t c = 0; c < chunks; ++c) {
+    // Same partition as RecoveryEngine::chunk_range.
+    const std::size_t begin = c * dim_ / chunks;
+    const std::size_t end = (c + 1) * dim_ / chunks;
+    chunk_scores_into(query, begin, end, out.data() + c * classes_.size());
+  }
+}
+
+void HdcModel::scores_batch(std::span<const hv::BinVec* const> queries,
+                            ScoreWorkspace& ws) const {
+  const std::size_t k = classes_.size();
+  const std::size_t q = queries.size();
+  ws.scores.resize(q * k);
+  if (q == 0 || k == 0) return;
+
+  // Flatten the stored model into one plane-pointer table (plane-major per
+  // class, matching the p-ascending weight accumulation below).
+  const std::size_t planes_per_class = classes_[0].planes.size();
+  ws.plane_ptrs.clear();
+  for (const auto& cls : classes_) {
+    if (cls.planes.size() != planes_per_class) {
+      // Ragged plane counts (hand-built models): take the exact per-query
+      // path rather than a padded matrix.
+      for (std::size_t i = 0; i < q; ++i) {
+        chunk_scores_into(*queries[i], 0, dim_, ws.scores.data() + i * k);
+      }
+      return;
+    }
+    for (const auto& plane : cls.planes) {
+      ws.plane_ptrs.push_back(plane.words().data());
+    }
+  }
+  const std::size_t total_planes = ws.plane_ptrs.size();
+
+  ws.query_ptrs.resize(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    ws.query_ptrs[i] = queries[i]->words().data();
+  }
+
+  // One blocked pass over the model scores the whole batch.
+  ws.distances.resize(q * total_planes);
+  kernels::hamming_matrix(ws.query_ptrs.data(), q, ws.plane_ptrs.data(),
+                          total_planes, util::words_for_bits(dim_),
+                          ws.distances.data());
+
+  // Plane-weighted combination — operation order matches chunk_scores_into
+  // exactly, so the scores are bit-identical to the per-query path.
+  const double denom = static_cast<double>(dim_) *
+                       static_cast<double>((1u << precision_bits_) - 1);
+  for (std::size_t i = 0; i < q; ++i) {
+    const std::uint32_t* row = ws.distances.data() + i * total_planes;
+    double* out = ws.scores.data() + i * k;
+    for (std::size_t c = 0; c < k; ++c) {
+      double score = 0.0;
+      for (std::size_t p = 0; p < planes_per_class; ++p) {
+        const std::size_t matches = dim_ - row[c * planes_per_class + p];
+        score += static_cast<double>(1u << p) * static_cast<double>(matches);
+      }
+      out[c] = score / denom;
+    }
+  }
 }
 
 int HdcModel::predict(const hv::BinVec& query) const {
@@ -161,10 +252,30 @@ int HdcModel::predict(const hv::BinVec& query) const {
 std::vector<int> HdcModel::predict_batch(std::span<const hv::BinVec> queries,
                                          std::size_t max_threads) const {
   std::vector<int> out(queries.size());
-  // Templated parallel_for: the per-query lambda is invoked directly
-  // (no std::function dispatch on the scoring hot path).
+  const std::size_t k = classes_.size();
+  // Queries are scored in blocks through the distance-matrix kernel; the
+  // block argmax matches predict()'s max_element (first maximum wins), so
+  // results stay bit-identical to the serial per-query loop regardless of
+  // block size or thread count.
+  constexpr std::size_t kBlock = 32;
+  const std::size_t blocks = (queries.size() + kBlock - 1) / kBlock;
   util::parallel_for(
-      queries.size(), [&](std::size_t i) { out[i] = predict(queries[i]); },
+      blocks,
+      [&](std::size_t b) {
+        thread_local ScoreWorkspace ws;
+        const std::size_t begin = b * kBlock;
+        const std::size_t end = std::min(begin + kBlock, queries.size());
+        thread_local std::vector<const hv::BinVec*> block_queries;
+        block_queries.resize(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          block_queries[i - begin] = &queries[i];
+        }
+        scores_batch(block_queries, ws);
+        for (std::size_t i = begin; i < end; ++i) {
+          const double* row = ws.scores.data() + (i - begin) * k;
+          out[i] = static_cast<int>(std::max_element(row, row + k) - row);
+        }
+      },
       max_threads);
   return out;
 }

@@ -134,11 +134,15 @@ ObserveResult RecoveryEngine::observe(const hv::BinVec& query) {
 
   long worst_chunk = -1;
   double worst_deficit = 0.0;
+  // All chunk-level scores come from one call into the SIMD-dispatched
+  // masked-Hamming kernels, reusing this engine's row buffer.
+  model_.chunk_scores_all(query, config_.chunks, chunk_scores_buf_);
+  const std::size_t k = model_.num_classes();
   for (std::size_t c = 0; c < config_.chunks; ++c) {
     const auto [begin, end] = chunk_range(c);
-    const auto local = model_.chunk_scores(query, begin, end);
+    const double* local = chunk_scores_buf_.data() + c * k;
     const auto local_winner = static_cast<std::size_t>(
-        std::max_element(local.begin(), local.end()) - local.begin());
+        std::max_element(local, local + k) - local);
 
     // Two fault signals, both measured against the chunk-level Hamming
     // noise floor (sigma ~ sqrt(d)/2 bits over d bits):

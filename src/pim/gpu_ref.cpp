@@ -30,6 +30,14 @@ GpuCost gpu_cost_dnn(const DnnWorkloadSpec& spec, const GpuParams& gpu) {
   return combine(compute_s, bytes, gpu);
 }
 
+double hdc_search_wordops(std::size_t dimension, std::size_t classes,
+                          std::size_t batch) noexcept {
+  const double words = static_cast<double>(dimension) / 64.0;
+  // Similarity: XOR + popcount + reduce per (query, class) word.
+  return static_cast<double>(batch) * static_cast<double>(classes) * words *
+         3.0;
+}
+
 GpuCost gpu_cost_hdc(const HdcWorkloadSpec& spec, const GpuParams& gpu) {
   const double words = static_cast<double>(spec.dimension) / 64.0;
   double wordops = 0.0;
@@ -40,8 +48,7 @@ GpuCost gpu_cost_hdc(const HdcWorkloadSpec& spec, const GpuParams& gpu) {
     wordops += static_cast<double>(spec.features) * words * 10.0;
     bytes += static_cast<double>(spec.features) * words * 8.0 * 2.0;
   }
-  // Similarity: XOR + popcount + reduce per class.
-  wordops += static_cast<double>(spec.classes) * words * 3.0;
+  wordops += hdc_search_wordops(spec.dimension, spec.classes);
   bytes += static_cast<double>(spec.classes) * words * 8.0;
   const double compute_s = wordops / gpu.wordop_per_s;
   return combine(compute_s, bytes, gpu);

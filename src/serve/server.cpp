@@ -1,5 +1,7 @@
 #include "robusthd/serve/server.hpp"
 
+#include <cassert>
+#include <span>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -49,7 +51,7 @@ Server::Server(model::HdcModel model, const ServerConfig& config)
 Server::~Server() { shutdown(); }
 
 std::future<Response> Server::submit(hv::BinVec query) {
-  Request request{std::move(query), std::promise<Response>(),
+  Request request{std::move(query), {}, false, std::promise<Response>(),
                   std::chrono::steady_clock::now()};
   auto future = request.promise.get_future();
   // push() only consumes the request on success; on failure the promise
@@ -65,12 +67,31 @@ std::future<Response> Server::submit(hv::BinVec query) {
 }
 
 std::optional<std::future<Response>> Server::try_submit(hv::BinVec query) {
-  Request request{std::move(query), std::promise<Response>(),
+  Request request{std::move(query), {}, false, std::promise<Response>(),
                   std::chrono::steady_clock::now()};
   auto future = request.promise.get_future();
   if (!queue_.try_push(request)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+std::future<Response> Server::submit_features(std::vector<float> features) {
+  if (!config_.encoder) {
+    throw std::logic_error(
+        "serve::Server::submit_features requires ServerConfig::encoder");
+  }
+  Request request{hv::BinVec(), std::move(features), true,
+                  std::promise<Response>(),
+                  std::chrono::steady_clock::now()};
+  auto future = request.promise.get_future();
+  if (!queue_.push(std::move(request))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    request.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("serve::Server is shut down")));
+    return future;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   return future;
@@ -159,6 +180,17 @@ void Server::worker_main(std::size_t) {
   std::shared_ptr<const model::HdcModel> model;
   std::uint64_t version = 0;
 
+  // Per-worker reusable workspaces. Encoding and batch scoring run through
+  // these, so after the first full-sized batch the hot path performs no
+  // heap allocations per request (asserted below in debug builds).
+  hv::EncodeWorkspace encode_ws;
+  model::ScoreWorkspace score_ws;
+  std::vector<const hv::BinVec*> query_ptrs;
+#ifndef NDEBUG
+  bool encode_warmed = false;
+  std::pair<std::size_t, std::size_t> encode_sig{};
+#endif
+
   std::vector<Request> batch;
   while (batcher.next_batch(batch)) {
     // One snapshot per batch: every query in the batch is scored against
@@ -167,11 +199,41 @@ void Server::worker_main(std::size_t) {
     batch_sizes_.record(batch.size());
     const auto dequeued = std::chrono::steady_clock::now();
 
+    // Server-side encoding for feature-mode requests, through the worker's
+    // persistent workspace (the encoder's bit-sliced counter is reused).
+    bool encoded_any = false;
     for (auto& request : batch) {
-      queue_wait_.record(elapsed_ns(request.enqueued, dequeued));
-      const auto start = std::chrono::steady_clock::now();
+      if (request.from_features) {
+        config_.encoder->encode_into(request.features, request.query,
+                                     encode_ws);
+        encoded_any = true;
+      }
+    }
+#ifndef NDEBUG
+    if (encoded_any) {
+      // Steady-state invariant: once warmed, encoding a request must not
+      // grow the workspace — i.e. the encode path really is allocation-free.
+      assert(!encode_warmed || encode_ws.capacity_signature() == encode_sig);
+      encode_sig = encode_ws.capacity_signature();
+      encode_warmed = true;
+    }
+#endif
 
-      const auto similarities = model->scores(request.query);
+    // Score the whole batch in one blocked pass over the class planes.
+    const auto score_start = std::chrono::steady_clock::now();
+    query_ptrs.resize(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      query_ptrs[i] = &batch[i].query;
+    }
+    model->scores_batch(query_ptrs, score_ws);
+    const std::size_t k = model->num_classes();
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto& request = batch[i];
+      queue_wait_.record(elapsed_ns(request.enqueued, dequeued));
+
+      const std::span<const double> similarities(
+          score_ws.scores.data() + i * k, k);
       const auto conf =
           model::assess(similarities, confidence, model->dimension());
 
@@ -191,7 +253,9 @@ void Server::worker_main(std::size_t) {
       }
 
       const auto end = std::chrono::steady_clock::now();
-      service_.record(elapsed_ns(start, end));
+      // Service time is measured from the batch-score start: the batch is
+      // the unit of work, so every request in it shares the scoring cost.
+      service_.record(elapsed_ns(score_start, end));
       end_to_end_.record(elapsed_ns(request.enqueued, end));
       // Count before fulfilling: once a client sees its future ready,
       // stats().completed already includes it.

@@ -1,0 +1,469 @@
+// Equivalence tests for the runtime-dispatched SIMD kernel layer.
+//
+// Every available ISA tier (scalar / AVX2 / AVX-512) is checked bit-for-bit
+// against a naive per-word reference on awkward dimensions (sub-word,
+// exactly one word, word+1, and the paper-scale 10k), on adversarial word
+// patterns (all-zeros, all-ones), and at the odd query/plane counts that
+// exercise the 4-query block tails of the distance-matrix kernel. The
+// higher layers that were rewired onto the kernels (BinVec rotation and
+// ranged Hamming, batch scoring, zero-allocation encoding, the crossbar
+// cost cross-check) are then held to the same standard: bit-identical to
+// their scalar-era semantics.
+#include "robusthd/kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "robusthd/hv/accumulator.hpp"
+#include "robusthd/hv/binvec.hpp"
+#include "robusthd/hv/encoder.hpp"
+#include "robusthd/model/hdc_model.hpp"
+#include "robusthd/pim/gpu_ref.hpp"
+#include "robusthd/pim/hdc_kernels.hpp"
+#include "robusthd/util/bitops.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd {
+namespace {
+
+constexpr std::array<kernels::Isa, 3> kAllIsas = {
+    kernels::Isa::kScalar, kernels::Isa::kAvx2, kernels::Isa::kAvx512};
+
+// ---- naive references (independent of the kernel layer) -----------------
+
+std::size_t ref_popcount(const std::uint64_t* w, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(w[i]));
+  }
+  return total;
+}
+
+std::size_t ref_hamming(const std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+std::size_t ref_hamming_masked(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t n, std::uint64_t first,
+                               std::uint64_t last) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t x = a[i] ^ b[i];
+    if (i == 0) x &= first;
+    if (i == n - 1) x &= last;
+    total += static_cast<std::size_t>(std::popcount(x));
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> random_words(std::size_t n, util::Xoshiro256& rng) {
+  std::vector<std::uint64_t> w(n);
+  rng.fill(w);
+  return w;
+}
+
+/// Word counts covering dims 63, 64, 65 and 10000, plus blocks around the
+/// SIMD vector widths (4 and 8 words) and the unrolled 16-vector AVX2 body.
+const std::vector<std::size_t>& word_sizes() {
+  static const std::vector<std::size_t> sizes = {1,  2,  3,  4,  5,  7, 8,
+                                                 9,  15, 16, 17, 31, 32, 33,
+                                                 63, 64, 65, 157};
+  return sizes;
+}
+
+TEST(KernelDispatch, ScalarAlwaysAvailable) {
+  ASSERT_NE(kernels::ops_for(kernels::Isa::kScalar), nullptr);
+  EXPECT_TRUE(kernels::isa_supported(kernels::Isa::kScalar));
+  EXPECT_STREQ(kernels::isa_name(kernels::Isa::kScalar), "scalar");
+  // The active table is one of the three tiers and is non-null.
+  EXPECT_NE(kernels::ops_for(kernels::active_isa()), nullptr);
+}
+
+TEST(KernelEquivalence, PopcountAllIsas) {
+  util::Xoshiro256 rng(0x9c1);
+  for (const auto isa : kAllIsas) {
+    const auto* ops = kernels::ops_for(isa);
+    if (ops == nullptr) continue;
+    for (const std::size_t n : word_sizes()) {
+      const auto w = random_words(n, rng);
+      EXPECT_EQ(ops->popcount(w.data(), n), ref_popcount(w.data(), n))
+          << kernels::isa_name(isa) << " n=" << n;
+      const std::vector<std::uint64_t> ones(n, ~0ULL);
+      const std::vector<std::uint64_t> zeros(n, 0ULL);
+      EXPECT_EQ(ops->popcount(ones.data(), n), n * 64);
+      EXPECT_EQ(ops->popcount(zeros.data(), n), 0u);
+    }
+    EXPECT_EQ(ops->popcount(nullptr, 0), 0u) << kernels::isa_name(isa);
+  }
+}
+
+TEST(KernelEquivalence, HammingAllIsas) {
+  util::Xoshiro256 rng(0xbeef);
+  for (const auto isa : kAllIsas) {
+    const auto* ops = kernels::ops_for(isa);
+    if (ops == nullptr) continue;
+    for (const std::size_t n : word_sizes()) {
+      const auto a = random_words(n, rng);
+      const auto b = random_words(n, rng);
+      EXPECT_EQ(ops->hamming(a.data(), b.data(), n),
+                ref_hamming(a.data(), b.data(), n))
+          << kernels::isa_name(isa) << " n=" << n;
+      const std::vector<std::uint64_t> ones(n, ~0ULL);
+      const std::vector<std::uint64_t> zeros(n, 0ULL);
+      EXPECT_EQ(ops->hamming(ones.data(), zeros.data(), n), n * 64);
+      EXPECT_EQ(ops->hamming(a.data(), a.data(), n), 0u);
+    }
+    EXPECT_EQ(ops->hamming(nullptr, nullptr, 0), 0u);
+  }
+}
+
+TEST(KernelEquivalence, HammingMaskedAllIsas) {
+  util::Xoshiro256 rng(0x3a5c);
+  const std::array<std::uint64_t, 5> edge_masks = {
+      0ULL, ~0ULL, 1ULL, 0x8000000000000000ULL, 0x00ffff0000ffff00ULL};
+  for (const auto isa : kAllIsas) {
+    const auto* ops = kernels::ops_for(isa);
+    if (ops == nullptr) continue;
+    for (const std::size_t n : word_sizes()) {
+      const auto a = random_words(n, rng);
+      const auto b = random_words(n, rng);
+      for (const auto first : edge_masks) {
+        for (const auto last : edge_masks) {
+          EXPECT_EQ(ops->hamming_masked(a.data(), b.data(), n, first, last),
+                    ref_hamming_masked(a.data(), b.data(), n, first, last))
+              << kernels::isa_name(isa) << " n=" << n << " first=" << first
+              << " last=" << last;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, HammingMatrixAllIsas) {
+  util::Xoshiro256 rng(0x7ab1e);
+  // Odd query/plane counts hit the 4-query block tail and the per-plane
+  // remainder paths of every variant.
+  const std::array<std::pair<std::size_t, std::size_t>, 6> shapes = {{
+      {1, 1}, {1, 7}, {3, 2}, {4, 4}, {5, 3}, {9, 11}}};
+  for (const auto isa : kAllIsas) {
+    const auto* ops = kernels::ops_for(isa);
+    if (ops == nullptr) continue;
+    for (const std::size_t words : {1, 2, 5, 17, 157}) {
+      for (const auto [nq, np] : shapes) {
+        std::vector<std::vector<std::uint64_t>> qs, ps;
+        std::vector<const std::uint64_t*> qp, pp;
+        for (std::size_t i = 0; i < nq; ++i) {
+          qs.push_back(random_words(words, rng));
+          qp.push_back(qs.back().data());
+        }
+        for (std::size_t i = 0; i < np; ++i) {
+          ps.push_back(random_words(words, rng));
+          pp.push_back(ps.back().data());
+        }
+        std::vector<std::uint32_t> out(nq * np, 0xdeadbeef);
+        ops->hamming_matrix(qp.data(), nq, pp.data(), np, words, out.data());
+        for (std::size_t q = 0; q < nq; ++q) {
+          for (std::size_t p = 0; p < np; ++p) {
+            EXPECT_EQ(out[q * np + p],
+                      ref_hamming(qp[q], pp[p], words))
+                << kernels::isa_name(isa) << " words=" << words << " q=" << q
+                << " p=" << p;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- BinVec paths rewired onto the kernels ------------------------------
+
+TEST(BinVecKernels, CountOnesAndHammingMatchPerBit) {
+  util::Xoshiro256 rng(0xc0de);
+  for (const std::size_t dim : {63, 64, 65, 10000}) {
+    const auto a = hv::BinVec::random(dim, rng);
+    const auto b = hv::BinVec::random(dim, rng);
+    std::size_t ones = 0, diff = 0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      ones += a.get(i);
+      diff += a.get(i) != b.get(i);
+    }
+    EXPECT_EQ(a.count_ones(), ones) << "dim=" << dim;
+    EXPECT_EQ(hv::hamming(a, b), diff) << "dim=" << dim;
+  }
+}
+
+TEST(BinVecKernels, HammingRangeMatchesPerBitAndHandlesEmpty) {
+  util::Xoshiro256 rng(0x4a11);
+  for (const std::size_t dim : {63, 64, 65, 10000}) {
+    const auto a = hv::BinVec::random(dim, rng);
+    const auto b = hv::BinVec::random(dim, rng);
+    const std::array<std::pair<std::size_t, std::size_t>, 7> ranges = {{
+        {0, dim}, {0, 1}, {dim - 1, dim}, {0, 0}, {dim, dim},
+        {dim / 3, 2 * dim / 3}, {dim / 2, dim / 2}}};
+    for (const auto [begin, end] : ranges) {
+      std::size_t expected = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        expected += a.get(i) != b.get(i);
+      }
+      EXPECT_EQ(hv::hamming_range(a, b, begin, end), expected)
+          << "dim=" << dim << " [" << begin << "," << end << ")";
+    }
+  }
+}
+
+TEST(BinVecKernels, RotatedMatchesPerBitReference) {
+  util::Xoshiro256 rng(0x5107);
+  for (const std::size_t dim : {63, 64, 65, 130, 10000}) {
+    const auto v = hv::BinVec::random(dim, rng);
+    for (const std::size_t amount :
+         {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{64},
+          std::size_t{65}, dim / 2, dim - 1, dim}) {
+      const auto r = v.rotated(amount);
+      for (std::size_t i = 0; i < dim; ++i) {
+        ASSERT_EQ(r.get((i + amount) % dim), v.get(i))
+            << "dim=" << dim << " amount=" << amount << " bit=" << i;
+      }
+      // Tail invariant survives the word-level funnel shift.
+      if ((dim & 63) != 0) {
+        EXPECT_EQ(r.words().back() & ~util::low_mask(dim & 63), 0u);
+      }
+    }
+  }
+}
+
+TEST(BinVecKernels, RotatedRoundTrips) {
+  util::Xoshiro256 rng(0x0707);
+  for (const std::size_t dim : {63, 64, 65, 10000}) {
+    const auto v = hv::BinVec::random(dim, rng);
+    for (const std::size_t raw : {std::size_t{1}, std::size_t{37},
+                                  std::size_t{64}, dim - 1}) {
+      const std::size_t amount = raw % dim;  // keep dim - amount in range
+      const auto back = v.rotated(amount).rotated(dim - amount);
+      EXPECT_EQ(hv::hamming(v, back), 0u)
+          << "dim=" << dim << " amount=" << amount;
+    }
+  }
+}
+
+// ---- bit-sliced counter: fused bind+add and word-parallel threshold -----
+
+TEST(BitSliceKernels, AddBoundEqualsAddOfBind) {
+  util::Xoshiro256 rng(0xb17e);
+  const std::size_t dim = 777;
+  hv::BitSliceCounter fused(dim), plain(dim);
+  for (int k = 0; k < 9; ++k) {
+    const auto a = hv::BinVec::random(dim, rng);
+    const auto b = hv::BinVec::random(dim, rng);
+    fused.add_bound(a, b);
+    plain.add(hv::bind(a, b));
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    ASSERT_EQ(fused.count(i), plain.count(i)) << "dim " << i;
+  }
+}
+
+TEST(BitSliceKernels, ThresholdIntoMatchesThresholdMajority) {
+  util::Xoshiro256 rng(0x7e57);
+  const std::size_t dim = 300;
+  const auto tie_break = hv::BinVec::random(dim, rng);
+  for (const int adds : {1, 2, 5, 6, 31, 32}) {  // odd and even bundles
+    hv::BitSliceCounter counter(dim);
+    for (int k = 0; k < adds; ++k) counter.add(hv::BinVec::random(dim, rng));
+    const auto expected = counter.threshold_majority(&tie_break);
+    hv::BinVec out;
+    counter.threshold_majority_into(out, &tie_break);
+    EXPECT_EQ(out.dimension(), dim);
+    EXPECT_EQ(hv::hamming(expected, out), 0u) << "adds=" << adds;
+    // And without a tie-breaker (ties resolve to 0).
+    const auto expected_plain = counter.threshold_majority(nullptr);
+    counter.threshold_majority_into(out, nullptr);
+    EXPECT_EQ(hv::hamming(expected_plain, out), 0u) << "adds=" << adds;
+  }
+}
+
+TEST(BitSliceKernels, ResetAndResizeReuseStorage) {
+  util::Xoshiro256 rng(0x2e5e);
+  const std::size_t dim = 500;
+  hv::BitSliceCounter counter(dim);
+  for (int k = 0; k < 7; ++k) counter.add(hv::BinVec::random(dim, rng));
+  const std::size_t planes = counter.plane_count();
+  counter.reset();
+  EXPECT_EQ(counter.added(), 0u);
+  EXPECT_EQ(counter.plane_count(), planes);  // storage kept
+  for (std::size_t i = 0; i < dim; ++i) ASSERT_EQ(counter.count(i), 0u);
+  counter.resize(dim);  // same word width: still no reallocation
+  EXPECT_EQ(counter.plane_count(), planes);
+}
+
+// ---- zero-allocation encode --------------------------------------------
+
+TEST(EncodeKernels, EncodeIntoMatchesEncode) {
+  hv::EncoderConfig config;
+  config.dimension = 2048;
+  const std::size_t features = 13;
+  hv::RecordEncoder encoder(features, config);
+  util::Xoshiro256 rng(0xfeed);
+  hv::EncodeWorkspace ws;
+  hv::BinVec out;
+  for (int s = 0; s < 20; ++s) {
+    std::vector<float> sample(features);
+    for (auto& f : sample) {
+      f = static_cast<float>(rng.uniform());
+    }
+    const auto expected = encoder.encode(sample);
+    encoder.encode_into(sample, out, ws);
+    EXPECT_EQ(out.dimension(), expected.dimension());
+    EXPECT_EQ(hv::hamming(expected, out), 0u) << "sample " << s;
+  }
+}
+
+TEST(EncodeKernels, WorkspaceCapacityStabilises) {
+  hv::EncoderConfig config;
+  config.dimension = 1024;
+  const std::size_t features = 40;
+  hv::RecordEncoder encoder(features, config);
+  util::Xoshiro256 rng(0xcafe);
+  hv::EncodeWorkspace ws;
+  hv::BinVec out;
+  std::vector<float> sample(features);
+  for (auto& f : sample) f = static_cast<float>(rng.uniform());
+  encoder.encode_into(sample, out, ws);
+  const auto warm = ws.capacity_signature();
+  for (int s = 0; s < 10; ++s) {
+    for (auto& f : sample) f = static_cast<float>(rng.uniform());
+    encoder.encode_into(sample, out, ws);
+    EXPECT_EQ(ws.capacity_signature(), warm) << "encode " << s;
+  }
+}
+
+// ---- model batch scoring ------------------------------------------------
+
+model::HdcModel tiny_model(std::size_t dim, std::size_t classes,
+                           unsigned precision, util::Xoshiro256& rng) {
+  std::vector<hv::SignedAccumulator> accs;
+  for (std::size_t c = 0; c < classes; ++c) {
+    hv::SignedAccumulator acc(dim);
+    for (int i = 0; i < 5; ++i) acc.add(hv::BinVec::random(dim, rng));
+    accs.push_back(std::move(acc));
+  }
+  return model::HdcModel::from_accumulators(accs, precision);
+}
+
+TEST(ModelKernels, ScoresBatchBitIdenticalToScores) {
+  util::Xoshiro256 rng(0x5c02e);
+  for (const unsigned precision : {1u, 2u, 3u}) {
+    const auto m = tiny_model(1000, 6, precision, rng);
+    std::vector<hv::BinVec> queries;
+    std::vector<const hv::BinVec*> ptrs;
+    for (int i = 0; i < 11; ++i) {  // odd count: exercises block tails
+      queries.push_back(hv::BinVec::random(1000, rng));
+    }
+    for (const auto& q : queries) ptrs.push_back(&q);
+    model::ScoreWorkspace ws;
+    m.scores_batch(ptrs, ws);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto expected = m.scores(queries[i]);
+      for (std::size_t c = 0; c < m.num_classes(); ++c) {
+        // Bit-identical doubles, not approximately equal.
+        ASSERT_EQ(ws.scores[i * m.num_classes() + c], expected[c])
+            << "precision=" << precision << " q=" << i << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(ModelKernels, PredictBatchBitIdenticalToSerialPredict) {
+  util::Xoshiro256 rng(0xba7c4);
+  for (const unsigned precision : {1u, 2u}) {
+    const auto m = tiny_model(513, 5, precision, rng);
+    std::vector<hv::BinVec> queries;
+    for (int i = 0; i < 70; ++i) {  // > 2 blocks of 32, with a tail
+      queries.push_back(hv::BinVec::random(513, rng));
+    }
+    const auto batched = m.predict_batch(queries);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(batched[i], m.predict(queries[i])) << "q=" << i;
+    }
+  }
+}
+
+TEST(ModelKernels, ChunkScoresAllMatchesChunkScores) {
+  util::Xoshiro256 rng(0xc4a2c);
+  const auto m = tiny_model(997, 4, 1, rng);  // prime dim: ragged chunks
+  const auto query = hv::BinVec::random(997, rng);
+  const std::size_t chunks = 20;
+  std::vector<double> all;
+  m.chunk_scores_all(query, chunks, all);
+  ASSERT_EQ(all.size(), chunks * m.num_classes());
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * 997 / chunks;
+    const std::size_t end = (c + 1) * 997 / chunks;
+    const auto expected = m.chunk_scores(query, begin, end);
+    for (std::size_t k = 0; k < m.num_classes(); ++k) {
+      ASSERT_EQ(all[c * m.num_classes() + k], expected[k])
+          << "chunk=" << c << " class=" << k;
+    }
+  }
+}
+
+// ---- crossbar / cost-model cross-check ----------------------------------
+
+TEST(PimKernels, HammingMatrixMatchesCrossbarSearch) {
+  util::Xoshiro256 rng(0xc20);
+  const std::size_t dim = 96;  // keep the functional simulator small
+  const std::size_t classes = 4;
+  pim::CrossbarHdcUnit unit(dim, classes);
+  std::vector<hv::BinVec> stored;
+  std::vector<const std::uint64_t*> planes;
+  for (std::size_t c = 0; c < classes; ++c) {
+    stored.push_back(hv::BinVec::random(dim, rng));
+    unit.load_class(c, stored.back());
+    planes.push_back(stored.back().words().data());
+  }
+  const auto query = hv::BinVec::random(dim, rng);
+  const auto in_memory = unit.hamming_search(query);
+  const std::uint64_t* qp = query.words().data();
+  std::vector<std::uint32_t> simd(classes);
+  kernels::hamming_matrix(&qp, 1, planes.data(), classes,
+                          query.words().size(), simd.data());
+  ASSERT_EQ(in_memory.size(), classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    EXPECT_EQ(in_memory[c], simd[c]) << "class " << c;
+  }
+}
+
+TEST(PimKernels, SearchWordopsModelIsConsistent) {
+  // The shared op-count formula prices exactly the distance-matrix work:
+  // 3 word ops per (query, class) word, linear in the batch.
+  EXPECT_DOUBLE_EQ(pim::hdc_search_wordops(10000, 26, 1),
+                   26.0 * (10000.0 / 64.0) * 3.0);
+  EXPECT_DOUBLE_EQ(pim::hdc_search_wordops(10000, 26, 8),
+                   8.0 * pim::hdc_search_wordops(10000, 26, 1));
+  // gpu_cost_hdc (similarity-only) must be priced from the same count.
+  pim::HdcWorkloadSpec spec;
+  spec.dimension = 10000;
+  spec.classes = 26;
+  spec.include_encoding = false;
+  const auto cost = pim::gpu_cost_hdc(spec);
+  const auto params = pim::GpuParams::gtx1080();
+  const double compute_s =
+      pim::hdc_search_wordops(spec.dimension, spec.classes) /
+      params.wordop_per_s;
+  const double mem_s = (26.0 * (10000.0 / 64.0) * 8.0) /
+                       (params.dram_bandwidth_gb_s * 1.0e9);
+  EXPECT_DOUBLE_EQ(cost.latency_us, std::max(compute_s, mem_s) * 1.0e6);
+}
+
+}  // namespace
+}  // namespace robusthd

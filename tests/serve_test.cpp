@@ -11,10 +11,12 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "robusthd/fault/injector.hpp"
+#include "robusthd/hv/encoder.hpp"
 #include "robusthd/model/recovery.hpp"
 #include "robusthd/util/rng.hpp"
 
@@ -231,6 +233,61 @@ TEST(Server, ManyWorkersStayBitIdentical) {
   for (std::size_t i = 0; i < responses.size(); ++i) {
     EXPECT_EQ(responses[i].predicted, expected[i]) << "query " << i;
   }
+}
+
+TEST(Server, SubmitFeaturesEncodesServerSide) {
+  // Train a model on server-side-encodable feature vectors and check the
+  // feature path (worker encodes through its persistent workspace) gives
+  // exactly the predictions of encode-then-submit.
+  const std::size_t features = 8;
+  hv::EncoderConfig enc_config;
+  enc_config.dimension = 1500;
+  auto encoder = std::make_shared<hv::RecordEncoder>(features, enc_config);
+
+  util::Xoshiro256 rng(29);
+  std::vector<std::vector<float>> samples;
+  std::vector<hv::BinVec> encoded;
+  std::vector<int> labels;
+  for (int c = 0; c < 3; ++c) {
+    std::vector<float> center(features);
+    for (auto& f : center) f = static_cast<float>(rng.uniform());
+    for (int i = 0; i < 25; ++i) {
+      std::vector<float> s(features);
+      for (std::size_t k = 0; k < features; ++k) {
+        s[k] = std::clamp(
+            center[k] + static_cast<float>(rng.uniform(-0.05, 0.05)), 0.0f,
+            1.0f);
+      }
+      encoded.push_back(encoder->encode(s));
+      samples.push_back(std::move(s));
+      labels.push_back(c);
+    }
+  }
+  auto model = model::HdcModel::train(encoded, labels, 3, {});
+  const auto reference = model;
+
+  ServerConfig config;
+  config.worker_threads = 2;
+  config.max_batch = 8;
+  config.enable_recovery = false;
+  config.encoder = encoder;
+  Server server(std::move(model), config);
+
+  std::vector<std::future<Response>> futures;
+  for (const auto& s : samples) futures.push_back(server.submit_features(s));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(futures[i].get().predicted, reference.predict(encoded[i]))
+        << "sample " << i;
+  }
+}
+
+TEST(Server, SubmitFeaturesWithoutEncoderThrows) {
+  auto world = make_world(24);
+  ServerConfig config;
+  config.worker_threads = 1;
+  config.enable_recovery = false;
+  Server server(world.model, config);
+  EXPECT_THROW((void)server.submit_features({0.5f, 0.5f}), std::logic_error);
 }
 
 TEST(Server, ShutdownDrainsQueue) {
