@@ -1,14 +1,31 @@
 #pragma once
-// Model serialisation.
+// Model serialisation — the RHD2 integrity-checked model store.
 //
 // The paper's threat model is "the trained model sits in attackable
-// memory" — which presumes models get stored and shipped. This module
-// gives RobustHD a deployable on-disk format: a small versioned header
-// (encoder configuration — the item memory rebuilds deterministically from
-// its seed — plus model shape) followed by the raw class-plane words, i.e.
-// exactly the bytes the fault injector attacks.
+// memory" — which presumes models get stored and shipped, and makes the
+// on-disk blob part of the attack surface. The RHD2 format therefore
+// treats storage like the rest of the repo treats memory: assume bits
+// flip, detect it.
+//
+// Layout (all fields little-endian, written with memcpy):
+//
+//   [HeaderV2: 64 bytes]
+//     magic "RHD2", version, model shape (dimension, levels, encoder
+//     seed, feature count, precision, classes), payload byte count,
+//     payload CRC32C, header CRC32C (over the preceding 60 bytes)
+//   [payload: num_classes x precision_bits planes of raw plane words]
+//
+// Every header field is validated against hard sanity bounds *before any
+// allocation*, the blob size must match the header exactly (no trailing
+// bytes), and both CRCs must verify — a single flipped bit anywhere in
+// the file is detected (CRC32C catches all 1/2-bit errors; random
+// multi-bit corruption slips through with probability 2^-32, measured in
+// bench/storage_integrity). Legacy RHD1 blobs (no CRC) written before
+// this format still load, with the same bounds and exact-size checks.
+// docs/serialization.md has the full layout and compatibility policy.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,11 +34,49 @@
 
 namespace robusthd::core {
 
-/// Serialises a trained classifier to a self-contained byte blob.
+/// On-disk format versions. serialize() always writes the latest;
+/// deserialize() reads every version listed here.
+inline constexpr std::uint32_t kFormatRhd1 = 1;  ///< legacy, no integrity
+inline constexpr std::uint32_t kFormatRhd2 = 2;  ///< CRC32C-protected
+
+/// Hard sanity bounds on header fields, enforced before any allocation —
+/// a corrupted (or hostile) header must not be able to drive the loader
+/// into gigabyte reserves.
+inline constexpr std::uint64_t kMaxDimension = 1ull << 26;    ///< 64M bits/plane
+inline constexpr std::uint64_t kMaxLevels = 1ull << 20;
+inline constexpr std::uint64_t kMaxFeatureCount = 1ull << 20;
+inline constexpr std::uint32_t kMaxClasses = 1u << 16;
+
+/// Validated summary of a blob's header (what `robusthd info` prints and
+/// tests assert on). For RHD2 blobs both CRCs have been verified by the
+/// time inspect() returns; `integrity_checked` records which guarantee
+/// the blob carries.
+struct BlobInfo {
+  std::uint32_t version = 0;
+  std::size_t dimension = 0;
+  std::size_t levels = 0;
+  std::uint64_t encoder_seed = 0;
+  std::size_t feature_count = 0;
+  unsigned precision_bits = 0;
+  std::size_t num_classes = 0;
+  bool integrity_checked = false;  ///< true iff the format carries CRCs
+};
+
+/// Serialises a trained classifier to a self-contained RHD2 byte blob.
 std::vector<std::byte> serialize(const HdcClassifier& classifier);
 
-/// Reconstructs a classifier from serialize()'s output. Throws
-/// std::runtime_error on malformed or version-mismatched input.
+/// Legacy RHD1 writer (no CRCs). Kept so compatibility tests and the
+/// storage-integrity experiment can produce pre-RHD2 blobs on demand; new
+/// code should never call this.
+std::vector<std::byte> serialize_rhd1(const HdcClassifier& classifier);
+
+/// Validates a blob's header and CRCs without reconstructing the model.
+/// Throws std::runtime_error exactly when deserialize() would.
+BlobInfo inspect(std::span<const std::byte> blob);
+
+/// Reconstructs a classifier from serialize()'s output (RHD2 or legacy
+/// RHD1). Throws std::runtime_error on malformed, truncated, trailing-
+/// garbage, out-of-bounds or CRC-failing input.
 HdcClassifier deserialize(std::span<const std::byte> blob);
 
 /// File convenience wrappers (throw std::runtime_error on I/O failure).

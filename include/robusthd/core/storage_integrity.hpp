@@ -1,0 +1,56 @@
+#pragma once
+// Storage-integrity round-trip experiment: does the model store detect
+// the paper's attacks when they land on the *serialized* model?
+//
+// The in-memory experiments (Table 3) measure how much damage the
+// representation absorbs; this one measures whether damage to the model
+// *at rest* is even detectable. Each trial copies a serialized blob,
+// flips bits at a Table-3 rate (uniformly over header + payload — the
+// whole file is the attack surface), and attempts to deserialize the
+// corrupted copy. RHD2 blobs must reject every corrupted copy (CRC32C:
+// all 1/2-bit errors, random multi-bit with P[miss] = 2^-32); legacy
+// RHD1 blobs mostly load corrupted payloads silently, which is exactly
+// the gap the RHD2 format closes. Storage integrity checking composes
+// with in-memory self-recovery: detect-and-refuse at load time, then
+// detect-and-repair at serve time.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::core {
+
+/// One cell of the detection sweep (one flip rate).
+struct IntegrityCell {
+  double flip_rate = 0.0;       ///< requested fraction of blob bits
+  std::size_t trials = 0;       ///< corrupted copies attempted
+  std::size_t corrupted = 0;    ///< trials where >= 1 bit actually flipped
+  std::size_t detected = 0;     ///< corrupted copies deserialize() rejected
+  std::size_t loaded_clean = 0; ///< zero-flip trials (rate rounded to 0)
+
+  /// P[detect | corrupted] — the acceptance-criteria number.
+  double detection_rate() const noexcept {
+    return corrupted == 0
+               ? 1.0
+               : static_cast<double>(detected) / static_cast<double>(corrupted);
+  }
+};
+
+/// Flips `round(rate x blob_bits)` distinct random bits in copies of
+/// `blob` (`trials` independent copies) and counts how many corrupted
+/// copies deserialize() rejects. Zero-flip trials (tiny rate x small
+/// blob) must load successfully and are tallied in `loaded_clean`;
+/// a zero-flip trial that *fails* to load throws (the input blob itself
+/// was bad — a harness bug, not a detection event).
+IntegrityCell storage_roundtrip(std::span<const std::byte> blob, double rate,
+                                std::size_t trials, util::Xoshiro256& rng);
+
+/// Single-bit sweep: flips exactly one bit per trial at `trials`
+/// uniformly chosen positions (header bits included). For RHD2 the
+/// detection rate here is exactly 1 — CRC32C misses no single-bit error.
+IntegrityCell storage_single_bit(std::span<const std::byte> blob,
+                                 std::size_t trials, util::Xoshiro256& rng);
+
+}  // namespace robusthd::core

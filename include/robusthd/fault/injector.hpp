@@ -9,6 +9,7 @@
 //    attacks on exponent/MSB bits, as in Rakin et al.'s bit-flip attack).
 
 #include <cstdint>
+#include <unordered_set>
 
 #include "robusthd/fault/memory.hpp"
 #include "robusthd/util/rng.hpp"
@@ -67,9 +68,12 @@ class BitFlipInjector {
   static std::size_t flip_random_bits(MemoryRegion& region, std::size_t count,
                                       util::Xoshiro256& rng);
 
-  /// Flips up to `count` bits choosing most-significant-bit positions of
-  /// the region's values first, spilling to the next significance tier when
-  /// the budget exceeds the number of values.
+  /// Flips exactly min(count, bit_count) bits, choosing most-significant
+  /// positions of the region's values first, spilling to the next
+  /// significance tier when the budget exceeds the number of values, and
+  /// finally to the tail bits past the last whole value (regions whose
+  /// bit count is not a multiple of value_bits), so the budget is spent
+  /// in full for every width.
   static std::size_t flip_targeted_bits(MemoryRegion& region,
                                         std::size_t count,
                                         util::Xoshiro256& rng);
@@ -91,10 +95,20 @@ class StreamAttacker {
   StreamAttacker(double total_rate, std::size_t steps_to_full,
                  std::uint64_t seed);
 
-  /// Injects this step's share of flips into the regions.
+  /// Injects this step's share of flips into the regions. The attacker
+  /// assumes it is pointed at the *same* memory every step (positions are
+  /// tracked globally across the region list, in order).
   FlipReport step(std::span<MemoryRegion> regions);
 
+  /// Net corrupted fraction: positions drawn an even number of times have
+  /// flipped back to their original value and are not counted, so this is
+  /// the fraction of bits that actually differ from the pre-attack state
+  /// (what a detector or an accuracy measurement can see).
   double cumulative_rate() const noexcept { return injected_rate_; }
+
+  /// Total flip operations performed, duplicates included (the raw budget
+  /// spent; always >= net flips).
+  std::uint64_t gross_flips() const noexcept { return gross_flips_; }
 
  private:
   double total_rate_;
@@ -102,6 +116,10 @@ class StreamAttacker {
   std::size_t steps_done_ = 0;
   double injected_rate_ = 0.0;
   double carry_bits_ = 0.0;
+  std::uint64_t gross_flips_ = 0;
+  /// Global bit positions currently flipped relative to the original
+  /// memory (parity tracking for the net rate).
+  std::unordered_set<std::size_t> net_flipped_;
   util::Xoshiro256 rng_;
 };
 

@@ -111,6 +111,9 @@ class RecoveryEngine {
   std::pair<std::size_t, std::size_t> chunk_range(std::size_t c) const;
 
   const RecoveryConfig& config() const noexcept { return config_; }
+  /// Number of chunk repairs actually applied (one per query at most).
+  /// Chunks merely *flagged* faulty but gated out by budget/consensus/
+  /// balance do not count — this is repair activity, not detection.
   std::size_t total_updates() const noexcept { return total_updates_; }
   std::size_t total_substituted_bits() const noexcept {
     return total_substituted_bits_;

@@ -15,6 +15,7 @@
 #include "robusthd/core/hdc_classifier.hpp"
 #include "robusthd/core/protected_model.hpp"
 #include "robusthd/core/serialize.hpp"
+#include "robusthd/core/storage_integrity.hpp"
 #include "robusthd/data/dataset.hpp"
 #include "robusthd/data/loader.hpp"
 #include "robusthd/data/synthetic.hpp"
@@ -55,6 +56,7 @@
 #include "robusthd/serve/server.hpp"
 #include "robusthd/serve/stats.hpp"
 #include "robusthd/serve/worker_pool.hpp"
+#include "robusthd/util/crc32c.hpp"
 #include "robusthd/util/parallel.hpp"
 #include "robusthd/util/rng.hpp"
 #include "robusthd/util/stats.hpp"

@@ -48,6 +48,15 @@ class ModelSnapshot {
     return current_;
   }
 
+  /// The current model together with the version it was published as —
+  /// read atomically, so a writer tracking versions (the scrubber) can
+  /// tell exactly which publication its copy corresponds to.
+  std::pair<std::shared_ptr<const model::HdcModel>, std::uint64_t>
+  acquire_versioned() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return {current_, version_.load(std::memory_order_relaxed)};
+  }
+
   /// Lock-free revalidation for hot readers: when `cached_version` still
   /// matches the published version, `cached` is left untouched and no
   /// shared state is written. Otherwise refreshes both under the mutex.
@@ -60,15 +69,31 @@ class ModelSnapshot {
     cached_version = version_.load(std::memory_order_relaxed);
   }
 
-  /// Publishes `next` as the new current model. Single-writer by design
-  /// (the scrubber thread); safe against any number of readers. The
-  /// critical section is one shared_ptr move — the model copy itself is
-  /// prepared outside it.
-  void publish(model::HdcModel next) {
+  /// Publishes `next` as the new current model and returns the version it
+  /// was published as. Safe against any number of readers and writers
+  /// (the mutex serialises writers); the critical section is one
+  /// shared_ptr move — the model copy itself is prepared outside it.
+  std::uint64_t publish(model::HdcModel next) {
     auto snapshot = std::make_shared<const model::HdcModel>(std::move(next));
     const std::lock_guard<std::mutex> lock(mutex_);
     current_ = std::move(snapshot);
+    return version_.fetch_add(1, std::memory_order_release) + 1;
+  }
+
+  /// Conditional publish: succeeds only while the published version still
+  /// equals `expected_version`. This is how the scrubber's repair
+  /// publications avoid clobbering a concurrent Server::reload — if
+  /// someone else published since the scrubber last synced, the stale
+  /// repaired copy is rejected and the caller resyncs instead.
+  bool try_publish(model::HdcModel next, std::uint64_t expected_version) {
+    auto snapshot = std::make_shared<const model::HdcModel>(std::move(next));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (version_.load(std::memory_order_relaxed) != expected_version) {
+      return false;
+    }
+    current_ = std::move(snapshot);
     version_.fetch_add(1, std::memory_order_release);
+    return true;
   }
 
   /// Monotonic publication count (starts at 0 for the initial model).

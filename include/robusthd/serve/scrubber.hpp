@@ -13,6 +13,14 @@
 // the live model is serialised on the scrubber — the one-writer half of
 // the snapshot protocol.
 //
+// Hot reload (Server::reload) is the one sanctioned second writer: it
+// publishes a fresh model directly through ModelSnapshot. The scrubber
+// tolerates it by tracking which version it last published or adopted —
+// its own publications are *conditional* on that version (try_publish),
+// so a repair of pre-reload weights can never clobber a reloaded model;
+// at the next ring-empty boundary it notices the foreign version, adopts
+// the new snapshot as its working copy, and restarts the engine.
+//
 // Because the engine re-runs the full predict → gate → detect → substitute
 // pipeline on each drained query, a single-producer in-order stream
 // reproduces model::RecoveryEngine's offline behaviour bit for bit — the
@@ -27,6 +35,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "robusthd/fault/injector.hpp"
@@ -133,11 +142,15 @@ struct ScrubberConfig {
 /// Counters exported into ServerStats.
 struct ScrubberCounters {
   std::uint64_t offered = 0;    ///< queries accepted into the ring
+  std::uint64_t trust_drops = 0;///< offers rejected — ring full, hint lost
   std::uint64_t processed = 0;  ///< queries replayed through the engine
   std::uint64_t repairs = 0;
   std::uint64_t substituted_bits = 0;
   std::uint64_t faults_injected = 0;
   std::uint64_t snapshots_published = 0;
+  /// Times the scrub thread adopted an externally published snapshot
+  /// (Server::reload) as its new working copy, resetting the engine.
+  std::uint64_t resyncs = 0;
 };
 
 /// The background recovery thread. Lifecycle: construct, start(), offer()
@@ -155,7 +168,8 @@ class Scrubber {
   void stop();
 
   /// Hands a trusted query to the recovery loop. Returns false when the
-  /// ring is full (the hint is dropped; callers count, never retry).
+  /// ring is full — the hint is dropped, recorded in trust_drops, and
+  /// callers must never retry (recovery pressure is advisory).
   bool offer(const hv::BinVec& query);
 
   /// Schedules a bit-flip attack on the live model, executed *on the
@@ -172,7 +186,7 @@ class Scrubber {
   /// The recovery engine's working model. Only meaningful while the
   /// scrubber thread is stopped (tests / post-shutdown inspection).
   const model::HdcModel& working_model() const noexcept { return working_; }
-  const model::RecoveryEngine& engine() const noexcept { return engine_; }
+  const model::RecoveryEngine& engine() const noexcept { return *engine_; }
 
  private:
   struct FaultCommand {
@@ -184,12 +198,22 @@ class Scrubber {
   void thread_main();
   void run_commands();
   void publish_if_dirty();
+  /// Adopts an externally published snapshot (a hot reload) as the new
+  /// working copy, restarting the engine: pending repair state targeted
+  /// the old weights and must not leak into the new ones. No-op while
+  /// the published version is the scrubber's own.
+  void resync_if_stale();
 
   ModelSnapshot& snapshot_;
   ScrubberConfig config_;
   model::HdcModel working_;      ///< the live (authoritative) model
-  model::RecoveryEngine engine_;  ///< bound to working_
+  /// Engine bound to working_; optional so a resync can rebuild it
+  /// against the reloaded weights. Never empty after construction.
+  std::optional<model::RecoveryEngine> engine_;
   TrustRing ring_;
+  /// Last snapshot version this thread published or adopted. When the
+  /// live version differs, someone reloaded the model underneath us.
+  std::uint64_t seen_version_ = 0;  ///< scrubber-thread-local after start
 
   std::thread thread_;
   std::atomic<bool> stop_{false};
@@ -213,6 +237,8 @@ class Scrubber {
   std::atomic<std::uint64_t> substituted_bits_{0};
   std::atomic<std::uint64_t> faults_injected_{0};
   std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> drops_{0};    ///< offer() ring-full rejections
+  std::atomic<std::uint64_t> resyncs_{0};  ///< reloads adopted by the thread
   std::uint64_t dirty_bits_ = 0;  ///< scrubber-thread-local
 };
 

@@ -32,6 +32,8 @@
 #include <span>
 #include <vector>
 
+#include <string>
+
 #include "robusthd/fault/injector.hpp"
 #include "robusthd/hv/binvec.hpp"
 #include "robusthd/hv/encoder_base.hpp"
@@ -42,6 +44,10 @@
 #include "robusthd/serve/scrubber.hpp"
 #include "robusthd/serve/stats.hpp"
 #include "robusthd/serve/worker_pool.hpp"
+
+namespace robusthd::core {
+class HdcClassifier;
+}
 
 namespace robusthd::serve {
 
@@ -108,6 +114,29 @@ class Server {
   /// benches and tests.
   void inject_faults(double rate, fault::AttackMode mode, std::uint64_t seed);
 
+  /// Hot model reload: publishes `model` as a fresh snapshot without
+  /// stopping the server. In-flight batches finish on the model they
+  /// acquired; batches formed after the publish score the new one — no
+  /// batch ever mixes planes from two versions (one snapshot pointer per
+  /// batch). The scrubber adopts the new model at its next ring-empty
+  /// boundary; repairs of pre-reload weights racing the reload are
+  /// discarded, never merged. Returns the published snapshot version.
+  /// Throws std::invalid_argument when the dimension differs from the
+  /// serving model (queued queries are already encoded at D) or when
+  /// recovery is enabled and the model is not 1-bit.
+  std::uint64_t reload(model::HdcModel model);
+
+  /// Reload from a trained classifier (copies its model). The encoder
+  /// configured at construction keeps serving submit_features() — ship a
+  /// model trained with the same encoder config.
+  std::uint64_t reload(const core::HdcClassifier& classifier);
+
+  /// Reload from an RHD2/RHD1 model file: the blob is integrity-checked
+  /// by core::load_model before anything is published; a blob that fails
+  /// validation counts into ServerStats::integrity_failures and the
+  /// serving model is left untouched.
+  std::uint64_t load_model(const std::string& path);
+
   /// Blocks until every accepted request has been answered and the
   /// scrubber has caught up with everything offered so far.
   void drain();
@@ -154,6 +183,8 @@ class Server {
   std::atomic<std::uint64_t> trusted_{0};
   std::atomic<std::uint64_t> scrub_dropped_{0};
   std::atomic<std::uint64_t> direct_faults_{0};  ///< no-scrubber injections
+  std::atomic<std::uint64_t> reloads_{0};        ///< successful hot reloads
+  std::atomic<std::uint64_t> integrity_failures_{0};  ///< rejected blobs
   LatencyHistogram queue_wait_;
   LatencyHistogram service_;
   LatencyHistogram end_to_end_;

@@ -132,13 +132,25 @@ struct ServerStats {
   // Recovery / trust flow.
   std::uint64_t trusted = 0;        ///< confidence cleared the gate
   std::uint64_t scrub_offered = 0;  ///< trusted queries handed to the ring
-  std::uint64_t scrub_dropped = 0;  ///< ring full — hint lost (advisory)
+  std::uint64_t scrub_dropped = 0;  ///< worker offers lost to a full ring
+  /// Ring-full drops counted at the ring itself (all producers, not just
+  /// the serving workers) — the authoritative silent-drop count.
+  std::uint64_t trust_drops = 0;
   std::uint64_t scrub_processed = 0;
   std::uint64_t scrub_repairs = 0;          ///< engine updates committed
   std::uint64_t scrub_substituted_bits = 0; ///< bits actually rewritten
   std::uint64_t faults_injected = 0;        ///< via inject_faults()
   std::uint64_t snapshots_published = 0;
   std::uint64_t model_version = 0;
+
+  // Hot reload (RHD2 model store integration).
+  std::uint64_t reloads = 0;  ///< models published via reload()/load_model()
+  /// load_model() calls rejected by blob validation (CRC mismatch,
+  /// truncation, bad header) — the serving model was left untouched.
+  std::uint64_t integrity_failures = 0;
+  /// Times the scrubber re-adopted an externally reloaded snapshot as its
+  /// working copy (engine state reset).
+  std::uint64_t scrub_resyncs = 0;
 };
 
 }  // namespace robusthd::serve

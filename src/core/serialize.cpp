@@ -4,17 +4,22 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "robusthd/util/bitops.hpp"
+#include "robusthd/util/crc32c.hpp"
+
 namespace robusthd::core {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x52484431;  // "RHD1"
+constexpr std::uint32_t kMagicRhd1 = 0x52484431;  // "RHD1"
+constexpr std::uint32_t kMagicRhd2 = 0x52484432;  // "RHD2"
 
-/// Fixed-layout header (all little-endian on the platforms we target;
-/// written/read with memcpy so alignment is never an issue).
-struct Header {
-  std::uint32_t magic = kMagic;
-  std::uint32_t version = 1;
+/// Legacy fixed-layout header (48 bytes, no padding; all little-endian on
+/// the platforms we target; written/read with memcpy so alignment is
+/// never an issue).
+struct HeaderV1 {
+  std::uint32_t magic = kMagicRhd1;
+  std::uint32_t version = kFormatRhd1;
   std::uint64_t dimension = 0;
   std::uint64_t levels = 0;
   std::uint64_t encoder_seed = 0;
@@ -22,6 +27,28 @@ struct Header {
   std::uint32_t precision_bits = 1;
   std::uint32_t num_classes = 0;
 };
+static_assert(sizeof(HeaderV1) == 48, "HeaderV1 must be packed");
+
+/// RHD2 header: the V1 fields plus explicit payload length and two
+/// CRC32C sums. header_crc covers the 60 bytes preceding it, so a flip
+/// anywhere in the header (shape fields *or* the payload CRC itself) is
+/// caught before the payload is even looked at.
+struct HeaderV2 {
+  std::uint32_t magic = kMagicRhd2;
+  std::uint32_t version = kFormatRhd2;
+  std::uint64_t dimension = 0;
+  std::uint64_t levels = 0;
+  std::uint64_t encoder_seed = 0;
+  std::uint64_t feature_count = 0;
+  std::uint32_t precision_bits = 1;
+  std::uint32_t num_classes = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint32_t payload_crc = 0;
+  std::uint32_t header_crc = 0;
+};
+static_assert(sizeof(HeaderV2) == 64, "HeaderV2 must be packed");
+constexpr std::size_t kHeaderCrcCoverage =
+    sizeof(HeaderV2) - sizeof(std::uint32_t);
 
 template <typename T>
 void append(std::vector<std::byte>& out, const T& value) {
@@ -40,13 +67,166 @@ T read_at(std::span<const std::byte> blob, std::size_t& offset) {
   return value;
 }
 
+[[noreturn]] void reject(const char* what) {
+  throw std::runtime_error(std::string("robusthd: ") + what);
+}
+
+/// The shape fields shared by both header versions, after validation.
+struct Shape {
+  std::uint64_t dimension;
+  std::uint64_t levels;
+  std::uint64_t encoder_seed;
+  std::uint64_t feature_count;
+  std::uint32_t precision_bits;
+  std::uint32_t num_classes;
+
+  std::size_t plane_bytes() const noexcept {
+    return util::words_for_bits(static_cast<std::size_t>(dimension)) * 8;
+  }
+  std::uint64_t payload_bytes() const noexcept {
+    return static_cast<std::uint64_t>(num_classes) * precision_bits *
+           plane_bytes();
+  }
+};
+
+/// Every bound is checked before a single byte of payload is touched or a
+/// single allocation sized from the header is made — a corrupted header
+/// must fail here, not in operator new.
+void validate_shape(const Shape& shape) {
+  if (shape.num_classes == 0 || shape.dimension == 0 ||
+      shape.precision_bits == 0 || shape.precision_bits > 8) {
+    reject("malformed model header");
+  }
+  if (shape.dimension > kMaxDimension) {
+    reject("model header dimension exceeds sanity bound");
+  }
+  if (shape.levels > kMaxLevels) {
+    reject("model header levels exceeds sanity bound");
+  }
+  if (shape.feature_count > kMaxFeatureCount) {
+    reject("model header feature count exceeds sanity bound");
+  }
+  if (shape.num_classes > kMaxClasses) {
+    reject("model header class count exceeds sanity bound");
+  }
+}
+
+Shape shape_of(const HeaderV1& h) {
+  return {h.dimension, h.levels,          h.encoder_seed,
+          h.feature_count, h.precision_bits, h.num_classes};
+}
+
+Shape shape_of(const HeaderV2& h) {
+  return {h.dimension, h.levels,          h.encoder_seed,
+          h.feature_count, h.precision_bits, h.num_classes};
+}
+
+/// Parses and fully validates a blob's header: magic/version dispatch,
+/// sanity bounds, exact blob size (no trailing bytes), and — for RHD2 —
+/// both CRCs. Returns the validated shape plus the payload offset.
+struct ValidatedBlob {
+  Shape shape;
+  std::size_t payload_offset;
+  std::uint32_t version;
+};
+
+ValidatedBlob validate(std::span<const std::byte> blob) {
+  std::size_t offset = 0;
+  const auto magic = read_at<std::uint32_t>(blob, offset);
+
+  if (magic == kMagicRhd2) {
+    if (blob.size() < sizeof(HeaderV2)) reject("truncated model blob");
+    HeaderV2 header;
+    std::memcpy(&header, blob.data(), sizeof(header));
+    if (header.version != kFormatRhd2) {
+      reject("unsupported model version");
+    }
+    // Header CRC first: nothing else in the header is trustworthy until
+    // it verifies.
+    if (util::crc32c(blob.data(), kHeaderCrcCoverage) != header.header_crc) {
+      reject("model header failed integrity check (CRC32C mismatch)");
+    }
+    const Shape shape = shape_of(header);
+    validate_shape(shape);
+    if (header.payload_bytes != shape.payload_bytes()) {
+      reject("model header payload size disagrees with model shape");
+    }
+    if (blob.size() != sizeof(HeaderV2) + header.payload_bytes) {
+      reject(blob.size() < sizeof(HeaderV2) + header.payload_bytes
+                 ? "truncated model blob"
+                 : "trailing bytes after model payload");
+    }
+    if (util::crc32c(blob.subspan(sizeof(HeaderV2))) != header.payload_crc) {
+      reject("model payload failed integrity check (CRC32C mismatch)");
+    }
+    return {shape, sizeof(HeaderV2), kFormatRhd2};
+  }
+
+  if (magic == kMagicRhd1) {
+    if (blob.size() < sizeof(HeaderV1)) reject("truncated model blob");
+    HeaderV1 header;
+    std::memcpy(&header, blob.data(), sizeof(header));
+    if (header.version != kFormatRhd1) {
+      reject("unsupported model version");
+    }
+    const Shape shape = shape_of(header);
+    validate_shape(shape);
+    // RHD1 carries no CRC, but size-exactness still holds: a legacy blob
+    // is header + payload and nothing else.
+    if (blob.size() != sizeof(HeaderV1) + shape.payload_bytes()) {
+      reject(blob.size() < sizeof(HeaderV1) + shape.payload_bytes()
+                 ? "truncated model planes"
+                 : "trailing bytes after model payload");
+    }
+    return {shape, sizeof(HeaderV1), kFormatRhd1};
+  }
+
+  reject("not a RobustHD model blob");
+}
+
+/// Appends every class plane's raw words (the payload both formats share).
+void append_planes(std::vector<std::byte>& out, const HdcClassifier& clf) {
+  const auto& model = clf.model();
+  for (std::size_t c = 0; c < model.num_classes(); ++c) {
+    for (const auto& plane : model.class_vector(c).planes) {
+      const auto words = plane.words();
+      const auto* p = reinterpret_cast<const std::byte*>(words.data());
+      out.insert(out.end(), p, p + words.size_bytes());
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::byte> serialize(const HdcClassifier& classifier) {
   const auto& model = classifier.model();
   const auto& encoder_config = classifier.encoder_config();
 
-  Header header;
+  HeaderV2 header;
+  header.dimension = encoder_config.dimension;
+  header.levels = encoder_config.levels;
+  header.encoder_seed = encoder_config.seed;
+  header.feature_count = classifier.encoder().feature_count();
+  header.precision_bits = model.precision_bits();
+  header.num_classes = static_cast<std::uint32_t>(model.num_classes());
+
+  std::vector<std::byte> out;
+  out.resize(sizeof(HeaderV2));  // patched below once the CRCs are known
+  append_planes(out, classifier);
+
+  header.payload_bytes = out.size() - sizeof(HeaderV2);
+  header.payload_crc =
+      util::crc32c(std::span<const std::byte>(out).subspan(sizeof(HeaderV2)));
+  header.header_crc = util::crc32c(&header, kHeaderCrcCoverage);
+  std::memcpy(out.data(), &header, sizeof(header));
+  return out;
+}
+
+std::vector<std::byte> serialize_rhd1(const HdcClassifier& classifier) {
+  const auto& model = classifier.model();
+  const auto& encoder_config = classifier.encoder_config();
+
+  HeaderV1 header;
   header.dimension = encoder_config.dimension;
   header.levels = encoder_config.levels;
   header.encoder_seed = encoder_config.seed;
@@ -56,45 +236,40 @@ std::vector<std::byte> serialize(const HdcClassifier& classifier) {
 
   std::vector<std::byte> out;
   append(out, header);
-  for (std::size_t c = 0; c < model.num_classes(); ++c) {
-    const auto& planes = model.class_vector(c).planes;
-    for (const auto& plane : planes) {
-      const auto words = plane.words();
-      const auto* p = reinterpret_cast<const std::byte*>(words.data());
-      out.insert(out.end(), p, p + words.size_bytes());
-    }
-  }
+  append_planes(out, classifier);
   return out;
 }
 
+BlobInfo inspect(std::span<const std::byte> blob) {
+  const auto validated = validate(blob);
+  BlobInfo info;
+  info.version = validated.version;
+  info.dimension = static_cast<std::size_t>(validated.shape.dimension);
+  info.levels = static_cast<std::size_t>(validated.shape.levels);
+  info.encoder_seed = validated.shape.encoder_seed;
+  info.feature_count = static_cast<std::size_t>(validated.shape.feature_count);
+  info.precision_bits = validated.shape.precision_bits;
+  info.num_classes = validated.shape.num_classes;
+  info.integrity_checked = validated.version >= kFormatRhd2;
+  return info;
+}
+
 HdcClassifier deserialize(std::span<const std::byte> blob) {
-  std::size_t offset = 0;
-  const auto header = read_at<Header>(blob, offset);
-  if (header.magic != kMagic) {
-    throw std::runtime_error("robusthd: not a RobustHD model blob");
-  }
-  if (header.version != 1) {
-    throw std::runtime_error("robusthd: unsupported model version");
-  }
-  if (header.num_classes == 0 || header.dimension == 0 ||
-      header.precision_bits == 0 || header.precision_bits > 8) {
-    throw std::runtime_error("robusthd: malformed model header");
-  }
+  const auto validated = validate(blob);
+  const Shape& shape = validated.shape;
 
-  const std::size_t dim = header.dimension;
-  const std::size_t word_bytes = util::words_for_bits(dim) * 8;
+  const auto dim = static_cast<std::size_t>(shape.dimension);
+  const std::size_t plane_bytes = shape.plane_bytes();
+  std::size_t offset = validated.payload_offset;
 
-  std::vector<model::ClassVector> classes(header.num_classes);
+  std::vector<model::ClassVector> classes(shape.num_classes);
   for (auto& cv : classes) {
-    cv.planes.reserve(header.precision_bits);
-    for (std::uint32_t p = 0; p < header.precision_bits; ++p) {
+    cv.planes.reserve(shape.precision_bits);
+    for (std::uint32_t p = 0; p < shape.precision_bits; ++p) {
       hv::BinVec plane(dim);
-      if (offset + word_bytes > blob.size()) {
-        throw std::runtime_error("robusthd: truncated model planes");
-      }
       std::memcpy(plane.mutable_words().data(), blob.data() + offset,
-                  word_bytes);
-      offset += word_bytes;
+                  plane_bytes);
+      offset += plane_bytes;
       plane.mask_tail();
       cv.planes.push_back(std::move(plane));
     }
@@ -102,12 +277,12 @@ HdcClassifier deserialize(std::span<const std::byte> blob) {
 
   hv::EncoderConfig encoder_config;
   encoder_config.dimension = dim;
-  encoder_config.levels = header.levels;
-  encoder_config.seed = header.encoder_seed;
+  encoder_config.levels = static_cast<std::size_t>(shape.levels);
+  encoder_config.seed = shape.encoder_seed;
   return HdcClassifier::assemble(
-      encoder_config, header.feature_count,
+      encoder_config, static_cast<std::size_t>(shape.feature_count),
       model::HdcModel::from_planes(std::move(classes),
-                                   header.precision_bits));
+                                   shape.precision_bits));
 }
 
 void save_model(const HdcClassifier& classifier, const std::string& path) {

@@ -1,0 +1,67 @@
+#include "robusthd/core/storage_integrity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "robusthd/core/serialize.hpp"
+#include "robusthd/fault/injector.hpp"
+
+namespace robusthd::core {
+
+namespace {
+
+/// One corrupted-copy trial: flip `flips` distinct bits, try to load.
+void run_trial(IntegrityCell& cell, std::span<const std::byte> blob,
+               std::size_t flips, util::Xoshiro256& rng) {
+  ++cell.trials;
+  std::vector<std::byte> copy(blob.begin(), blob.end());
+  fault::MemoryRegion region{copy, 1, "blob"};
+  const auto flipped = fault::BitFlipInjector::flip_random_bits(
+      region, flips, rng);
+
+  bool loaded = true;
+  try {
+    deserialize(copy);
+  } catch (const std::runtime_error&) {
+    loaded = false;
+  }
+
+  if (flipped == 0) {
+    if (!loaded) {
+      throw std::runtime_error(
+          "storage_roundtrip: pristine blob failed to load — the input "
+          "blob is invalid");
+    }
+    ++cell.loaded_clean;
+    return;
+  }
+  ++cell.corrupted;
+  if (!loaded) ++cell.detected;
+}
+
+}  // namespace
+
+IntegrityCell storage_roundtrip(std::span<const std::byte> blob, double rate,
+                                std::size_t trials, util::Xoshiro256& rng) {
+  IntegrityCell cell;
+  cell.flip_rate = rate;
+  const auto flips = static_cast<std::size_t>(
+      std::llround(rate * static_cast<double>(blob.size() * 8)));
+  for (std::size_t t = 0; t < trials; ++t) {
+    run_trial(cell, blob, flips, rng);
+  }
+  return cell;
+}
+
+IntegrityCell storage_single_bit(std::span<const std::byte> blob,
+                                 std::size_t trials, util::Xoshiro256& rng) {
+  IntegrityCell cell;
+  cell.flip_rate =
+      blob.empty() ? 0.0 : 1.0 / static_cast<double>(blob.size() * 8);
+  for (std::size_t t = 0; t < trials; ++t) {
+    run_trial(cell, blob, 1, rng);
+  }
+  return cell;
+}
+
+}  // namespace robusthd::core

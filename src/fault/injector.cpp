@@ -73,20 +73,36 @@ std::size_t BitFlipInjector::flip_targeted_bits(MemoryRegion& region,
 
   const std::size_t total = region.bit_count();
   const std::size_t values = total / width;
+  count = std::min(count, total);
   std::size_t flipped = 0;
 
   // Spend the budget tier by tier: all MSBs first (bit width-1 of every
   // value), then bit width-2, and so on — the adversary maximises per-flip
   // damage before moving to less significant positions.
-  for (unsigned tier = 0; tier < width && flipped < count; ++tier) {
-    const unsigned bit_in_value = width - 1 - tier;
-    const std::size_t want = count - flipped;
-    const auto chosen = sample_distinct(std::min(want, values), values, rng);
-    for (const auto v : chosen) {
-      util::flip_bit(region.bytes, v * width + bit_in_value);
+  if (values > 0) {
+    for (unsigned tier = 0; tier < width && flipped < count; ++tier) {
+      const unsigned bit_in_value = width - 1 - tier;
+      const std::size_t want = count - flipped;
+      const auto chosen = sample_distinct(std::min(want, values), values, rng);
+      for (const auto v : chosen) {
+        util::flip_bit(region.bytes, v * width + bit_in_value);
+      }
+      flipped += chosen.size();
+    }
+  }
+
+  // When the region's bit count is not a multiple of the value width, the
+  // bits past the last whole value belong to no tier; an adversary with
+  // leftover budget still spends it there, so the attack lands exactly
+  // rate x total_bits flips whatever the width.
+  if (flipped < count) {
+    const std::size_t tail_begin = values * width;
+    const auto chosen =
+        sample_distinct(count - flipped, total - tail_begin, rng);
+    for (const auto off : chosen) {
+      util::flip_bit(region.bytes, tail_begin + off);
     }
     flipped += chosen.size();
-    if (values == 0) break;
   }
   return flipped;
 }
@@ -185,18 +201,24 @@ FlipReport StreamAttacker::step(std::span<MemoryRegion> regions) {
   // Pick each flip as a uniform global bit position across the whole
   // attack surface, so small per-step budgets still spread over regions.
   for (std::size_t f = 0; f < count; ++f) {
-    auto pos = static_cast<std::size_t>(rng_.below(report.total_bits));
+    const auto global = static_cast<std::size_t>(rng_.below(report.total_bits));
+    auto pos = global;
     for (auto& region : regions) {
       if (pos < region.bit_count()) {
         util::flip_bit(region.bytes, pos);
         ++report.flipped;
+        ++gross_flips_;
+        // A position drawn twice flips the bit back to its original
+        // value; net corruption is the parity of flips per position.
+        const auto [it, inserted] = net_flipped_.insert(global);
+        if (!inserted) net_flipped_.erase(it);
         break;
       }
       pos -= region.bit_count();
     }
   }
-  injected_rate_ += static_cast<double>(report.flipped) /
-                    static_cast<double>(report.total_bits);
+  injected_rate_ = static_cast<double>(net_flipped_.size()) /
+                   static_cast<double>(report.total_bits);
   return report;
 }
 

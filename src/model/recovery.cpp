@@ -202,6 +202,10 @@ ObserveResult RecoveryEngine::observe(const hv::BinVec& query) {
     auto& votes = votes_[winner * config_.chunks + c];
     ++votes.updates_done;
     ++class_repairs_[winner];
+    // Only applied repairs count: chunks flagged but gated out (budget,
+    // consensus, balance) are detection events, not repair activity, and
+    // the watchdog's consumers read total_updates() as the latter.
+    ++total_updates_;
     if (config_.consensus_flags <= 1) {
       result.substituted_bits += substitute(class_plane, query, begin, end);
     } else {
@@ -217,7 +221,6 @@ ObserveResult RecoveryEngine::observe(const hv::BinVec& query) {
     }
   }
 
-  if (result.faulty_chunks > 0) ++total_updates_;
   total_substituted_bits_ += result.substituted_bits;
   return result;
 }

@@ -5,11 +5,15 @@
 namespace robusthd::serve {
 
 Scrubber::Scrubber(ModelSnapshot& snapshot, const ScrubberConfig& config)
-    : snapshot_(snapshot),
-      config_(config),
-      working_(*snapshot.acquire()),  // private copy: the live model
-      engine_(working_, config.recovery),
-      ring_(config.ring_capacity) {}
+    : snapshot_(snapshot), config_(config), ring_(config.ring_capacity) {
+  // Bind the working copy, the engine and the version marker to one
+  // consistent read of the snapshot (a reload between separate reads
+  // would leave them disagreeing).
+  auto [current, version] = snapshot.acquire_versioned();
+  working_ = *current;  // private copy: the live model
+  seen_version_ = version;
+  engine_.emplace(working_, config.recovery);
+}
 
 Scrubber::~Scrubber() { stop(); }
 
@@ -30,7 +34,10 @@ void Scrubber::stop() {
 
 bool Scrubber::offer(const hv::BinVec& query) {
   hv::BinVec copy = query;
-  if (!ring_.push(std::move(copy))) return false;
+  if (!ring_.push(std::move(copy))) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   offered_.fetch_add(1, std::memory_order_release);
   wake_cv_.notify_one();
   return true;
@@ -59,12 +66,27 @@ void Scrubber::drain() {
 ScrubberCounters Scrubber::counters() const noexcept {
   ScrubberCounters c;
   c.offered = offered_.load(std::memory_order_relaxed);
+  c.trust_drops = drops_.load(std::memory_order_relaxed);
   c.processed = done_.load(std::memory_order_relaxed);
   c.repairs = repairs_.load(std::memory_order_relaxed);
   c.substituted_bits = substituted_bits_.load(std::memory_order_relaxed);
   c.faults_injected = faults_injected_.load(std::memory_order_relaxed);
   c.snapshots_published = published_.load(std::memory_order_relaxed);
+  c.resyncs = resyncs_.load(std::memory_order_relaxed);
   return c;
+}
+
+void Scrubber::resync_if_stale() {
+  if (snapshot_.version() == seen_version_) return;
+  // Someone outside this thread published — a hot reload. Adopt the new
+  // model and restart the engine: consensus buffers, similarity stats and
+  // budgets all described the old weights.
+  auto [current, version] = snapshot_.acquire_versioned();
+  working_ = *current;
+  seen_version_ = version;
+  engine_.emplace(working_, config_.recovery);
+  dirty_bits_ = 0;  // pending old-model repairs are meaningless now
+  resyncs_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Scrubber::run_commands() {
@@ -74,30 +96,44 @@ void Scrubber::run_commands() {
     pending.swap(commands_);
   }
   for (const auto& cmd : pending) {
-    util::Xoshiro256 rng(cmd.seed);
-    auto regions = working_.memory_regions();
-    const auto report =
-        fault::BitFlipInjector::inject(regions, cmd.rate, cmd.mode, rng);
-    faults_injected_.fetch_add(report.flipped, std::memory_order_relaxed);
-    // Publish immediately: serving workers must see the damage the same
-    // way deployed hardware would — recovery races real traffic.
-    snapshot_.publish(working_);
-    published_.fetch_add(1, std::memory_order_relaxed);
-    dirty_bits_ = 0;
+    for (;;) {
+      resync_if_stale();
+      util::Xoshiro256 rng(cmd.seed);
+      auto regions = working_.memory_regions();
+      const auto report =
+          fault::BitFlipInjector::inject(regions, cmd.rate, cmd.mode, rng);
+      // Publish immediately: serving workers must see the damage the same
+      // way deployed hardware would — recovery races real traffic. The
+      // publish is conditional: losing to a concurrent reload discards
+      // this attempt (the resync above re-damages the *new* model).
+      if (snapshot_.try_publish(working_, seen_version_)) {
+        ++seen_version_;
+        faults_injected_.fetch_add(report.flipped, std::memory_order_relaxed);
+        published_.fetch_add(1, std::memory_order_relaxed);
+        dirty_bits_ = 0;
+        break;
+      }
+    }
     done_commands_.fetch_add(1, std::memory_order_release);
   }
 }
 
 void Scrubber::publish_if_dirty() {
   if (dirty_bits_ == 0) return;
-  snapshot_.publish(working_);
-  published_.fetch_add(1, std::memory_order_relaxed);
+  if (snapshot_.try_publish(working_, seen_version_)) {
+    ++seen_version_;
+    published_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // On failure a reload won the race; the repairs applied to the old
+  // weights are dropped and resync_if_stale() adopts the new model on
+  // the next loop iteration.
   dirty_bits_ = 0;
 }
 
 void Scrubber::thread_main() {
   hv::BinVec query;
   for (;;) {
+    resync_if_stale();
     run_commands();
 
     bool worked = false;
@@ -107,7 +143,7 @@ void Scrubber::thread_main() {
       // confidence, chunk-level fault detection, probabilistic
       // substitution. The worker's trust decision was only a pre-filter;
       // the engine's own gates remain authoritative.
-      const auto result = engine_.observe(query);
+      const auto result = engine_->observe(query);
       if (result.substituted_bits > 0) {
         repairs_.fetch_add(1, std::memory_order_relaxed);
         substituted_bits_.fetch_add(result.substituted_bits,
@@ -119,14 +155,17 @@ void Scrubber::thread_main() {
 
     // Repairs are published at ring-empty boundaries: batches of repairs
     // coalesce into one snapshot copy instead of one per substitution.
+    // (This is also where a hot reload is adopted — resync_if_stale at
+    // the top of the next iteration.)
     publish_if_dirty();
 
     if (stop_.load(std::memory_order_acquire)) {
       // Final drain: accept no new wakeups, but consume what is already
       // in the ring so stop() == "process everything offered, then halt".
+      resync_if_stale();
       run_commands();
       while (ring_.pop(query)) {
-        const auto result = engine_.observe(query);
+        const auto result = engine_->observe(query);
         if (result.substituted_bits > 0) {
           repairs_.fetch_add(1, std::memory_order_relaxed);
           substituted_bits_.fetch_add(result.substituted_bits,

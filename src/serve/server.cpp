@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "robusthd/core/serialize.hpp"
 #include "robusthd/model/confidence.hpp"
 #include "robusthd/util/parallel.hpp"
 
@@ -125,6 +126,43 @@ void Server::inject_faults(double rate, fault::AttackMode mode,
   snapshot_.publish(std::move(damaged));
 }
 
+std::uint64_t Server::reload(model::HdcModel model) {
+  const auto current = snapshot_.acquire();
+  if (model.dimension() != current->dimension()) {
+    throw std::invalid_argument(
+        "serve::Server::reload: model dimension mismatch (queued queries "
+        "are encoded at the serving dimension)");
+  }
+  if (config_.enable_recovery && model.precision_bits() != 1) {
+    throw std::invalid_argument(
+        "serve::Server::reload: recovery requires a binary (1-bit) model");
+  }
+  // Publish through the same epoch path repairs use: in-flight batches
+  // hold their snapshot pointer and finish on the old model; every batch
+  // formed after this line scores the new one. The scrubber notices the
+  // foreign version at its next ring-empty boundary and resyncs.
+  const std::lock_guard<std::mutex> lock(direct_fault_mutex_);
+  const auto version = snapshot_.publish(std::move(model));
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return version;
+}
+
+std::uint64_t Server::reload(const core::HdcClassifier& classifier) {
+  return reload(classifier.model());
+}
+
+std::uint64_t Server::load_model(const std::string& path) {
+  // Validation happens entirely before publication: a blob that fails the
+  // RHD2 integrity checks throws out of core::load_model and the serving
+  // model is never touched.
+  try {
+    return reload(core::load_model(path).model());
+  } catch (const std::runtime_error&) {
+    integrity_failures_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
 void Server::drain() {
   while (completed_.load(std::memory_order_acquire) <
          submitted_.load(std::memory_order_acquire)) {
@@ -155,14 +193,18 @@ ServerStats Server::stats() const {
   s.trusted = trusted_.load(std::memory_order_relaxed);
   s.scrub_dropped = scrub_dropped_.load(std::memory_order_relaxed);
   s.faults_injected = direct_faults_.load(std::memory_order_relaxed);
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.integrity_failures = integrity_failures_.load(std::memory_order_relaxed);
   if (scrubber_) {
     const auto c = scrubber_->counters();
     s.scrub_offered = c.offered;
+    s.trust_drops = c.trust_drops;
     s.scrub_processed = c.processed;
     s.scrub_repairs = c.repairs;
     s.scrub_substituted_bits = c.substituted_bits;
     s.faults_injected += c.faults_injected;
     s.snapshots_published = c.snapshots_published;
+    s.scrub_resyncs = c.resyncs;
   }
   s.model_version = snapshot_.version();
   return s;
@@ -201,7 +243,7 @@ void Server::worker_main(std::size_t) {
 
     // Server-side encoding for feature-mode requests, through the worker's
     // persistent workspace (the encoder's bit-sliced counter is reused).
-    bool encoded_any = false;
+    [[maybe_unused]] bool encoded_any = false;
     for (auto& request : batch) {
       if (request.from_features) {
         config_.encoder->encode_into(request.features, request.query,

@@ -1,0 +1,38 @@
+#include "robusthd/util/crc32c.hpp"
+
+#include <array>
+
+namespace robusthd::util {
+
+namespace {
+
+// Reflected Castagnoli polynomial (iSCSI, RFC 3720 appendix B.4).
+constexpr std::uint32_t kPolyReflected = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolyReflected : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> data,
+                     std::uint32_t crc) noexcept {
+  crc = ~crc;
+  for (const std::byte b : data) {
+    crc = kTable[(crc ^ std::to_integer<std::uint32_t>(b)) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace robusthd::util

@@ -79,6 +79,66 @@ TEST(Injector, TargetedOnBinaryRegionEqualsRandomBudget) {
   EXPECT_EQ(count_set_bits(buffer), 77u);
 }
 
+TEST(Injector, TargetedSpendsExactBudgetAcrossWidths) {
+  // Regression: when bit_count was not a multiple of value_bits the old
+  // targeted path silently under-spent — tier sampling covered only the
+  // whole values and the tail bits were unreachable. The budget must be
+  // spent exactly for every width, including on the tail.
+  constexpr std::size_t kBytes = 13;  // 104 bits
+  constexpr std::size_t kBits = kBytes * 8;
+  for (const unsigned width : {1u, 7u, 8u, 32u}) {
+    // 104 % 7 = 6 tail bits, 104 % 32 = 8 tail bits.
+    const std::size_t budgets[] = {1, width, kBits - 1, kBits, kBits + 5};
+    for (const std::size_t budget : budgets) {
+      std::vector<std::byte> buffer(kBytes, std::byte{0});
+      MemoryRegion region{buffer, width, "w"};
+      util::Xoshiro256 rng(31 * width + budget);
+      const auto flipped =
+          BitFlipInjector::flip_targeted_bits(region, budget, rng);
+      const auto expected = std::min(budget, kBits);
+      EXPECT_EQ(flipped, expected) << "width " << width << " budget "
+                                   << budget;
+      EXPECT_EQ(count_set_bits(buffer), expected)
+          << "width " << width << " budget " << budget;
+    }
+  }
+}
+
+TEST(Injector, TargetedRegionSmallerThanOneValue) {
+  // 24-bit region of 32-bit values: zero whole values, everything is
+  // tail. The old code's tier loop never ran and the budget vanished.
+  std::vector<std::byte> buffer(3, std::byte{0});
+  MemoryRegion region{buffer, 32, "stub"};
+  util::Xoshiro256 rng(42);
+  EXPECT_EQ(BitFlipInjector::flip_targeted_bits(region, 24, rng), 24u);
+  EXPECT_EQ(count_set_bits(buffer), 24u);
+}
+
+TEST(Injector, TargetedTailSpendsOnlyAfterAllTiers) {
+  // 72 bits of 7-bit values: 10 whole values (70 bits) + 2 tail bits.
+  // Budget 12 stays within the tiers — all 10 MSBs (bit 6 of each value)
+  // plus two bit-5 positions — so the tail must remain untouched.
+  std::vector<std::byte> buffer(9, std::byte{0});
+  MemoryRegion region{buffer, 7, "weights"};
+  util::Xoshiro256 rng(5);
+  EXPECT_EQ(BitFlipInjector::flip_targeted_bits(region, 12, rng), 12u);
+  const std::span<const std::byte> view(buffer);
+  for (std::size_t v = 0; v < 10; ++v) {
+    EXPECT_TRUE(util::get_bit(view, v * 7 + 6)) << "MSB of value " << v;
+  }
+  EXPECT_FALSE(util::get_bit(view, 70));
+  EXPECT_FALSE(util::get_bit(view, 71));
+
+  // Budget 71 exceeds the 70 tier bits: exactly one tail bit flips.
+  std::vector<std::byte> full(9, std::byte{0});
+  MemoryRegion full_region{full, 7, "weights"};
+  EXPECT_EQ(BitFlipInjector::flip_targeted_bits(full_region, 71, rng), 71u);
+  const std::span<const std::byte> full_view(full);
+  EXPECT_EQ(static_cast<int>(util::get_bit(full_view, 70)) +
+                static_cast<int>(util::get_bit(full_view, 71)),
+            1);
+}
+
 TEST(Injector, ClusteredFlipsAreContiguous) {
   std::vector<std::byte> buffer(1000, std::byte{0});
   MemoryRegion region{buffer, 1, "hv"};
@@ -139,11 +199,37 @@ TEST(StreamAttacker, ReachesTotalRateGradually) {
     std::vector<MemoryRegion> regions{{buffer, 1, "hv"}};
     total += attacker.step(regions).flipped;
   }
+  // The *gross* budget is spent in full...
   EXPECT_NEAR(static_cast<double>(total), 0.08 * 10000, 2.0);
-  EXPECT_NEAR(attacker.cumulative_rate(), 0.08, 0.001);
+  EXPECT_EQ(attacker.gross_flips(), total);
+  // ...but cumulative_rate() reports *net* corruption: positions drawn
+  // twice flipped back, so the buffer (which started all-zero) holds
+  // exactly the net-flipped bits.
+  EXPECT_EQ(attacker.cumulative_rate(),
+            static_cast<double>(count_set_bits(buffer)) / 10000.0);
+  EXPECT_LE(attacker.cumulative_rate(), 0.08);
+  // E[net] = (N/2)(1 - (1 - 2/N)^gross) ~= 740 of 800 gross flips here.
+  EXPECT_NEAR(attacker.cumulative_rate(), 0.074, 0.004);
   // Further steps are no-ops.
   std::vector<MemoryRegion> regions{{buffer, 1, "hv"}};
   EXPECT_EQ(attacker.step(regions).flipped, 0u);
+}
+
+TEST(StreamAttacker, CumulativeRateIsNetNotGross) {
+  // Small surface + large budget forces many positions to be drawn more
+  // than once; the old accounting summed gross flips and over-reported
+  // the damage (it could even exceed 1.0).
+  std::vector<std::byte> buffer(125, std::byte{0});  // 1000 bits
+  StreamAttacker attacker(0.8, 20, 3);
+  for (int step = 0; step < 20; ++step) {
+    std::vector<MemoryRegion> regions{{buffer, 1, "hv"}};
+    attacker.step(regions);
+  }
+  EXPECT_EQ(attacker.gross_flips(), 800u);
+  const auto net = count_set_bits(buffer);
+  EXPECT_LT(net, 800u);  // duplicates are statistically certain here
+  EXPECT_EQ(attacker.cumulative_rate(),
+            static_cast<double>(net) / 1000.0);
 }
 
 TEST(StreamAttacker, SpreadsOverRegions) {

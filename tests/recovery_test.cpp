@@ -207,6 +207,54 @@ TEST(RecoveryEngine, ConfidenceGateBlocksEverythingAtOne) {
   EXPECT_EQ(engine.total_substituted_bits(), 0u);
 }
 
+TEST(RecoveryEngine, TotalUpdatesCountsOnlyAppliedRepairs) {
+  // Regression: observe() used to bump total_updates_ whenever a chunk
+  // was *flagged*, even when every flag was gated out (consensus,
+  // budgets, balance) and no repair touched the model. Consumers — the
+  // serve-layer stats, the recover CLI — read total_updates() as repair
+  // activity, so detection-only passes must leave it at zero.
+  auto world = make_world(16);
+  util::Xoshiro256 rng(17);
+  auto regions = world.model.memory_regions();
+  fault::BitFlipInjector::inject(regions, 0.15,
+                                 fault::AttackMode::kClustered, rng);
+
+  RecoveryConfig config;
+  config.consensus_flags = 1000;  // never reached: flags only buffer
+  RecoveryEngine engine(world.model, config);
+  std::size_t flags = 0;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (const auto& q : world.queries) flags += engine.observe(q).faulty_chunks;
+  }
+  EXPECT_GT(flags, 0u);  // damage was detected...
+  EXPECT_EQ(engine.total_updates(), 0u);  // ...but nothing was repaired
+  EXPECT_EQ(engine.total_substituted_bits(), 0u);
+}
+
+TEST(RecoveryEngine, TotalUpdatesMatchesObservedRepairs) {
+  // With single-query substitution at probability 1, a repair is applied
+  // exactly when observe() reports substituted bits — total_updates()
+  // must agree with that count observation by observation.
+  auto world = make_world(18);
+  util::Xoshiro256 rng(19);
+  auto regions = world.model.memory_regions();
+  fault::BitFlipInjector::inject(regions, 0.15,
+                                 fault::AttackMode::kClustered, rng);
+
+  RecoveryConfig config;
+  config.consensus_flags = 1;
+  config.substitution_prob = 1.0;
+  RecoveryEngine engine(world.model, config);
+  std::size_t applied = 0;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (const auto& q : world.queries) {
+      if (engine.observe(q).substituted_bits > 0) ++applied;
+    }
+  }
+  EXPECT_GT(applied, 0u);
+  EXPECT_EQ(engine.total_updates(), applied);
+}
+
 TEST(RecoveryEngine, GlobalBudgetBoundsRewrites) {
   auto world = make_world(14);
   util::Xoshiro256 rng(15);

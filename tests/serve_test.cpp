@@ -10,11 +10,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <future>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "robusthd/core/serialize.hpp"
+#include "robusthd/data/synthetic.hpp"
 #include "robusthd/fault/injector.hpp"
 #include "robusthd/hv/encoder.hpp"
 #include "robusthd/model/recovery.hpp"
@@ -470,6 +475,214 @@ TEST(Server, RepairsInjectedFaultsWhileServing) {
                             clean.class_vector(c).planes[0]);
   }
   EXPECT_GT(after, before);
+}
+
+// --------------------------------------------------------------- reload --
+
+/// Two-class model whose prediction identifies the plane contents: the
+/// all-zero probe query scores 1.0 against the all-zero class vector and
+/// 0.0 against the all-one one, so `predicted` tells us *exactly* which
+/// model a response was scored on.
+model::HdcModel two_plane_model(bool swapped) {
+  hv::BinVec zeros(kDim);
+  hv::BinVec ones(kDim);
+  for (std::size_t i = 0; i < kDim; ++i) ones.set(i, true);
+  std::vector<model::ClassVector> classes(2);
+  classes[0].planes.push_back(swapped ? ones : zeros);
+  classes[1].planes.push_back(swapped ? zeros : ones);
+  return model::HdcModel::from_planes(std::move(classes), 1);
+}
+
+TEST(ModelSnapshot, TryPublishIsVersionConditional) {
+  auto world = make_world(34);
+  ModelSnapshot snapshot(world.model);
+  const auto [initial, v0] = snapshot.acquire_versioned();
+  EXPECT_EQ(v0, 0u);
+
+  // A writer holding the current version may publish...
+  EXPECT_TRUE(snapshot.try_publish(*initial, v0));
+  EXPECT_EQ(snapshot.version(), 1u);
+  // ...but a writer whose copy predates someone else's publish may not.
+  EXPECT_FALSE(snapshot.try_publish(*initial, v0));
+  EXPECT_EQ(snapshot.version(), 1u);
+}
+
+TEST(Server, ReloadNeverMixesModelsMidTraffic) {
+  // The acceptance-criteria test: hot-swap the model while concurrent
+  // producers hammer the server, and check from the responses alone that
+  // every query was scored on exactly one of the two models — the one its
+  // reported model_version names. A worker that mixed planes across the
+  // swap would emit a (version, prediction) pair that contradicts this.
+  ServerConfig config;
+  config.worker_threads = 3;
+  config.max_batch = 4;
+  config.enable_recovery = false;
+  Server server(two_plane_model(false), config);
+
+  const hv::BinVec probe(kDim);  // all zeros
+
+  // Phase 1: the old model answers 0.
+  for (int i = 0; i < 20; ++i) {
+    const auto r = server.submit(probe).get();
+    EXPECT_EQ(r.predicted, 0);
+    EXPECT_EQ(r.model_version, 0u);
+  }
+
+  // Phase 2: reload concurrently with live traffic.
+  std::mutex mu;
+  std::vector<Response> responses;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 800; ++i) {
+        auto r = server.submit(probe).get();
+        std::lock_guard<std::mutex> lock(mu);
+        responses.push_back(r);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const auto reload_version = server.reload(two_plane_model(true));
+  EXPECT_GE(reload_version, 1u);
+  for (auto& t : producers) t.join();
+
+  // Phase 3: the new model answers 1.
+  for (int i = 0; i < 20; ++i) {
+    const auto r = server.submit(probe).get();
+    EXPECT_EQ(r.predicted, 1);
+    EXPECT_GE(r.model_version, reload_version);
+  }
+  server.shutdown();
+
+  std::size_t old_plane = 0, new_plane = 0;
+  for (const auto& r : responses) {
+    if (r.model_version < reload_version) {
+      ASSERT_EQ(r.predicted, 0) << "pre-reload version scored on new model";
+      ++old_plane;
+    } else {
+      ASSERT_EQ(r.predicted, 1) << "post-reload version scored on old model";
+      ++new_plane;
+    }
+  }
+  EXPECT_EQ(old_plane + new_plane, responses.size());
+  EXPECT_GT(new_plane, 0u);  // the swap landed while traffic was live
+  EXPECT_EQ(server.stats().reloads, 1u);
+}
+
+TEST(Server, ReloadValidatesShape) {
+  auto world = make_world(35);
+  ServerConfig config;
+  config.worker_threads = 1;
+  config.enable_recovery = true;
+  config.scrubber.recovery = generous_recovery();
+  Server server(world.model, config);
+
+  // Wrong dimension: in-flight scoring workspaces and the scrubber's
+  // working copy are sized for kDim.
+  util::Xoshiro256 rng(36);
+  std::vector<hv::BinVec> train{hv::BinVec::random(512, rng),
+                                hv::BinVec::random(512, rng)};
+  std::vector<int> labels{0, 1};
+  auto wrong_dim = model::HdcModel::train(train, labels, 2, {});
+  EXPECT_THROW((void)server.reload(std::move(wrong_dim)),
+               std::invalid_argument);
+
+  // Multi-bit model while the recovery scrubber is live: substitution is
+  // binary-only, so the reload must be refused up front.
+  std::vector<hv::BinVec> train2{hv::BinVec::random(kDim, rng),
+                                 hv::BinVec::random(kDim, rng)};
+  model::HdcConfig multibit;
+  multibit.precision_bits = 2;
+  auto wrong_bits = model::HdcModel::train(train2, labels, 2, multibit);
+  EXPECT_THROW((void)server.reload(std::move(wrong_bits)),
+               std::invalid_argument);
+
+  EXPECT_EQ(server.stats().reloads, 0u);  // neither attempt published
+  server.shutdown();
+}
+
+TEST(Server, LoadModelChecksIntegrityAndCountsFailures) {
+  const auto spec = data::scaled(data::dataset_by_name("PAMAP"), 200, 50);
+  const auto split = data::make_synthetic(spec);
+  core::HdcClassifierConfig train_config;
+  train_config.encoder.dimension = 1500;
+  auto clf = core::HdcClassifier::train(split.train, train_config);
+
+  ServerConfig config;
+  config.worker_threads = 1;
+  config.enable_recovery = false;
+  Server server(model::HdcModel(clf.model()), config);
+
+  const std::string good_path = "/tmp/robusthd_reload_good.rhd";
+  const std::string bad_path = "/tmp/robusthd_reload_bad.rhd";
+  core::save_model(clf, good_path);
+
+  auto corrupted = core::serialize(clf);
+  corrupted[corrupted.size() - 1] ^= std::byte{0x01};  // one payload bit
+  {
+    std::ofstream out(bad_path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(corrupted.data()),
+              static_cast<std::streamsize>(corrupted.size()));
+  }
+
+  EXPECT_GE(server.load_model(good_path), 1u);
+  EXPECT_THROW((void)server.load_model(bad_path), std::runtime_error);
+  EXPECT_THROW((void)server.load_model("/nonexistent/model.rhd"),
+               std::runtime_error);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.integrity_failures, 2u);
+  server.shutdown();
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST(Server, ScrubberResyncsAfterReload) {
+  auto world = make_world(37);
+  ServerConfig config;
+  config.worker_threads = 2;
+  config.enable_recovery = true;
+  config.scrubber.recovery = generous_recovery();
+  Server server(world.model, config);
+
+  (void)server.predict_all(world.queries);
+  server.drain();
+
+  auto replacement = make_world(38);  // fresh same-shape model
+  EXPECT_GE(server.reload(std::move(replacement.model)), 1u);
+
+  // Traffic on the new model: the scrubber must notice the foreign
+  // snapshot version and resynchronise its private working copy before
+  // observing anything else.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    (void)server.predict_all(replacement.queries);
+  }
+  server.drain();
+  server.shutdown();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_GE(stats.scrub_resyncs, 1u);
+}
+
+TEST(Scrubber, CountsTrustDropsWhenRingFull) {
+  auto world = make_world(39);
+  ModelSnapshot snapshot(world.model);
+  ScrubberConfig config;
+  config.ring_capacity = 8;
+  Scrubber scrubber(snapshot, config);  // never started: the ring fills up
+  std::size_t accepted = 0, dropped = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    if (scrubber.offer(world.queries[i])) {
+      ++accepted;
+    } else {
+      ++dropped;
+    }
+  }
+  EXPECT_EQ(accepted, 8u);
+  EXPECT_EQ(dropped, 12u);
+  EXPECT_EQ(scrubber.counters().trust_drops, dropped);
 }
 
 TEST(Server, RecoveryRejectsMultibitModels) {

@@ -3,18 +3,61 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <span>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "robusthd/fault/campaign.hpp"
 #include "robusthd/util/bitops.hpp"
+#include "robusthd/util/crc32c.hpp"
 #include "robusthd/util/csv.hpp"
 #include "robusthd/util/table.hpp"
 #include "robusthd/util/timer.hpp"
 
 namespace robusthd {
 namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+TEST(Crc32c, KnownAnswerVectors) {
+  // The standard CRC32C check value (RFC 3720 appendix et al.).
+  EXPECT_EQ(util::crc32c(bytes_of("123456789")), 0xE3069283u);
+  EXPECT_EQ(util::crc32c(bytes_of("")), 0u);
+  // 32 zero bytes — iSCSI test vector.
+  EXPECT_EQ(util::crc32c(std::vector<std::byte>(32, std::byte{0})),
+            0x8A9136AAu);
+  EXPECT_EQ(util::crc32c(std::vector<std::byte>(32, std::byte{0xFF})),
+            0x62A8AB43u);
+}
+
+TEST(Crc32c, ComposesIncrementally) {
+  const auto whole = bytes_of("detect-and-refuse, then detect-and-repair");
+  const auto full = util::crc32c(whole);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{13},
+                          whole.size() - 1, whole.size()}) {
+    const auto head = util::crc32c(std::span(whole).first(cut));
+    EXPECT_EQ(util::crc32c(std::span(whole).subspan(cut), head), full)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Crc32c, DetectsEverySingleBitFlip) {
+  auto data = bytes_of("robusthd model payload");
+  const auto clean = util::crc32c(data);
+  for (std::size_t bit = 0; bit < data.size() * 8; ++bit) {
+    data[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+    EXPECT_NE(util::crc32c(data), clean) << "missed bit " << bit;
+    data[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+  }
+}
 
 TEST(TextTable, AlignsColumns) {
   util::TextTable table({"name", "v"});

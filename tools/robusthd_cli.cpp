@@ -16,7 +16,12 @@
 //   recover --model FILE --dataset NAME [--epochs E] [--out FILE]
 //       Run the RobustHD self-recovery over unlabeled queries.
 //   info    --model FILE
-//       Print a stored model's shape.
+//       Print a stored model's shape and storage format (RHD1/RHD2).
+//   integrity --model FILE [--trials N] [--rate R] [--seed S]
+//       Corrupt copies of the stored blob (single-bit sweep plus the
+//       Table-3 flip rates, or just --rate) and report how often the
+//       loader detects the damage. RHD2 blobs must detect every
+//       corrupted copy; exits nonzero if one slips through.
 //   serve-bench --dataset NAME [--model FILE] [--workers N] [--rounds R]
 //           [--rate R --mode random|targeted|clustered]
 //           [--batch B] [--dimension D]
@@ -28,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -259,6 +265,12 @@ int cmd_serve_bench(const Args& args) {
               static_cast<std::size_t>(stats.scrub_repairs),
               static_cast<std::size_t>(stats.scrub_substituted_bits),
               static_cast<std::size_t>(stats.snapshots_published));
+  std::printf("trust ring drops %zu, scrub resyncs %zu, reloads %zu, "
+              "integrity failures %zu\n",
+              static_cast<std::size_t>(stats.trust_drops),
+              static_cast<std::size_t>(stats.scrub_resyncs),
+              static_cast<std::size_t>(stats.reloads),
+              static_cast<std::size_t>(stats.integrity_failures));
   if (rate > 0.0) {
     std::printf("faults injected: %zu\n",
                 static_cast<std::size_t>(stats.faults_injected));
@@ -266,8 +278,26 @@ int cmd_serve_bench(const Args& args) {
   return 0;
 }
 
+std::vector<std::byte> read_blob(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open model file: " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<std::byte> blob(size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(blob.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("cannot read model file: " + path);
+  return blob;
+}
+
 int cmd_info(const Args& args) {
-  auto clf = core::load_model(args.require("model"));
+  const auto path = args.require("model");
+  const auto blob = read_blob(path);
+  const auto info = core::inspect(blob);
+  std::printf("format RHD%u (%s)\n", info.version,
+              info.integrity_checked ? "CRC32C integrity-checked"
+                                     : "legacy, no integrity checks");
+  auto clf = core::deserialize(blob);
   const auto& model = clf.model();
   std::printf("RobustHD model: %zu classes, D=%zu, %u-bit precision, "
               "%zu features, %zu levels, encoder seed %#zx\n",
@@ -282,10 +312,54 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+int cmd_integrity(const Args& args) {
+  const auto blob = read_blob(args.require("model"));
+  const auto info = core::inspect(blob);
+  std::printf("format RHD%u, %zu bytes, %s\n", info.version, blob.size(),
+              info.integrity_checked ? "integrity-checked"
+                                     : "legacy (no CRCs)");
+
+  const auto trials = static_cast<std::size_t>(args.number("trials", 200));
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+
+  bool perfect = true;
+  const auto report = [&](const char* label,
+                          const core::IntegrityCell& cell) {
+    std::printf("  %-12s corrupted %4zu/%zu trials, detected %4zu "
+                "(P[detect] = %.4f)\n",
+                label, cell.corrupted, cell.trials, cell.detected,
+                cell.detection_rate());
+    if (cell.corrupted > 0 && cell.detection_rate() < 1.0) perfect = false;
+  };
+
+  report("single bit", core::storage_single_bit(blob, trials, rng));
+  const double only = args.real("rate", 0.0);
+  if (only > 0.0) {
+    report("--rate", core::storage_roundtrip(blob, only, trials, rng));
+  } else {
+    for (const double rate : {0.0001, 0.001, 0.01, 0.05, 0.10}) {
+      char label[32];
+      std::snprintf(label, sizeof label, "rate %.4f", rate);
+      report(label, core::storage_roundtrip(blob, rate, trials, rng));
+    }
+  }
+
+  if (info.integrity_checked && !perfect) {
+    std::printf("FAIL: corrupted blob slipped past the integrity checks\n");
+    return 1;
+  }
+  std::printf(info.integrity_checked
+                  ? "PASS: every corrupted copy was detected\n"
+                  : "note: legacy format — low detection is expected; "
+                    "re-save with `robusthd train` for RHD2\n");
+  return 0;
+}
+
 void usage() {
   std::fprintf(
       stderr,
-      "usage: robusthd <train|eval|attack|recover|serve-bench|info>\n"
+      "usage: robusthd "
+      "<train|eval|attack|recover|serve-bench|info|integrity>\n"
       "       [--flag value]...\n"
       "see the header comment of tools/robusthd_cli.cpp for flags\n");
 }
@@ -306,6 +380,7 @@ int main(int argc, char** argv) {
     if (command == "recover") return cmd_recover(args);
     if (command == "serve-bench") return cmd_serve_bench(args);
     if (command == "info") return cmd_info(args);
+    if (command == "integrity") return cmd_integrity(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
