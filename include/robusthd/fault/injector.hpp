@@ -84,6 +84,20 @@ class BitFlipInjector {
                                          std::size_t count,
                                          double cluster_fraction,
                                          util::Xoshiro256& rng);
+
+  /// Spends an exact flip budget of `count` bits with the given attack
+  /// shape — the per-tick primitive of continuous in-service chaos
+  /// campaigns. `target_region` < regions.size() confines the whole budget
+  /// to that region (for 1-bit hypervector planes, *which plane* is the
+  /// only meaningful form of targeting); any other value splits the budget
+  /// across regions proportionally to their size, the integer remainder
+  /// landing on randomly chosen regions so none is structurally favoured.
+  /// Returns the number of flips performed.
+  static std::size_t flip_budget(std::span<MemoryRegion> regions,
+                                 std::size_t count, AttackMode mode,
+                                 std::size_t target_region,
+                                 double cluster_fraction,
+                                 util::Xoshiro256& rng);
 };
 
 /// Continuous attack process: on every step() call it flips a number of

@@ -63,6 +63,21 @@ struct Ops {
                          const std::uint64_t* const* planes,
                          std::size_t num_planes, std::size_t words,
                          std::uint32_t* out);
+
+  /// hamming_matrix with an arbitrary per-word mask applied to both
+  /// operands: out[q * num_planes + p] = popcount((queries[q] XOR
+  /// planes[p]) AND mask) over `words` words. This is the quarantine
+  /// primitive of the serving runtime's graceful-degradation ladder:
+  /// excluded dimension ranges (e.g. chunks a health sentinel flagged bad)
+  /// are zeroed in `mask`, so the associative search simply never reads
+  /// them — TCAM-style segment exclusion on the batched kernel. A mask of
+  /// all ones is bit-identical to hamming_matrix.
+  void (*hamming_matrix_masked)(const std::uint64_t* const* queries,
+                                std::size_t num_queries,
+                                const std::uint64_t* const* planes,
+                                std::size_t num_planes, std::size_t words,
+                                const std::uint64_t* mask,
+                                std::uint32_t* out);
 };
 
 /// The kernel table for the ISA selected at first use. Thread-safe; the
@@ -104,6 +119,16 @@ inline void hamming_matrix(const std::uint64_t* const* queries,
                            std::size_t num_planes, std::size_t words,
                            std::uint32_t* out) {
   ops().hamming_matrix(queries, num_queries, planes, num_planes, words, out);
+}
+
+inline void hamming_matrix_masked(const std::uint64_t* const* queries,
+                                  std::size_t num_queries,
+                                  const std::uint64_t* const* planes,
+                                  std::size_t num_planes, std::size_t words,
+                                  const std::uint64_t* mask,
+                                  std::uint32_t* out) {
+  ops().hamming_matrix_masked(queries, num_queries, planes, num_planes, words,
+                              mask, out);
 }
 
 }  // namespace robusthd::kernels

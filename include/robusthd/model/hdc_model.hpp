@@ -88,6 +88,20 @@ class HdcModel {
   void scores_batch(std::span<const hv::BinVec* const> queries,
                     ScoreWorkspace& ws) const;
 
+  /// scores_batch restricted to the dimensions whose bits are set in
+  /// `mask` — the quarantine path of the serving runtime's degradation
+  /// ladder (exclude-the-unreliable-segment scoring, in the spirit of
+  /// TCAM segment masking). `mask` must hold words_for_bits(dimension())
+  /// words with every bit at position >= dimension() clear; `kept_dims`
+  /// is its popcount and becomes the normalisation denominator, so the
+  /// surviving dimensions are rescaled to the same [0, 1] range and the
+  /// scores stay comparable across classes. With an all-ones mask
+  /// (kept_dims == dimension()) the result is bit-identical to
+  /// scores_batch.
+  void scores_batch_masked(std::span<const hv::BinVec* const> queries,
+                           std::span<const std::uint64_t> mask,
+                           std::size_t kept_dims, ScoreWorkspace& ws) const;
+
   /// Per-class similarity restricted to the dimensions [begin, end) — the
   /// "treat each chunk as a separate HDC model" primitive of Section 4.2.
   std::vector<double> chunk_scores(const hv::BinVec& query, std::size_t begin,

@@ -110,6 +110,18 @@ class RecoveryEngine {
   /// Chunk boundaries [begin, end) for chunk index c.
   std::pair<std::size_t, std::size_t> chunk_range(std::size_t c) const;
 
+  /// Marks one (class, chunk) pair as repair-prioritized — the serving
+  /// sentinel's first rung on the degradation ladder. A prioritized chunk
+  /// skips consensus buffering (a single trusted flagger substitutes
+  /// immediately, as in the paper's literal single-query recovery) and its
+  /// per-chunk update budget is doubled, so external evidence of damage
+  /// turns into repairs ahead of the slower consensus machinery. The flag
+  /// is advisory: every other gate (T_C, margin, watchdog, global budget,
+  /// balance) still applies.
+  void set_chunk_priority(std::size_t cls, std::size_t chunk, bool on);
+  bool chunk_priority(std::size_t cls, std::size_t chunk) const noexcept;
+  void clear_priorities() noexcept;
+
   const RecoveryConfig& config() const noexcept { return config_; }
   /// Number of chunk repairs actually applied (one per query at most).
   /// Chunks merely *flagged* faulty but gated out by budget/consensus/
@@ -150,6 +162,7 @@ class RecoveryEngine {
   RecoveryConfig config_;
   util::Xoshiro256 rng_;
   std::vector<ChunkVotes> votes_;  ///< classes × chunks
+  std::vector<char> priority_;     ///< classes × chunks repair-priority flags
   std::vector<std::size_t> class_repairs_;  ///< substitutions per class
   std::size_t total_updates_ = 0;
   std::size_t total_substituted_bits_ = 0;

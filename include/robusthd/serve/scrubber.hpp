@@ -151,6 +151,8 @@ struct ScrubberCounters {
   /// Times the scrub thread adopted an externally published snapshot
   /// (Server::reload) as its new working copy, resetting the engine.
   std::uint64_t resyncs = 0;
+  /// Repair-priority changes applied to the engine (sentinel escalations).
+  std::uint64_t priority_marks = 0;
 };
 
 /// The background recovery thread. Lifecycle: construct, start(), offer()
@@ -177,6 +179,25 @@ class Scrubber {
   /// snapshot publication so serving workers immediately see the damage.
   void inject_faults(double rate, fault::AttackMode mode, std::uint64_t seed);
 
+  /// Schedules an exact-budget attack: `flips` bit flips against the live
+  /// model, executed on the scrub thread and published like inject_faults.
+  /// `target_plane` < the number of stored plane regions confines the
+  /// budget to that plane (the ChaosAgent's targeted campaign — for 1-bit
+  /// planes, *which* plane is the only meaningful targeting); npos spreads
+  /// it over the whole model proportionally to region size. The
+  /// ChaosAgent's per-tick primitive: routing chaos through the scrubber
+  /// keeps the engine's consensus state alive (a try_publish from any
+  /// other thread would force a resync and restart it every tick).
+  void inject_flips(std::size_t flips, fault::AttackMode mode,
+                    std::size_t target_plane, double cluster_fraction,
+                    std::uint64_t seed);
+
+  /// Schedules a repair-priority change on the recovery engine (the
+  /// sentinel's first ladder rung). Executed on the scrub thread; the
+  /// flag dies with the engine on a resync, so callers re-assert it every
+  /// sentinel round.
+  void prioritize_chunk(std::size_t cls, std::size_t chunk, bool on);
+
   /// Blocks until everything offered/scheduled before the call has been
   /// processed. The scrubber must be started.
   void drain();
@@ -189,11 +210,25 @@ class Scrubber {
   const model::RecoveryEngine& engine() const noexcept { return *engine_; }
 
  private:
-  struct FaultCommand {
-    double rate;
-    fault::AttackMode mode;
-    std::uint64_t seed;
+  struct Command {
+    enum class Kind {
+      kAttackRate,   ///< BitFlipInjector::inject at `rate`
+      kAttackFlips,  ///< exactly `flips` bit flips (ChaosAgent ticks)
+      kPriority,     ///< engine repair-priority change (sentinel)
+    };
+    Kind kind = Kind::kAttackRate;
+    double rate = 0.0;
+    fault::AttackMode mode = fault::AttackMode::kRandom;
+    std::uint64_t seed = 0;
+    std::size_t flips = 0;
+    std::size_t target_plane = static_cast<std::size_t>(-1);
+    double cluster_fraction = 0.05;
+    std::size_t cls = 0;
+    std::size_t chunk = 0;
+    bool on = true;
   };
+
+  void enqueue_command(Command cmd);
 
   void thread_main();
   void run_commands();
@@ -223,7 +258,7 @@ class Scrubber {
   std::condition_variable wake_cv_;
 
   std::mutex command_mutex_;
-  std::vector<FaultCommand> commands_;
+  std::vector<Command> commands_;
 
   // offered_/scheduled_ are bumped by producers *after* a successful
   // hand-off; done_ by the consumer after processing. drain() waits for
@@ -239,6 +274,7 @@ class Scrubber {
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> drops_{0};    ///< offer() ring-full rejections
   std::atomic<std::uint64_t> resyncs_{0};  ///< reloads adopted by the thread
+  std::atomic<std::uint64_t> priority_marks_{0};
   std::uint64_t dirty_bits_ = 0;  ///< scrubber-thread-local
 };
 

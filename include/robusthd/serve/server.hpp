@@ -39,9 +39,11 @@
 #include "robusthd/hv/encoder_base.hpp"
 #include "robusthd/model/hdc_model.hpp"
 #include "robusthd/serve/batcher.hpp"
+#include "robusthd/serve/chaos.hpp"
 #include "robusthd/serve/model_snapshot.hpp"
 #include "robusthd/serve/request_queue.hpp"
 #include "robusthd/serve/scrubber.hpp"
+#include "robusthd/serve/sentinel.hpp"
 #include "robusthd/serve/stats.hpp"
 #include "robusthd/serve/worker_pool.hpp"
 
@@ -65,6 +67,17 @@ struct ServerConfig {
   /// encoding done on the worker threads through per-worker reusable
   /// workspaces (zero allocations per request at steady state).
   std::shared_ptr<const hv::Encoder> encoder;
+  /// Live-fire chaos campaign against the serving model (off by default;
+  /// docs/resilience.md). Only sane together with the sentinel or a bench
+  /// that measures the damage it causes.
+  ChaosConfig chaos{};
+  /// Plane health sentinel driving the graceful-degradation ladder.
+  /// Requires a non-empty canary set below when enabled.
+  SentinelConfig sentinel{};
+  /// Held-out labeled canaries the sentinel replays each round. Never
+  /// served to clients; encode them with the same encoder as the model.
+  std::vector<hv::BinVec> canaries;
+  std::vector<int> canary_labels;  ///< one label per canary
 };
 
 /// What a client gets back for one query.
@@ -77,6 +90,13 @@ struct Response {
   /// Snapshot publication count the scoring model carried (telemetry:
   /// lets a client correlate answers with repair activity).
   std::uint64_t model_version = 0;
+  /// Scored with quarantined chunks masked out (rung (b) of the
+  /// degradation ladder): the answer is best-effort over the surviving
+  /// dimensions.
+  bool degraded = false;
+  /// The circuit breaker was open (rung (c)): no scoring happened and
+  /// `predicted` is -1 — the client should retry or fail over.
+  bool abstained = false;
 };
 
 class Server {
@@ -147,10 +167,29 @@ class Server {
 
   ServerStats stats() const;
 
+  /// Re-zeroes the cumulative counters and latency histograms so a bench
+  /// can measure phases (baseline vs chaos) independently. Call while the
+  /// server is quiesced (drain() first): resetting races in-flight
+  /// recording and could transiently confuse drain()'s submitted/completed
+  /// comparison otherwise. Gauges (queue depth, model version, quarantine,
+  /// breaker state) are preserved.
+  void reset_stats();
+
   /// The model snapshot workers are currently scoring against.
   std::shared_ptr<const model::HdcModel> current_model() const {
     return snapshot_.acquire();
   }
+
+  /// The health sentinel, or nullptr when ServerConfig::sentinel.enabled
+  /// is false. Exposed so tests and benches can drive run_round()
+  /// deterministically (period == 0) and read HealthReport directly.
+  Sentinel* sentinel() noexcept { return sentinel_.get(); }
+  const Sentinel* sentinel() const noexcept { return sentinel_.get(); }
+
+  /// The chaos agent, or nullptr when ServerConfig::chaos.enabled is
+  /// false. Exposed for deterministic tick() driving.
+  ChaosAgent* chaos_agent() noexcept { return chaos_.get(); }
+  const ChaosAgent* chaos_agent() const noexcept { return chaos_.get(); }
 
   const ServerConfig& config() const noexcept { return config_; }
 
@@ -166,15 +205,37 @@ class Server {
   };
 
   void worker_main(std::size_t worker_index);
+  /// Rebuilds and epoch-publishes the worker-side quarantine mask from the
+  /// sentinel's excluded set (rung (b) hook).
+  void apply_quarantine(const std::vector<bool>& excluded);
+  /// Rung (c) hook: republishes the last-good model. Returns true when a
+  /// fresh snapshot was published.
+  bool publish_last_good();
 
   ServerConfig config_;
   ModelSnapshot snapshot_;
   RequestQueue<Request> queue_;
   std::unique_ptr<Scrubber> scrubber_;  ///< null when recovery disabled
+  std::unique_ptr<Sentinel> sentinel_;  ///< null when sentinel disabled
+  std::unique_ptr<ChaosAgent> chaos_;   ///< null when chaos disabled
   WorkerPool workers_;
   bool shut_down_ = false;
 
   std::mutex direct_fault_mutex_;  ///< serialises no-scrubber inject_faults
+
+  /// Last blessed model (construction / successful reload): the breaker's
+  /// fallback. Guarded by last_good_mutex_ (cold path only).
+  std::mutex last_good_mutex_;
+  model::HdcModel last_good_;
+
+  /// Quarantine mask, epoch-published to workers: workers re-read the
+  /// shared_ptr only when quarantine_version_ moves (same pattern as
+  /// ModelSnapshot::refresh). null == empty quarantine (fast full-kernel
+  /// path).
+  mutable std::mutex quarantine_mutex_;
+  std::shared_ptr<const QuarantineMask> quarantine_;
+  std::atomic<std::uint64_t> quarantine_version_{0};
+  std::atomic<bool> breaker_open_{false};
 
   // Counters (relaxed; monotone).
   std::atomic<std::uint64_t> submitted_{0};
@@ -185,10 +246,21 @@ class Server {
   std::atomic<std::uint64_t> direct_faults_{0};  ///< no-scrubber injections
   std::atomic<std::uint64_t> reloads_{0};        ///< successful hot reloads
   std::atomic<std::uint64_t> integrity_failures_{0};  ///< rejected blobs
+  std::atomic<std::uint64_t> degraded_{0};   ///< masked-scoring responses
+  std::atomic<std::uint64_t> abstained_{0};  ///< breaker-shed responses
   LatencyHistogram queue_wait_;
   LatencyHistogram service_;
   LatencyHistogram end_to_end_;
   BatchSizeDistribution batch_sizes_;
+
+  /// reset_stats() baselines for counters owned by the subsystems (the
+  /// scrubber's offered/done atomics back drain() and must never be
+  /// zeroed; chaos/sentinel counters are baselined for symmetry). stats()
+  /// reports deltas against these. Guarded by baseline_mutex_.
+  mutable std::mutex baseline_mutex_;
+  ScrubberCounters scrub_baseline_{};
+  ChaosCounters chaos_baseline_{};
+  SentinelCounters sentinel_baseline_{};
 };
 
 }  // namespace robusthd::serve

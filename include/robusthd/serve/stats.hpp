@@ -54,6 +54,16 @@ class LatencyHistogram {
     return s;
   }
 
+  /// Zeroes the histogram so measurement phases (e.g. soak baseline vs
+  /// under-chaos) can be read independently. Not atomic with respect to
+  /// concurrent record() calls — callers quiesce or accept a few straddling
+  /// samples, the standard monitoring trade-off.
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+  }
+
  private:
   static double percentile_from(
       const std::array<std::uint64_t, kBuckets>& counts, std::uint64_t total,
@@ -106,6 +116,13 @@ class BatchSizeDistribution {
                : buckets_[batch_size - 1].load(std::memory_order_relaxed);
   }
 
+  /// Zeroes the distribution (same caveats as LatencyHistogram::reset).
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    batches_.store(0, std::memory_order_relaxed);
+    items_.store(0, std::memory_order_relaxed);
+  }
+
  private:
   std::array<std::atomic<std::uint64_t>, kMax> buckets_{};
   std::atomic<std::uint64_t> batches_{0};
@@ -151,6 +168,35 @@ struct ServerStats {
   /// Times the scrubber re-adopted an externally reloaded snapshot as its
   /// working copy (engine state reset).
   std::uint64_t scrub_resyncs = 0;
+
+  // Resilience ladder (ChaosAgent + Sentinel + degradation).
+  std::uint64_t chaos_ticks = 0;       ///< ChaosAgent attack ticks executed
+  std::uint64_t chaos_flips = 0;       ///< flips scheduled by the ChaosAgent
+  std::uint64_t canary_runs = 0;       ///< sentinel canary replays completed
+  double canary_accuracy = 0.0;        ///< latest effective canary accuracy
+  std::size_t quarantined_chunks = 0;  ///< instantaneous quarantine size
+  std::uint64_t priority_marks = 0;    ///< sentinel repair-priority commands
+  std::uint64_t degraded_responses = 0;  ///< answered under quarantine mask
+  std::uint64_t abstained_responses = 0; ///< shed while the breaker was open
+  std::uint64_t breaker_trips = 0;
+  bool breaker_open = false;           ///< instantaneous breaker state
+  std::uint64_t reload_retries = 0;    ///< breaker last-good reload attempts
+
+  /// Zeroes every cumulative field of this snapshot, keeping the
+  /// instantaneous gauges (queue_depth, model_version, quarantined_chunks,
+  /// breaker_open). Soak phases subtract a baseline snapshot this way;
+  /// Server::reset_stats() resets the live counters themselves.
+  void reset() noexcept {
+    const std::size_t depth = queue_depth;
+    const std::uint64_t version = model_version;
+    const std::size_t quarantined = quarantined_chunks;
+    const bool open = breaker_open;
+    *this = ServerStats{};
+    queue_depth = depth;
+    model_version = version;
+    quarantined_chunks = quarantined;
+    breaker_open = open;
+  }
 };
 
 }  // namespace robusthd::serve

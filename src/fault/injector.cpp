@@ -127,6 +127,45 @@ std::size_t BitFlipInjector::flip_clustered_bits(MemoryRegion& region,
   return offsets.size();
 }
 
+std::size_t BitFlipInjector::flip_budget(std::span<MemoryRegion> regions,
+                                         std::size_t count, AttackMode mode,
+                                         std::size_t target_region,
+                                         double cluster_fraction,
+                                         util::Xoshiro256& rng) {
+  if (regions.empty() || count == 0) return 0;
+  auto flip_in = [&](MemoryRegion& region, std::size_t n) -> std::size_t {
+    switch (mode) {
+      case AttackMode::kClustered:
+        return flip_clustered_bits(region, n, cluster_fraction, rng);
+      case AttackMode::kTargeted:
+        return flip_targeted_bits(region, n, rng);
+      case AttackMode::kRandom:
+      default:
+        return flip_random_bits(region, n, rng);
+    }
+  };
+  if (target_region < regions.size()) {
+    return flip_in(regions[target_region], count);
+  }
+  const std::size_t total = total_bits(
+      std::span<const MemoryRegion>(regions.data(), regions.size()));
+  if (total == 0) return 0;
+  std::vector<std::size_t> share(regions.size(), 0);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    share[i] = count * regions[i].bit_count() / total;
+    assigned += share[i];
+  }
+  for (std::size_t extra = assigned; extra < count; ++extra) {
+    share[rng.below(regions.size())] += 1;
+  }
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    if (share[i] != 0) flipped += flip_in(regions[i], share[i]);
+  }
+  return flipped;
+}
+
 FlipReport BitFlipInjector::inject(std::span<MemoryRegion> regions,
                                    double rate, AttackMode mode,
                                    util::Xoshiro256& rng) {

@@ -77,8 +77,52 @@ void hamming_matrix_scalar(const std::uint64_t* const* queries,
   }
 }
 
+void hamming_matrix_masked_scalar(const std::uint64_t* const* queries,
+                                  std::size_t num_queries,
+                                  const std::uint64_t* const* planes,
+                                  std::size_t num_planes, std::size_t words,
+                                  const std::uint64_t* mask,
+                                  std::uint32_t* out) {
+  constexpr std::size_t kBlock = 4;
+  std::size_t q = 0;
+  for (; q + kBlock <= num_queries; q += kBlock) {
+    const std::uint64_t* q0 = queries[q + 0];
+    const std::uint64_t* q1 = queries[q + 1];
+    const std::uint64_t* q2 = queries[q + 2];
+    const std::uint64_t* q3 = queries[q + 3];
+    for (std::size_t p = 0; p < num_planes; ++p) {
+      const std::uint64_t* plane = planes[p];
+      std::size_t d0 = 0, d1 = 0, d2 = 0, d3 = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t pw = plane[w];
+        const std::uint64_t mw = mask[w];
+        d0 += word_popcount((q0[w] ^ pw) & mw);
+        d1 += word_popcount((q1[w] ^ pw) & mw);
+        d2 += word_popcount((q2[w] ^ pw) & mw);
+        d3 += word_popcount((q3[w] ^ pw) & mw);
+      }
+      out[(q + 0) * num_planes + p] = static_cast<std::uint32_t>(d0);
+      out[(q + 1) * num_planes + p] = static_cast<std::uint32_t>(d1);
+      out[(q + 2) * num_planes + p] = static_cast<std::uint32_t>(d2);
+      out[(q + 3) * num_planes + p] = static_cast<std::uint32_t>(d3);
+    }
+  }
+  for (; q < num_queries; ++q) {
+    for (std::size_t p = 0; p < num_planes; ++p) {
+      const std::uint64_t* qw = queries[q];
+      const std::uint64_t* plane = planes[p];
+      std::size_t d = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        d += word_popcount((qw[w] ^ plane[w]) & mask[w]);
+      }
+      out[q * num_planes + p] = static_cast<std::uint32_t>(d);
+    }
+  }
+}
+
 constexpr Ops kScalarOps{popcount_scalar, hamming_scalar,
-                         hamming_masked_scalar, hamming_matrix_scalar};
+                         hamming_masked_scalar, hamming_matrix_scalar,
+                         hamming_matrix_masked_scalar};
 
 }  // namespace
 

@@ -243,6 +243,84 @@ void HdcModel::scores_batch(std::span<const hv::BinVec* const> queries,
   }
 }
 
+void HdcModel::scores_batch_masked(std::span<const hv::BinVec* const> queries,
+                                   std::span<const std::uint64_t> mask,
+                                   std::size_t kept_dims,
+                                   ScoreWorkspace& ws) const {
+  const std::size_t k = classes_.size();
+  const std::size_t q = queries.size();
+  const std::size_t words = util::words_for_bits(dim_);
+  ws.scores.resize(q * k);
+  if (q == 0 || k == 0) return;
+  if (kept_dims == 0) {
+    std::fill(ws.scores.begin(), ws.scores.end(), 0.0);
+    return;
+  }
+
+  const std::size_t planes_per_class = classes_[0].planes.size();
+  ws.plane_ptrs.clear();
+  bool ragged = false;
+  for (const auto& cls : classes_) {
+    if (cls.planes.size() != planes_per_class) {
+      ragged = true;
+      break;
+    }
+    for (const auto& plane : cls.planes) {
+      ws.plane_ptrs.push_back(plane.words().data());
+    }
+  }
+  const double denom = static_cast<double>(kept_dims) *
+                       static_cast<double>((1u << precision_bits_) - 1);
+  if (ragged) {
+    // Ragged plane counts (hand-built models): exact per-pair path through
+    // the same masked kernel, one cell at a time.
+    for (std::size_t i = 0; i < q; ++i) {
+      const std::uint64_t* qw = queries[i]->words().data();
+      double* out = ws.scores.data() + i * k;
+      for (std::size_t c = 0; c < k; ++c) {
+        double score = 0.0;
+        for (std::size_t p = 0; p < classes_[c].planes.size(); ++p) {
+          const std::uint64_t* pw = classes_[c].planes[p].words().data();
+          std::uint32_t d = 0;
+          kernels::ops().hamming_matrix_masked(&qw, 1, &pw, 1, words,
+                                               mask.data(), &d);
+          const std::size_t matches = kept_dims - d;
+          score += static_cast<double>(1u << p) * static_cast<double>(matches);
+        }
+        out[c] = score / denom;
+      }
+    }
+    return;
+  }
+  const std::size_t total_planes = ws.plane_ptrs.size();
+
+  ws.query_ptrs.resize(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    ws.query_ptrs[i] = queries[i]->words().data();
+  }
+
+  ws.distances.resize(q * total_planes);
+  kernels::hamming_matrix_masked(ws.query_ptrs.data(), q, ws.plane_ptrs.data(),
+                                 total_planes, words, mask.data(),
+                                 ws.distances.data());
+
+  // Same combination as scores_batch with kept_dims substituted for dim_:
+  // identical float operation order, so an all-ones mask reproduces the
+  // unmasked scores bit-for-bit.
+  for (std::size_t i = 0; i < q; ++i) {
+    const std::uint32_t* row = ws.distances.data() + i * total_planes;
+    double* out = ws.scores.data() + i * k;
+    for (std::size_t c = 0; c < k; ++c) {
+      double score = 0.0;
+      for (std::size_t p = 0; p < planes_per_class; ++p) {
+        const std::size_t matches = kept_dims - row[c * planes_per_class + p];
+        score += static_cast<double>(1u << p) * static_cast<double>(matches);
+      }
+      out[c] = score / denom;
+    }
+  }
+}
+
 int HdcModel::predict(const hv::BinVec& query) const {
   const auto s = scores(query);
   return static_cast<int>(

@@ -17,8 +17,26 @@ RecoveryEngine::RecoveryEngine(HdcModel& model, const RecoveryConfig& config)
     throw std::invalid_argument("chunk count must be in [1, D]");
   }
   votes_.resize(model_.num_classes() * config_.chunks);
+  priority_.assign(model_.num_classes() * config_.chunks, 0);
   class_repairs_.assign(model_.num_classes(), 0);
   sim_stats_.resize(model_.num_classes());
+}
+
+void RecoveryEngine::set_chunk_priority(std::size_t cls, std::size_t chunk,
+                                        bool on) {
+  if (cls >= model_.num_classes() || chunk >= config_.chunks) {
+    throw std::out_of_range("set_chunk_priority: (class, chunk) out of range");
+  }
+  priority_[cls * config_.chunks + chunk] = on ? 1 : 0;
+}
+
+bool RecoveryEngine::chunk_priority(std::size_t cls,
+                                    std::size_t chunk) const noexcept {
+  return priority_[cls * config_.chunks + chunk] != 0;
+}
+
+void RecoveryEngine::clear_priorities() noexcept {
+  std::fill(priority_.begin(), priority_.end(), 0);
 }
 
 std::size_t RecoveryEngine::substitute(hv::BinVec& plane,
@@ -172,11 +190,16 @@ ObserveResult RecoveryEngine::observe(const hv::BinVec& query) {
     // queries before they can heal).
     ++result.faulty_chunks;
     auto& votes = votes_[winner * config_.chunks + c];
+    // Sentinel-prioritized chunks: external evidence of damage already
+    // exists, so the consensus requirement drops to a single flagger and
+    // the per-chunk budget is doubled.
+    const bool prioritized = priority_[winner * config_.chunks + c] != 0;
     if (config_.max_updates_per_chunk != 0 &&
-        votes.updates_done >= config_.max_updates_per_chunk) {
+        votes.updates_done >= (prioritized ? 2 * config_.max_updates_per_chunk
+                                           : config_.max_updates_per_chunk)) {
       continue;
     }
-    if (config_.consensus_flags > 1) {
+    if (!prioritized && config_.consensus_flags > 1) {
       votes.snapshots.push_back(query);
       if (votes.snapshots.size() > config_.consensus_flags) {
         votes.snapshots.erase(votes.snapshots.begin());
@@ -206,7 +229,11 @@ ObserveResult RecoveryEngine::observe(const hv::BinVec& query) {
     // consensus, balance) are detection events, not repair activity, and
     // the watchdog's consumers read total_updates() as the latter.
     ++total_updates_;
-    if (config_.consensus_flags <= 1) {
+    if (priority_[winner * config_.chunks + c] != 0 ||
+        config_.consensus_flags <= 1) {
+      // Single-query substitution (priority chunks bypass consensus; any
+      // part-filled consensus buffer is stale once the fast path fires).
+      votes.snapshots.clear();
       result.substituted_bits += substitute(class_plane, query, begin, end);
     } else {
       // Bitwise majority of the buffered flaggers over this chunk.

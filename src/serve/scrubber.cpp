@@ -1,6 +1,7 @@
 #include "robusthd/serve/scrubber.hpp"
 
 #include <utility>
+#include <vector>
 
 namespace robusthd::serve {
 
@@ -43,14 +44,45 @@ bool Scrubber::offer(const hv::BinVec& query) {
   return true;
 }
 
-void Scrubber::inject_faults(double rate, fault::AttackMode mode,
-                             std::uint64_t seed) {
+void Scrubber::enqueue_command(Command cmd) {
   {
     const std::lock_guard<std::mutex> lock(command_mutex_);
-    commands_.push_back(FaultCommand{rate, mode, seed});
+    commands_.push_back(std::move(cmd));
   }
   scheduled_commands_.fetch_add(1, std::memory_order_release);
   wake_cv_.notify_one();
+}
+
+void Scrubber::inject_faults(double rate, fault::AttackMode mode,
+                             std::uint64_t seed) {
+  Command cmd;
+  cmd.kind = Command::Kind::kAttackRate;
+  cmd.rate = rate;
+  cmd.mode = mode;
+  cmd.seed = seed;
+  enqueue_command(std::move(cmd));
+}
+
+void Scrubber::inject_flips(std::size_t flips, fault::AttackMode mode,
+                            std::size_t target_plane, double cluster_fraction,
+                            std::uint64_t seed) {
+  Command cmd;
+  cmd.kind = Command::Kind::kAttackFlips;
+  cmd.mode = mode;
+  cmd.seed = seed;
+  cmd.flips = flips;
+  cmd.target_plane = target_plane;
+  cmd.cluster_fraction = cluster_fraction;
+  enqueue_command(std::move(cmd));
+}
+
+void Scrubber::prioritize_chunk(std::size_t cls, std::size_t chunk, bool on) {
+  Command cmd;
+  cmd.kind = Command::Kind::kPriority;
+  cmd.cls = cls;
+  cmd.chunk = chunk;
+  cmd.on = on;
+  enqueue_command(std::move(cmd));
 }
 
 void Scrubber::drain() {
@@ -73,6 +105,7 @@ ScrubberCounters Scrubber::counters() const noexcept {
   c.faults_injected = faults_injected_.load(std::memory_order_relaxed);
   c.snapshots_published = published_.load(std::memory_order_relaxed);
   c.resyncs = resyncs_.load(std::memory_order_relaxed);
+  c.priority_marks = priority_marks_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -90,25 +123,47 @@ void Scrubber::resync_if_stale() {
 }
 
 void Scrubber::run_commands() {
-  std::vector<FaultCommand> pending;
+  std::vector<Command> pending;
   {
     const std::lock_guard<std::mutex> lock(command_mutex_);
     pending.swap(commands_);
   }
   for (const auto& cmd : pending) {
+    if (cmd.kind == Command::Kind::kPriority) {
+      // Engine mutation only — no model bits change, so nothing publishes.
+      // Marks aimed at a stale geometry (a reload swapped in a smaller
+      // model before the command ran) are dropped; the sentinel re-asserts
+      // its priorities every round anyway.
+      resync_if_stale();
+      if (cmd.cls < working_.num_classes() &&
+          cmd.chunk < config_.recovery.chunks) {
+        engine_->set_chunk_priority(cmd.cls, cmd.chunk, cmd.on);
+        priority_marks_.fetch_add(1, std::memory_order_relaxed);
+      }
+      done_commands_.fetch_add(1, std::memory_order_release);
+      continue;
+    }
     for (;;) {
       resync_if_stale();
       util::Xoshiro256 rng(cmd.seed);
       auto regions = working_.memory_regions();
-      const auto report =
-          fault::BitFlipInjector::inject(regions, cmd.rate, cmd.mode, rng);
+      std::size_t flipped = 0;
+      if (cmd.kind == Command::Kind::kAttackRate) {
+        flipped = fault::BitFlipInjector::inject(regions, cmd.rate, cmd.mode,
+                                                 rng)
+                      .flipped;
+      } else {
+        flipped = fault::BitFlipInjector::flip_budget(
+            regions, cmd.flips, cmd.mode, cmd.target_plane,
+            cmd.cluster_fraction, rng);
+      }
       // Publish immediately: serving workers must see the damage the same
       // way deployed hardware would — recovery races real traffic. The
       // publish is conditional: losing to a concurrent reload discards
       // this attempt (the resync above re-damages the *new* model).
       if (snapshot_.try_publish(working_, seen_version_)) {
         ++seen_version_;
-        faults_injected_.fetch_add(report.flipped, std::memory_order_relaxed);
+        faults_injected_.fetch_add(flipped, std::memory_order_relaxed);
         published_.fetch_add(1, std::memory_order_relaxed);
         dirty_bits_ = 0;
         break;

@@ -45,6 +45,47 @@ Server::Server(model::HdcModel model, const ServerConfig& config)
     scrubber_ = std::make_unique<Scrubber>(snapshot_, config_.scrubber);
     scrubber_->start();
   }
+
+  // The breaker's fallback: the model as constructed is blessed by
+  // definition. Updated on every successful reload.
+  last_good_ = *snapshot_.acquire();
+
+  if (config_.sentinel.enabled) {
+    if (config_.canaries.empty()) {
+      throw std::invalid_argument(
+          "serve::Server: sentinel.enabled requires a non-empty "
+          "ServerConfig::canaries set");
+    }
+    SentinelHooks hooks;
+    if (scrubber_) {
+      // Rung (a): suspect chunks jump the scrubber's repair queue.
+      hooks.prioritize = [this](std::size_t cls, std::size_t chunk, bool on) {
+        scrubber_->prioritize_chunk(cls, chunk, on);
+      };
+    }
+    hooks.publish_quarantine = [this](const std::vector<bool>& excluded) {
+      apply_quarantine(excluded);
+    };
+    hooks.set_breaker = [this](bool open) {
+      breaker_open_.store(open, std::memory_order_release);
+    };
+    hooks.attempt_reload = [this] { return publish_last_good(); };
+    sentinel_ = std::make_unique<Sentinel>(
+        snapshot_, config_.canaries, config_.canary_labels, config_.sentinel,
+        std::move(hooks));
+    if (config_.sentinel.period.count() > 0) sentinel_->start();
+  }
+
+  if (config_.chaos.enabled) {
+    ChaosAgent::TargetProvider target;
+    if (sentinel_) {
+      target = [this] { return sentinel_->most_confident_class(); };
+    }
+    chaos_ = std::make_unique<ChaosAgent>(snapshot_, scrubber_.get(),
+                                          config_.chaos, std::move(target));
+    if (config_.chaos.period.count() > 0) chaos_->start();
+  }
+
   workers_.start(config_.worker_threads,
                  [this](std::size_t w) { worker_main(w); });
 }
@@ -137,6 +178,12 @@ std::uint64_t Server::reload(model::HdcModel model) {
     throw std::invalid_argument(
         "serve::Server::reload: recovery requires a binary (1-bit) model");
   }
+  // A reload is a blessed publication: it becomes the breaker's new
+  // fallback and the sentinel's new drift reference.
+  {
+    const std::lock_guard<std::mutex> lock(last_good_mutex_);
+    last_good_ = model;
+  }
   // Publish through the same epoch path repairs use: in-flight batches
   // hold their snapshot pointer and finish on the old model; every batch
   // formed after this line scores the new one. The scrubber notices the
@@ -144,6 +191,9 @@ std::uint64_t Server::reload(model::HdcModel model) {
   const std::lock_guard<std::mutex> lock(direct_fault_mutex_);
   const auto version = snapshot_.publish(std::move(model));
   reloads_.fetch_add(1, std::memory_order_relaxed);
+  // rebase() only sets a flag, so this is safe even when reload() is
+  // reached from the sentinel's own breaker path (attempt_reload hook).
+  if (sentinel_) sentinel_->rebase();
   return version;
 }
 
@@ -174,6 +224,8 @@ void Server::drain() {
 void Server::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
+  if (chaos_) chaos_->stop();      // stop attacking first
+  if (sentinel_) sentinel_->stop();  // then stop escalating
   queue_.close();     // wakes workers; pops drain accepted requests
   workers_.join();    // every accepted promise is now fulfilled
   if (scrubber_) scrubber_->stop();  // final ring drain, then halt
@@ -195,19 +247,91 @@ ServerStats Server::stats() const {
   s.faults_injected = direct_faults_.load(std::memory_order_relaxed);
   s.reloads = reloads_.load(std::memory_order_relaxed);
   s.integrity_failures = integrity_failures_.load(std::memory_order_relaxed);
+  s.degraded_responses = degraded_.load(std::memory_order_relaxed);
+  s.abstained_responses = abstained_.load(std::memory_order_relaxed);
+  // Subsystem counters are reported as deltas against the reset_stats()
+  // baselines (the scrubber's own atomics back drain() and are never
+  // zeroed in place).
+  const std::lock_guard<std::mutex> baseline_lock(baseline_mutex_);
   if (scrubber_) {
     const auto c = scrubber_->counters();
-    s.scrub_offered = c.offered;
-    s.trust_drops = c.trust_drops;
-    s.scrub_processed = c.processed;
-    s.scrub_repairs = c.repairs;
-    s.scrub_substituted_bits = c.substituted_bits;
-    s.faults_injected += c.faults_injected;
-    s.snapshots_published = c.snapshots_published;
-    s.scrub_resyncs = c.resyncs;
+    const auto& b = scrub_baseline_;
+    s.scrub_offered = c.offered - b.offered;
+    s.trust_drops = c.trust_drops - b.trust_drops;
+    s.scrub_processed = c.processed - b.processed;
+    s.scrub_repairs = c.repairs - b.repairs;
+    s.scrub_substituted_bits = c.substituted_bits - b.substituted_bits;
+    s.faults_injected += c.faults_injected - b.faults_injected;
+    s.snapshots_published = c.snapshots_published - b.snapshots_published;
+    s.scrub_resyncs = c.resyncs - b.resyncs;
+    s.priority_marks = c.priority_marks - b.priority_marks;
+  }
+  if (chaos_) {
+    const auto c = chaos_->counters();
+    const auto& b = chaos_baseline_;
+    s.chaos_ticks = c.ticks - b.ticks;
+    s.chaos_flips = c.flips_scheduled - b.flips_scheduled;
+  }
+  if (sentinel_) {
+    const auto c = sentinel_->counters();
+    const auto& b = sentinel_baseline_;
+    s.canary_runs = c.rounds - b.rounds;
+    s.breaker_trips = c.breaker_trips - b.breaker_trips;
+    s.reload_retries = c.reload_retries - b.reload_retries;
+    s.canary_accuracy = sentinel_->latest_accuracy();
+    s.quarantined_chunks = sentinel_->quarantined_count();
+    s.breaker_open = sentinel_->breaker_open();
   }
   s.model_version = snapshot_.version();
   return s;
+}
+
+void Server::reset_stats() {
+  submitted_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  trusted_.store(0, std::memory_order_relaxed);
+  scrub_dropped_.store(0, std::memory_order_relaxed);
+  direct_faults_.store(0, std::memory_order_relaxed);
+  reloads_.store(0, std::memory_order_relaxed);
+  integrity_failures_.store(0, std::memory_order_relaxed);
+  degraded_.store(0, std::memory_order_relaxed);
+  abstained_.store(0, std::memory_order_relaxed);
+  queue_wait_.reset();
+  service_.reset();
+  end_to_end_.reset();
+  batch_sizes_.reset();
+  const std::lock_guard<std::mutex> baseline_lock(baseline_mutex_);
+  if (scrubber_) scrub_baseline_ = scrubber_->counters();
+  if (chaos_) chaos_baseline_ = chaos_->counters();
+  if (sentinel_) sentinel_baseline_ = sentinel_->counters();
+}
+
+void Server::apply_quarantine(const std::vector<bool>& excluded) {
+  const auto model = snapshot_.acquire();
+  auto mask = std::make_shared<const QuarantineMask>(
+      build_quarantine_mask(model->dimension(), excluded));
+  const bool any = mask->excluded_chunks > 0;
+  {
+    const std::lock_guard<std::mutex> lock(quarantine_mutex_);
+    quarantine_ = any ? std::move(mask) : nullptr;
+  }
+  // Release pairs with the workers' acquire on the version check.
+  quarantine_version_.fetch_add(1, std::memory_order_release);
+}
+
+bool Server::publish_last_good() {
+  try {
+    model::HdcModel fallback;
+    {
+      const std::lock_guard<std::mutex> lock(last_good_mutex_);
+      fallback = last_good_;
+    }
+    reload(std::move(fallback));
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
 }
 
 void Server::worker_main(std::size_t) {
@@ -221,6 +345,11 @@ void Server::worker_main(std::size_t) {
   // moves, so steady-state batches take no lock at all.
   std::shared_ptr<const model::HdcModel> model;
   std::uint64_t version = 0;
+
+  // Per-worker cached quarantine mask, same epoch pattern. null means the
+  // quarantine is empty and scoring takes the unmasked kernels.
+  std::shared_ptr<const QuarantineMask> qmask;
+  std::uint64_t qmask_version = 0;
 
   // Per-worker reusable workspaces. Encoding and batch scoring run through
   // these, so after the first full-sized batch the hot path performs no
@@ -238,8 +367,34 @@ void Server::worker_main(std::size_t) {
     // One snapshot per batch: every query in the batch is scored against
     // the same immutable model, however the scrubber races us.
     snapshot_.refresh(model, version);
+    if (quarantine_version_.load(std::memory_order_acquire) !=
+        qmask_version) {
+      const std::lock_guard<std::mutex> lock(quarantine_mutex_);
+      qmask = quarantine_;
+      qmask_version = quarantine_version_.load(std::memory_order_relaxed);
+    }
     batch_sizes_.record(batch.size());
     const auto dequeued = std::chrono::steady_clock::now();
+
+    // Rung (c): breaker open — shed the whole batch with explicit
+    // abstentions, no encoding, no scoring. Clients get an answer (not a
+    // hang) and retry once the sentinel has republished the last-good
+    // model.
+    if (breaker_open_.load(std::memory_order_acquire)) {
+      for (auto& request : batch) {
+        queue_wait_.record(elapsed_ns(request.enqueued, dequeued));
+        Response response;
+        response.abstained = true;
+        response.model_version = version;
+        abstained_.fetch_add(1, std::memory_order_relaxed);
+        const auto end = std::chrono::steady_clock::now();
+        service_.record(elapsed_ns(dequeued, end));
+        end_to_end_.record(elapsed_ns(request.enqueued, end));
+        completed_.fetch_add(1, std::memory_order_release);
+        request.promise.set_value(response);
+      }
+      continue;
+    }
 
     // Server-side encoding for feature-mode requests, through the worker's
     // persistent workspace (the encoder's bit-sliced counter is reused).
@@ -267,7 +422,18 @@ void Server::worker_main(std::size_t) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       query_ptrs[i] = &batch[i].query;
     }
-    model->scores_batch(query_ptrs, score_ws);
+    // Rung (b): with a non-empty quarantine, score over the surviving
+    // dimensions only (masked kernels) and flag the answers degraded. The
+    // confidence model then sees kept_dims as the effective dimension.
+    const bool degraded = qmask != nullptr;
+    std::size_t effective_dim = model->dimension();
+    if (degraded) {
+      model->scores_batch_masked(query_ptrs, qmask->words, qmask->kept_dims,
+                                 score_ws);
+      effective_dim = qmask->kept_dims;
+    } else {
+      model->scores_batch(query_ptrs, score_ws);
+    }
     const std::size_t k = model->num_classes();
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -276,13 +442,14 @@ void Server::worker_main(std::size_t) {
 
       const std::span<const double> similarities(
           score_ws.scores.data() + i * k, k);
-      const auto conf =
-          model::assess(similarities, confidence, model->dimension());
+      const auto conf = model::assess(similarities, confidence, effective_dim);
 
       Response response;
       response.predicted = conf.predicted;
       response.confidence = conf.top_probability;
       response.model_version = version;
+      response.degraded = degraded;
+      if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
       if (scrubber_ && conf.top_probability >= trust_threshold) {
         // Pre-filter only: the engine re-runs its own (stricter) gates on
         // the scrub thread. A full ring drops the hint — serving latency

@@ -186,6 +186,68 @@ TEST(KernelEquivalence, HammingMatrixAllIsas) {
   }
 }
 
+TEST(KernelEquivalence, HammingMatrixMaskedAllIsas) {
+  util::Xoshiro256 rng(0x9a5eed);
+  const auto ref_masked = [](const std::uint64_t* a, const std::uint64_t* b,
+                             const std::uint64_t* m, std::size_t n) {
+    std::uint32_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += static_cast<std::uint32_t>(std::popcount((a[i] ^ b[i]) & m[i]));
+    }
+    return total;
+  };
+  const std::array<std::pair<std::size_t, std::size_t>, 6> shapes = {{
+      {1, 1}, {1, 7}, {3, 2}, {4, 4}, {5, 3}, {9, 11}}};
+  for (const auto isa : kAllIsas) {
+    const auto* ops = kernels::ops_for(isa);
+    if (ops == nullptr) continue;
+    for (const std::size_t words : {1, 2, 5, 17, 157}) {
+      // Random mask plus the two degenerate masks: all-ones must reproduce
+      // the unmasked matrix kernel exactly; all-zeros must return 0.
+      const auto random_mask = random_words(words, rng);
+      const std::vector<std::uint64_t> ones(words, ~0ULL);
+      const std::vector<std::uint64_t> zeros(words, 0ULL);
+      for (const auto [nq, np] : shapes) {
+        std::vector<std::vector<std::uint64_t>> qs, ps;
+        std::vector<const std::uint64_t*> qp, pp;
+        for (std::size_t i = 0; i < nq; ++i) {
+          qs.push_back(random_words(words, rng));
+          qp.push_back(qs.back().data());
+        }
+        for (std::size_t i = 0; i < np; ++i) {
+          ps.push_back(random_words(words, rng));
+          pp.push_back(ps.back().data());
+        }
+        for (const auto* mask :
+             {&random_mask, static_cast<const std::vector<std::uint64_t>*>(
+                                &ones),
+              static_cast<const std::vector<std::uint64_t>*>(&zeros)}) {
+          std::vector<std::uint32_t> out(nq * np, 0xdeadbeef);
+          ops->hamming_matrix_masked(qp.data(), nq, pp.data(), np, words,
+                                     mask->data(), out.data());
+          for (std::size_t q = 0; q < nq; ++q) {
+            for (std::size_t p = 0; p < np; ++p) {
+              EXPECT_EQ(out[q * np + p],
+                        ref_masked(qp[q], pp[p], mask->data(), words))
+                  << kernels::isa_name(isa) << " words=" << words
+                  << " q=" << q << " p=" << p;
+            }
+          }
+        }
+        // All-ones mask == the unmasked matrix kernel, element for element.
+        std::vector<std::uint32_t> masked_out(nq * np, 0);
+        std::vector<std::uint32_t> plain_out(nq * np, 1);
+        ops->hamming_matrix_masked(qp.data(), nq, pp.data(), np, words,
+                                   ones.data(), masked_out.data());
+        ops->hamming_matrix(qp.data(), nq, pp.data(), np, words,
+                            plain_out.data());
+        EXPECT_EQ(masked_out, plain_out)
+            << kernels::isa_name(isa) << " words=" << words;
+      }
+    }
+  }
+}
+
 // ---- BinVec paths rewired onto the kernels ------------------------------
 
 TEST(BinVecKernels, CountOnesAndHammingMatchPerBit) {

@@ -685,6 +685,55 @@ TEST(Scrubber, CountsTrustDropsWhenRingFull) {
   EXPECT_EQ(scrubber.counters().trust_drops, dropped);
 }
 
+TEST(Batcher, FlushesPartialBatchWhenQueueClosesMidLinger) {
+  RequestQueue<int> queue(16);
+  // max_batch far above what we enqueue, with a linger long enough that a
+  // dropped partial batch would show up as either lost items or a full
+  // linger-length stall.
+  Batcher<int> batcher(queue, 8, std::chrono::milliseconds(500));
+  for (int v : {41, 42}) {
+    int item = v;
+    ASSERT_TRUE(queue.try_push(item));
+  }
+  std::thread closer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+  });
+  std::vector<int> batch;
+  const auto start = std::chrono::steady_clock::now();
+  // The batch is underfull when close() lands mid-linger: next_batch must
+  // return the partial batch immediately (flush, not drop).
+  ASSERT_TRUE(batcher.next_batch(batch));
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(batch, (std::vector<int>{41, 42}));
+  EXPECT_LT(waited, std::chrono::milliseconds(400));
+  closer.join();
+  // Closed and drained: the worker exit signal.
+  EXPECT_FALSE(batcher.next_batch(batch));
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(Server, ShutdownMidLingerAnswersEveryAcceptedRequest) {
+  const auto world = make_world(0x11f1);
+  ServerConfig config;
+  config.worker_threads = 2;
+  config.max_batch = 64;                             // never fills
+  config.batch_linger = std::chrono::milliseconds(250);  // workers linger
+  config.enable_recovery = false;
+  Server server(world.model, config);
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < 6; ++i) {
+    futures.push_back(server.submit(world.queries[i]));
+  }
+  // Shut down while the partial batch is (at most) mid-linger: every
+  // accepted request must still get a real answer.
+  server.shutdown();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto response = futures[i].get();
+    EXPECT_EQ(response.predicted, world.labels[i]);
+  }
+}
+
 TEST(Server, RecoveryRejectsMultibitModels) {
   util::Xoshiro256 rng(29);
   std::vector<hv::BinVec> train{hv::BinVec::random(256, rng),

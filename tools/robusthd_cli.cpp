@@ -29,6 +29,16 @@
 //       test queries, optionally injecting faults so the background
 //       scrubber repairs the model while it serves; prints a throughput/
 //       latency table (see also bench/serve_throughput.cpp).
+//   chaos   --dataset NAME [--model FILE] [--workers N] [--seconds S]
+//           [--rate R] [--mode random|targeted|clustered] [--steps N]
+//           [--floor A] [--dimension D]
+//       Live-fire soak: serve traffic while an in-process ChaosAgent
+//       attacks the published model under a rate budget, the plane
+//       health sentinel quarantines damaged chunks, and the scrubber
+//       repairs from trusted traffic (docs/resilience.md). Prints the
+//       steady-state accuracy and degradation-ladder activity; with
+//       --floor, exits nonzero when the final canary accuracy is below
+//       it (see also bench/chaos_soak.cpp).
 
 #include <cstdio>
 #include <cstdlib>
@@ -271,9 +281,123 @@ int cmd_serve_bench(const Args& args) {
               static_cast<std::size_t>(stats.scrub_resyncs),
               static_cast<std::size_t>(stats.reloads),
               static_cast<std::size_t>(stats.integrity_failures));
+  std::printf("resilience: canary runs %zu, quarantined chunks %zu, "
+              "degraded %zu, abstained %zu, breaker trips %zu, "
+              "reload retries %zu\n",
+              static_cast<std::size_t>(stats.canary_runs),
+              stats.quarantined_chunks,
+              static_cast<std::size_t>(stats.degraded_responses),
+              static_cast<std::size_t>(stats.abstained_responses),
+              static_cast<std::size_t>(stats.breaker_trips),
+              static_cast<std::size_t>(stats.reload_retries));
   if (rate > 0.0) {
     std::printf("faults injected: %zu\n",
                 static_cast<std::size_t>(stats.faults_injected));
+  }
+  return 0;
+}
+
+int cmd_chaos(const Args& args) {
+  const auto split = load_split(args);
+
+  model::HdcModel model;
+  std::vector<hv::BinVec> queries;
+  const auto model_file = args.get("model", "");
+  if (!model_file.empty()) {
+    auto clf = core::load_model(model_file);
+    queries = clf.encoder().encode_all(split.test);
+    model = clf.model();
+  } else {
+    core::HdcClassifierConfig config;
+    config.encoder.dimension =
+        static_cast<std::size_t>(args.number("dimension", 4000));
+    auto clf = core::HdcClassifier::train(split.train, config);
+    queries = clf.encoder().encode_all(split.test);
+    model = clf.model();
+  }
+  if (model.precision_bits() != 1) {
+    std::fprintf(stderr,
+                 "chaos requires a binary (1-bit) model: the recovery "
+                 "ladder is substitution-based\n");
+    return 2;
+  }
+
+  // Hold out canaries for the sentinel; serve the rest as traffic.
+  const std::size_t canary_count =
+      std::min<std::size_t>(150, queries.size() / 3);
+  serve::ServerConfig config;
+  config.worker_threads = static_cast<std::size_t>(args.number("workers", 4));
+  config.max_batch = 16;
+  config.sentinel.enabled = true;
+  config.sentinel.period = std::chrono::milliseconds(10);
+  config.sentinel.chunks = config.scrubber.recovery.chunks;
+  config.canaries.assign(queries.begin(), queries.begin() + canary_count);
+  config.canary_labels.assign(split.test.labels.begin(),
+                              split.test.labels.begin() + canary_count);
+  const double seconds = args.real("seconds", 5.0);
+  config.chaos.enabled = true;
+  config.chaos.rate = args.real("rate", 0.06);
+  config.chaos.mode = parse_mode(args.get("mode", "random"));
+  config.chaos.steps_to_full =
+      static_cast<std::size_t>(args.number("steps", 250));
+  config.chaos.period = std::chrono::microseconds(static_cast<long>(
+      seconds * 0.6 * 1e6 /
+      static_cast<double>(config.chaos.steps_to_full)));
+
+  std::vector<hv::BinVec> traffic(queries.begin() + canary_count,
+                                  queries.end());
+  std::vector<int> traffic_labels(split.test.labels.begin() + canary_count,
+                                  split.test.labels.end());
+
+  serve::Server server(std::move(model), config);
+  util::Timer timer;
+  std::size_t scored = 0, correct = 0, shed = 0;
+  while (timer.seconds() < seconds) {
+    const auto responses = server.predict_all(traffic);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      if (responses[i].abstained) {
+        ++shed;
+        continue;
+      }
+      ++scored;
+      if (responses[i].predicted == traffic_labels[i]) ++correct;
+    }
+  }
+  const double elapsed = timer.seconds();
+  server.drain();
+  const auto stats = server.stats();
+  server.shutdown();
+
+  std::printf("soak %.1fs at attack rate %.3f (%s): %.0f qps\n", elapsed,
+              config.chaos.rate, args.get("mode", "random").c_str(),
+              static_cast<double>(scored + shed) / elapsed);
+  std::printf("traffic accuracy %.2f%% over %zu scored (%zu abstained)\n",
+              scored == 0 ? 0.0
+                          : 100.0 * static_cast<double>(correct) /
+                                static_cast<double>(scored),
+              scored, shed);
+  std::printf("chaos: %zu ticks, %zu flips scheduled\n",
+              static_cast<std::size_t>(stats.chaos_ticks),
+              static_cast<std::size_t>(stats.chaos_flips));
+  std::printf("sentinel: %zu canary runs, effective canary accuracy "
+              "%.2f%%, %zu chunks quarantined, %zu priority marks\n",
+              static_cast<std::size_t>(stats.canary_runs),
+              100.0 * stats.canary_accuracy, stats.quarantined_chunks,
+              static_cast<std::size_t>(stats.priority_marks));
+  std::printf("ladder: %zu degraded, %zu abstained, %zu breaker trips, "
+              "%zu reload retries; scrub repairs %zu (%zu bits)\n",
+              static_cast<std::size_t>(stats.degraded_responses),
+              static_cast<std::size_t>(stats.abstained_responses),
+              static_cast<std::size_t>(stats.breaker_trips),
+              static_cast<std::size_t>(stats.reload_retries),
+              static_cast<std::size_t>(stats.scrub_repairs),
+              static_cast<std::size_t>(stats.scrub_substituted_bits));
+
+  const double floor = args.real("floor", 0.0);
+  if (floor > 0.0 && stats.canary_accuracy < floor) {
+    std::printf("FAIL: canary accuracy %.4f below floor %.4f\n",
+                stats.canary_accuracy, floor);
+    return 1;
   }
   return 0;
 }
@@ -359,7 +483,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: robusthd "
-      "<train|eval|attack|recover|serve-bench|info|integrity>\n"
+      "<train|eval|attack|recover|serve-bench|chaos|info|integrity>\n"
       "       [--flag value]...\n"
       "see the header comment of tools/robusthd_cli.cpp for flags\n");
 }
@@ -379,6 +503,7 @@ int main(int argc, char** argv) {
     if (command == "attack") return cmd_attack(args);
     if (command == "recover") return cmd_recover(args);
     if (command == "serve-bench") return cmd_serve_bench(args);
+    if (command == "chaos") return cmd_chaos(args);
     if (command == "info") return cmd_info(args);
     if (command == "integrity") return cmd_integrity(args);
   } catch (const std::exception& e) {
