@@ -1,0 +1,122 @@
+#pragma once
+// robusthd::fleet::Client — blocking client with client-side routing.
+//
+// The client holds the same consistent-hash Router the fleet builds
+// (same shard list, same groups), so it sends each tenant's traffic to
+// the tenant's primary shard endpoint — locality, not correctness: any
+// frontend port accepts any tenant and the server side re-routes around
+// unhealthy shards regardless.
+//
+// Client-side health: an `abstained` response or a connection failure
+// marks the shard unhealthy for `unhealthy_cooldown`, after which it is
+// probed again. While marked, the router fails the tenant over to the
+// next same-group shard — so a breaker that opened on the server
+// surfaces here once, and subsequent requests route around it without
+// paying a round trip into the shedding shard.
+//
+// One Client is one set of sockets and is NOT thread-safe; give each
+// load-generator thread its own (they are cheap: one fd per shard,
+// connected lazily).
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "robusthd/fleet/router.hpp"
+#include "robusthd/fleet/wire.hpp"
+#include "robusthd/hv/binvec.hpp"
+
+namespace robusthd::fleet {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct ClientConfig {
+  RouterConfig router;
+  /// Wait bound for one response on a connection.
+  std::chrono::milliseconds response_timeout{5000};
+  /// How long a shard stays marked unhealthy before it is probed again.
+  std::chrono::milliseconds unhealthy_cooldown{250};
+};
+
+/// Outcome of one Client::predict round trip.
+struct FleetResponse {
+  /// True when a predict response arrived (even an `abstained` one);
+  /// false on a server error frame or a transport failure.
+  bool ok = false;
+  wire::ErrorCode error = wire::ErrorCode::kNone;  ///< server error frames
+  std::string error_message;  ///< server error text or transport reason
+
+  std::int32_t predicted = -1;
+  double confidence = 0.0;
+  bool trusted = false;
+  bool degraded = false;
+  bool abstained = false;
+  std::uint64_t model_version = 0;
+  std::size_t shard = 0;      ///< endpoint the answer came from
+  bool failover = false;      ///< routed around the tenant's primary
+};
+
+class Client {
+ public:
+  /// `endpoints[i]` serves shard i; `groups[i]` is its model group (as
+  /// in Router). The two must be the fleet's actual layout for routing
+  /// to agree with the server side.
+  Client(std::vector<Endpoint> endpoints, std::vector<std::string> groups,
+         ClientConfig config = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Blocking round trip for one tenant query. Never throws on
+  /// transport trouble — inspect FleetResponse::ok.
+  FleetResponse predict(std::uint64_t tenant_id, const hv::BinVec& query);
+
+  /// Round trip a ping on shard `shard`'s connection.
+  bool ping(std::size_t shard);
+
+  const Router& router() const noexcept { return *router_; }
+
+  struct Counters {
+    std::uint64_t requests = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t server_errors = 0;     ///< error frames received
+    std::uint64_t transport_errors = 0;  ///< connect/send/recv/timeouts
+    std::uint64_t failovers = 0;
+    std::uint64_t reconnects = 0;
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  struct Conn;
+
+  bool ensure_connected(std::size_t shard);
+  void drop_connection(std::size_t shard);
+  void mark_unhealthy(std::size_t shard);
+  /// Re-arms shards whose cooldown expired, then routes.
+  Router::Decision route(std::uint64_t tenant_id);
+  /// Sends `bytes` fully on shard's socket. False on failure.
+  bool send_all(std::size_t shard, const std::vector<std::byte>& bytes);
+  /// Reads until a frame for `request_id` (predict response or error)
+  /// arrives on shard's connection, or the timeout/transport fails.
+  std::optional<wire::Frame> await_frame(std::size_t shard,
+                                         std::uint64_t request_id,
+                                         std::vector<std::byte>& storage);
+
+  std::vector<Endpoint> endpoints_;
+  std::unique_ptr<Router> router_;
+  ClientConfig config_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<std::chrono::steady_clock::time_point> unhealthy_until_;
+  std::uint64_t next_request_id_ = 1;
+  Counters counters_;
+};
+
+}  // namespace robusthd::fleet

@@ -1,0 +1,117 @@
+#pragma once
+// robusthd::fleet::Fleet — N independently self-healing shards behind
+// one consistent-hash router.
+//
+// The fleet is the in-process core of the networked service: it owns
+// the shards, keeps the router's health flags synced with each shard's
+// circuit breaker, and routes tenant submissions. The TCP front end
+// (fleet/frontend.hpp) and the CLI are thin adapters over this class,
+// and because routing + scoring are deterministic, a fleet submission
+// for tenant T is bit-identical to submitting the same query directly
+// to a serve::Server holding T's model (fleet_test asserts this).
+//
+// Failure semantics, end to end:
+//  - shard healthy            → normal response (possibly `degraded`
+//    while the shard's sentinel has chunks quarantined — rung (b));
+//  - shard breaker open       → the router fails the tenant over to the
+//    next healthy shard in the same model group;
+//  - whole group breaker-open → the request still goes to the primary,
+//    whose breaker answers `abstained` (rung (c)) — load-shedding stays
+//    visible to the client rather than silently dropping traffic.
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "robusthd/fleet/router.hpp"
+#include "robusthd/fleet/shard.hpp"
+#include "robusthd/hv/binvec.hpp"
+#include "robusthd/model/hdc_model.hpp"
+#include "robusthd/serve/server.hpp"
+
+namespace robusthd::fleet {
+
+struct FleetConfig {
+  /// One entry per shard. Shards sharing a model_id must be given equal
+  /// models (the constructor cannot verify bit-equality cheaply and
+  /// trusts the caller — the bench and CLI clone one trained model).
+  std::vector<ShardConfig> shards;
+  RouterConfig router;
+};
+
+/// Aggregate + per-shard counters (Fleet::stats()).
+struct FleetStats {
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t scrub_repairs = 0;
+  std::uint64_t scrub_substituted_bits = 0;
+  std::uint64_t degraded_responses = 0;
+  std::uint64_t abstained_responses = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t failovers = 0;      ///< requests routed around a shard
+  std::uint64_t shed_unrouteable = 0;  ///< whole model group unhealthy
+  std::vector<ShardStats> shards;
+};
+
+class Fleet {
+ public:
+  /// `models[i]` becomes shard i's serving model; models.size() must
+  /// equal config.shards.size() (or 1 shard per model with an empty
+  /// config, every knob defaulted).
+  Fleet(std::vector<model::HdcModel> models, FleetConfig config = {});
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  Shard& shard(std::size_t i) noexcept { return *shards_[i]; }
+  const Shard& shard(std::size_t i) const noexcept { return *shards_[i]; }
+  Router& router() noexcept { return *router_; }
+  const Router& router() const noexcept { return *router_; }
+
+  /// Dimension every shard serves at (shard 0's model — the constructor
+  /// rejects mixed dimensions, since queries route by tenant, not size).
+  std::size_t dimension() const noexcept { return dimension_; }
+
+  /// Syncs router health flags from the shards' breaker gauges. Called
+  /// internally on every routing decision (a handful of relaxed loads);
+  /// public so tests and pollers can force a sync.
+  void refresh_health() noexcept;
+
+  /// Routes and submits; blocks while the target shard's queue is full
+  /// (closed-loop backpressure, like serve::Server::submit).
+  std::future<serve::Response> submit(std::uint64_t tenant_id,
+                                      hv::BinVec query);
+
+  struct TrySubmitResult {
+    std::future<serve::Response> future;
+    std::size_t shard = 0;
+    bool failover = false;
+  };
+
+  /// Non-blocking admission; nullopt when the target shard's queue is
+  /// full (counted into FleetStats::rejected via the shard).
+  std::optional<TrySubmitResult> try_submit(std::uint64_t tenant_id,
+                                            hv::BinVec query);
+
+  /// The health-aware routing decision for a tenant (no submission).
+  Router::Decision route(std::uint64_t tenant_id) noexcept;
+
+  FleetStats stats() const;
+
+  void drain();
+  void shutdown();
+
+ private:
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<Router> router_;
+  std::size_t dimension_ = 0;
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> shed_unrouteable_{0};
+};
+
+}  // namespace robusthd::fleet

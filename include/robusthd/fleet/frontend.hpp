@@ -1,0 +1,110 @@
+#pragma once
+// robusthd::fleet::Frontend — the fleet's TCP face.
+//
+// One listener + one poll(2) event loop thread per shard: shard i's
+// endpoint is ports()[i]. A connection may still talk about any tenant
+// — every predict request is routed through Fleet::try_submit (so
+// server-side failover and breaker shedding apply no matter which port
+// the client picked); connecting to the tenant's primary port is a
+// locality optimisation the client-side router makes, not a
+// correctness requirement.
+//
+// The loop never blocks on inference: a predict request becomes a
+// (request_id, future) entry in the connection's pending set, and each
+// poll iteration sweeps ready futures into the write buffer. All reads
+// and writes for a connection happen on its shard's loop thread, so
+// per-connection state needs no locks; only counters are atomic.
+//
+// Framing violations (bad magic/CRC/length — see fleet/wire.hpp) poison
+// the connection and it is closed without a reply; semantically invalid
+// but well-framed requests (wrong dimension, unparseable payload, full
+// queue) get an error frame and the connection lives on.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "robusthd/fleet/fleet.hpp"
+#include "robusthd/fleet/wire.hpp"
+
+namespace robusthd::fleet {
+
+struct FrontendConfig {
+  std::string host = "127.0.0.1";
+  /// First port; shard i listens on base_port + i. 0 = ephemeral ports
+  /// (read the actual ones back via ports()).
+  std::uint16_t base_port = 0;
+  int backlog = 64;
+  std::size_t max_connections_per_shard = 128;
+  std::size_t max_payload = wire::kMaxPayload;
+  /// A connection whose unflushed output exceeds this is dropped — a
+  /// peer that stops reading cannot pin server memory.
+  std::size_t max_write_buffer = 8u << 20;
+  /// poll() timeout while responses are pending (the future-sweep
+  /// cadence); idle loops wait 20x longer.
+  std::chrono::milliseconds poll_interval{1};
+};
+
+struct FrontendCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t protocol_errors = 0;  ///< poisoned framing → closed
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t busy_rejections = 0;       ///< kBusy error frames
+  std::uint64_t dimension_rejections = 0;  ///< kDimensionMismatch frames
+  std::uint64_t bad_requests = 0;          ///< kBadRequest frames
+};
+
+class Frontend {
+ public:
+  /// The fleet must outlive the frontend.
+  explicit Frontend(Fleet& fleet, FrontendConfig config = {});
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// Binds every listener (throws std::runtime_error on bind failure)
+  /// and starts the loop threads. ports() is valid once this returns.
+  void start();
+
+  /// Closes listeners and every connection, joins the loops. Idempotent.
+  void stop();
+
+  /// Actual listening port per shard (after start()).
+  std::vector<std::uint16_t> ports() const { return ports_; }
+
+  FrontendCounters counters() const;
+
+ private:
+  struct Loop;  // one per shard; definition in frontend.cpp
+
+  Fleet& fleet_;
+  FrontendConfig config_;
+  std::vector<std::uint16_t> ports_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+
+  // Shared counters (all loops record into these).
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+  std::atomic<std::uint64_t> busy_rejections_{0};
+  std::atomic<std::uint64_t> dimension_rejections_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+
+  void loop_main(Loop& loop);
+  friend struct Loop;
+};
+
+}  // namespace robusthd::fleet

@@ -1,0 +1,90 @@
+#pragma once
+// robusthd::fleet::Router — consistent-hash tenant→shard assignment with
+// per-shard health awareness.
+//
+// Each shard contributes `virtual_nodes` points to a hash ring; a tenant
+// lands on the shard owning the first ring point at or after the
+// tenant's hash. Properties the fleet relies on (fleet_router_test):
+//
+//  - Deterministic: the ring is built from SplitMix64 of (shard,
+//    replica) only — no time, no RNG state — so every Router instance
+//    with the same shard list (server-side Fleet, client-side Client,
+//    a Router rebuilt after restart) routes every tenant identically.
+//  - Stable under growth: adding shard N+1 only claims the ring arcs
+//    its new points land in, so ~1/(N+1) of tenants move and nobody
+//    else does — the consistent-hashing contract.
+//  - Health-aware: a shard whose circuit breaker is open is routed
+//    around by walking the ring to the next healthy shard *in the same
+//    model group* (a failover to a shard serving a different model
+//    would silently change every answer). When the whole group is
+//    unhealthy the primary is returned anyway and the shard's own
+//    breaker surfaces `abstained` — shedding stays explicit, never a
+//    wrong-model answer. Recovery releases cleanly: health flags are
+//    the only mutable state, so flipping a shard back to healthy
+//    restores the exact pre-failure assignment.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace robusthd::fleet {
+
+struct RouterConfig {
+  /// Ring points per shard. More points → smoother tenant balance and
+  /// finer-grained redistribution on failure, at O(N·V log N·V) build
+  /// cost. 64 keeps per-shard load within a few percent of uniform.
+  std::size_t virtual_nodes = 64;
+};
+
+class Router {
+ public:
+  /// `shard_groups[i]` is shard i's model group (model id): failover is
+  /// confined to shards with an equal group string.
+  Router(std::vector<std::string> shard_groups, const RouterConfig& config = {});
+
+  std::size_t shard_count() const noexcept { return groups_.size(); }
+  const std::string& group(std::size_t shard) const { return groups_[shard]; }
+
+  /// Primary assignment, health-blind. Deterministic and stable.
+  std::size_t route(std::uint64_t tenant_id) const noexcept;
+
+  struct Decision {
+    std::size_t shard = 0;  ///< where to send the request
+    std::size_t primary = 0;
+    /// True when `shard != primary` because the primary was unhealthy.
+    bool failover = false;
+    /// True when every same-group shard (primary included) is unhealthy;
+    /// `shard` is the primary and the caller should expect shedding.
+    bool all_unhealthy = false;
+  };
+
+  /// Health-aware assignment: the primary when it is healthy, otherwise
+  /// the next healthy same-group shard along the ring.
+  Decision route_healthy(std::uint64_t tenant_id) const noexcept;
+
+  /// Marks a shard (un)healthy. Thread-safe, relaxed — routing is
+  /// advisory and a stale read only costs one extra shed/failover hop.
+  void set_healthy(std::size_t shard, bool healthy) noexcept;
+  bool healthy(std::size_t shard) const noexcept;
+
+  /// The tenant hash — exposed so tests can reason about ring geometry.
+  static std::uint64_t hash_tenant(std::uint64_t tenant_id) noexcept;
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::uint32_t shard;
+  };
+
+  /// Index into points_ of the first point at or after `hash` (wrapping).
+  std::size_t successor(std::uint64_t hash) const noexcept;
+
+  std::vector<std::string> groups_;
+  std::vector<Point> points_;  ///< sorted by position
+  std::unique_ptr<std::atomic<bool>[]> healthy_;
+};
+
+}  // namespace robusthd::fleet

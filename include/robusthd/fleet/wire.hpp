@@ -1,0 +1,192 @@
+#pragma once
+// robusthd::fleet wire protocol — length-prefixed binary frames over TCP.
+//
+// Framing follows the RHD2 storage format's philosophy (docs/fleet.md,
+// docs/serialization.md): every field a peer could lie about is bounded
+// and CRC-checked *before* it is trusted, and in particular before any
+// allocation it implies. A frame is:
+//
+//   [32-byte header][payload_len payload bytes][u32 payload CRC32C]
+//
+//   header (little-endian):
+//     u32 magic        'RHF1' (0x31464852)
+//     u8  type         FrameType
+//     u8  flags        response bits: trusted/degraded/abstained
+//     u16 reserved     must be zero
+//     u64 tenant_id
+//     u64 request_id   echoed verbatim in the matching response
+//     u32 payload_len  <= kMaxPayload, exact length checked per type
+//     u32 header_crc   CRC32C of the 28 bytes above
+//
+// The payload CRC is always present (CRC of zero bytes for an empty
+// payload), so the total frame size is 36 + payload_len and a reader
+// never special-cases. A frame that fails any check is a protocol error:
+// the connection is poisoned and must be closed — there is no resync
+// scan, because a peer that framed one message wrong cannot be trusted
+// to frame the next one right.
+//
+// Numeric payload fields are little-endian; doubles travel as their IEEE
+// bit pattern in a u64, so a response is bit-identical to the in-process
+// serve::Response it was built from (fleet_test asserts this end to end).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "robusthd/hv/binvec.hpp"
+
+namespace robusthd::fleet::wire {
+
+inline constexpr std::uint32_t kMagic = 0x31464852u;  // "RHF1"
+inline constexpr std::size_t kHeaderSize = 32;
+inline constexpr std::size_t kTrailerSize = 4;  // payload CRC32C
+/// Hard bound on payload_len — checked before any allocation. Generous
+/// for hypervectors (a D=1M query is ~125 KiB) yet small enough that a
+/// hostile length prefix cannot blow up a reader.
+inline constexpr std::size_t kMaxPayload = 1u << 20;
+/// Hard bound on the query dimension a predict request may carry.
+inline constexpr std::size_t kMaxDimension = 1u << 20;
+
+enum class FrameType : std::uint8_t {
+  kPredictRequest = 1,
+  kPredictResponse = 2,
+  kError = 3,
+  kPing = 4,
+  kPong = 5,
+};
+
+/// Response flag bits (header `flags`; request frames must send 0).
+inline constexpr std::uint8_t kFlagTrusted = 0x01;
+inline constexpr std::uint8_t kFlagDegraded = 0x02;
+inline constexpr std::uint8_t kFlagAbstained = 0x04;
+
+/// Error payload codes (u16).
+enum class ErrorCode : std::uint16_t {
+  kNone = 0,
+  kBusy = 1,               ///< shard queue full — retry later
+  kDimensionMismatch = 2,  ///< query dimension != serving model dimension
+  kBadRequest = 3,         ///< semantically invalid payload
+  kShuttingDown = 4,
+};
+
+/// A decoded frame. `payload` views the reader's buffer — copy out what
+/// must outlive the next feed()/clear().
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::uint8_t flags = 0;
+  std::uint64_t tenant_id = 0;
+  std::uint64_t request_id = 0;
+  std::span<const std::byte> payload;
+};
+
+/// Why a reader rejected its input stream.
+enum class WireError : std::uint8_t {
+  kNone = 0,
+  kBadMagic,
+  kBadType,
+  kReservedNotZero,
+  kOversizedPayload,
+  kHeaderCrcMismatch,
+  kPayloadCrcMismatch,
+  kBadPayload,  ///< type-specific payload validation failed
+};
+
+const char* wire_error_name(WireError e) noexcept;
+
+// ------------------------------------------------------------ encoding --
+
+/// Appends a complete frame (header + payload + payload CRC) to `out`.
+void append_frame(std::vector<std::byte>& out, FrameType type,
+                  std::uint8_t flags, std::uint64_t tenant_id,
+                  std::uint64_t request_id,
+                  std::span<const std::byte> payload);
+
+/// Predict request payload: u32 dimension + packed query words.
+void append_predict_request(std::vector<std::byte>& out,
+                            std::uint64_t tenant_id, std::uint64_t request_id,
+                            const hv::BinVec& query);
+
+/// Predict response payload: i32 predicted, u64 confidence bits,
+/// u64 model_version. Flags carry trusted/degraded/abstained.
+struct PredictResult {
+  std::int32_t predicted = -1;
+  double confidence = 0.0;
+  std::uint64_t model_version = 0;
+  bool trusted = false;
+  bool degraded = false;
+  bool abstained = false;
+};
+
+void append_predict_response(std::vector<std::byte>& out,
+                             std::uint64_t tenant_id, std::uint64_t request_id,
+                             const PredictResult& result);
+
+/// Error payload: u16 code + bounded utf-8 message.
+void append_error(std::vector<std::byte>& out, std::uint64_t tenant_id,
+                  std::uint64_t request_id, ErrorCode code,
+                  std::string_view message);
+
+// ------------------------------------------------------------ decoding --
+
+/// Parses a predict-request payload into `query`. Returns false (leaving
+/// `query` unspecified) when the payload is malformed: bad length, zero
+/// or oversized dimension, or nonzero bits beyond `dimension` in the
+/// last word (a hostile peer must not be able to break the BinVec tail
+/// invariant the kernels rely on).
+bool parse_predict_request(std::span<const std::byte> payload,
+                           hv::BinVec& query);
+
+/// Parses a predict-response payload. Returns nullopt on bad length.
+std::optional<PredictResult> parse_predict_response(const Frame& frame);
+
+struct ErrorInfo {
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+};
+
+std::optional<ErrorInfo> parse_error(std::span<const std::byte> payload);
+
+/// Incremental frame parser for one connection. Feed bytes as they
+/// arrive; poll next() for complete frames. The reader validates the
+/// header (magic, type, reserved, length bound, header CRC) before it
+/// waits for — let alone allocates for — the payload, so a hostile
+/// length prefix costs at most kHeaderSize buffered bytes.
+///
+/// After any error the reader is poisoned: next() keeps returning
+/// nullopt and error() reports the reason; the owner must close the
+/// connection. reset() re-arms it (used by tests and by clients that
+/// reconnect).
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload = kMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw bytes from the socket. No-op once poisoned.
+  void feed(std::span<const std::byte> bytes);
+
+  /// Returns the next complete, CRC-valid frame, or nullopt when more
+  /// bytes are needed (or the stream is poisoned). The frame's payload
+  /// span stays valid until the following next()/feed()/reset() call.
+  std::optional<Frame> next();
+
+  WireError error() const noexcept { return error_; }
+  bool poisoned() const noexcept { return error_ != WireError::kNone; }
+
+  /// Bytes currently buffered (tests assert the bound holds).
+  std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+  void reset();
+
+ private:
+  void compact();
+
+  std::size_t max_payload_;
+  std::vector<std::byte> buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already surfaced
+  WireError error_ = WireError::kNone;
+};
+
+}  // namespace robusthd::fleet::wire

@@ -23,6 +23,12 @@
 #include "robusthd/fault/injector.hpp"
 #include "robusthd/fault/memory.hpp"
 #include "robusthd/fault/trace.hpp"
+#include "robusthd/fleet/client.hpp"
+#include "robusthd/fleet/fleet.hpp"
+#include "robusthd/fleet/frontend.hpp"
+#include "robusthd/fleet/router.hpp"
+#include "robusthd/fleet/shard.hpp"
+#include "robusthd/fleet/wire.hpp"
 #include "robusthd/hv/accumulator.hpp"
 #include "robusthd/hv/alt_encoders.hpp"
 #include "robusthd/hv/assoc.hpp"

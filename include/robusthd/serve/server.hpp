@@ -78,6 +78,12 @@ struct ServerConfig {
   /// served to clients; encode them with the same encoder as the model.
   std::vector<hv::BinVec> canaries;
   std::vector<int> canary_labels;  ///< one label per canary
+  /// CPU ids to pin the worker threads to (worker i takes
+  /// cpu_affinity[i % size]). Empty = no pinning. A fleet shard passes
+  /// its core set here so shards keep cache-warm planes and stay out of
+  /// each other's way; ids beyond the machine are ignored (pinning is a
+  /// hint, never a failure).
+  std::vector<int> cpu_affinity;
 };
 
 /// What a client gets back for one query.
@@ -166,6 +172,12 @@ class Server {
   void shutdown();
 
   ServerStats stats() const;
+
+  /// Instantaneous circuit-breaker gauge, cheap enough to consult per
+  /// request (one relaxed load) — the fleet router's health probe.
+  bool breaker_open() const noexcept {
+    return breaker_open_.load(std::memory_order_relaxed);
+  }
 
   /// Re-zeroes the cumulative counters and latency histograms so a bench
   /// can measure phases (baseline vs chaos) independently. Call while the

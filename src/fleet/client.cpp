@@ -1,0 +1,231 @@
+#include "robusthd/fleet/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace robusthd::fleet {
+
+struct Client::Conn {
+  int fd = -1;
+  wire::FrameReader reader;
+};
+
+Client::Client(std::vector<Endpoint> endpoints,
+               std::vector<std::string> groups, ClientConfig config)
+    : endpoints_(std::move(endpoints)), config_(std::move(config)) {
+  if (endpoints_.size() != groups.size()) {
+    throw std::invalid_argument(
+        "fleet::Client needs one group per endpoint");
+  }
+  router_ = std::make_unique<Router>(std::move(groups), config_.router);
+  conns_.resize(endpoints_.size());
+  unhealthy_until_.resize(endpoints_.size());
+}
+
+Client::~Client() {
+  for (auto& conn : conns_) {
+    if (conn && conn->fd >= 0) ::close(conn->fd);
+  }
+}
+
+bool Client::ensure_connected(std::size_t shard) {
+  auto& conn = conns_[shard];
+  if (conn && conn->fd >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoints_[shard].port);
+  if (inet_pton(AF_INET, endpoints_[shard].host.c_str(), &addr.sin_addr) !=
+          1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (conn) ++counters_.reconnects;
+  conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  return true;
+}
+
+void Client::drop_connection(std::size_t shard) {
+  auto& conn = conns_[shard];
+  if (conn && conn->fd >= 0) ::close(conn->fd);
+  if (conn) conn->fd = -1;
+}
+
+void Client::mark_unhealthy(std::size_t shard) {
+  unhealthy_until_[shard] =
+      std::chrono::steady_clock::now() + config_.unhealthy_cooldown;
+  router_->set_healthy(shard, false);
+}
+
+Router::Decision Client::route(std::uint64_t tenant_id) {
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (!router_->healthy(i) && now >= unhealthy_until_[i]) {
+      router_->set_healthy(i, true);  // cooldown over: probe it again
+    }
+  }
+  return router_->route_healthy(tenant_id);
+}
+
+bool Client::send_all(std::size_t shard, const std::vector<std::byte>& bytes) {
+  const int fd = conns_[shard]->fd;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const auto n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<wire::Frame> Client::await_frame(
+    std::size_t shard, std::uint64_t request_id,
+    std::vector<std::byte>& storage) {
+  Conn& conn = *conns_[shard];
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.response_timeout;
+  std::byte buf[64 * 1024];
+  for (;;) {
+    // Drain already-buffered frames first.
+    while (auto frame = conn.reader.next()) {
+      if (frame->request_id != request_id) continue;  // stale/late answer
+      if (frame->type != wire::FrameType::kPredictResponse &&
+          frame->type != wire::FrameType::kError &&
+          frame->type != wire::FrameType::kPong) {
+        continue;
+      }
+      // Copy the payload out of the reader's buffer: the caller keeps
+      // the frame past subsequent reader activity.
+      storage.assign(frame->payload.begin(), frame->payload.end());
+      wire::Frame owned = *frame;
+      owned.payload = storage;
+      return owned;
+    }
+    if (conn.reader.poisoned()) return std::nullopt;
+
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pollfd pfd{conn.fd, POLLIN, 0};
+    const int rc =
+        ::poll(&pfd, 1, static_cast<int>(remaining.count()) + 1);
+    if (rc < 0 && errno != EINTR) return std::nullopt;
+    if (rc <= 0) continue;
+    const auto n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return std::nullopt;  // peer closed or hard error
+    }
+    conn.reader.feed({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+FleetResponse Client::predict(std::uint64_t tenant_id,
+                              const hv::BinVec& query) {
+  ++counters_.requests;
+  FleetResponse out;
+
+  // Route; on connect failure mark the shard down and re-route once.
+  auto decision = route(tenant_id);
+  if (!ensure_connected(decision.shard)) {
+    ++counters_.transport_errors;
+    mark_unhealthy(decision.shard);
+    decision = route(tenant_id);
+    if (!ensure_connected(decision.shard)) {
+      ++counters_.transport_errors;
+      out.error_message = "connect failed";
+      out.shard = decision.shard;
+      return out;
+    }
+  }
+  out.shard = decision.shard;
+  out.failover = decision.failover;
+  if (decision.failover) ++counters_.failovers;
+
+  const std::uint64_t request_id = next_request_id_++;
+  std::vector<std::byte> frame_bytes;
+  wire::append_predict_request(frame_bytes, tenant_id, request_id, query);
+  if (!send_all(decision.shard, frame_bytes)) {
+    ++counters_.transport_errors;
+    drop_connection(decision.shard);
+    mark_unhealthy(decision.shard);
+    out.error_message = "send failed";
+    return out;
+  }
+
+  std::vector<std::byte> storage;
+  const auto frame = await_frame(decision.shard, request_id, storage);
+  if (!frame) {
+    ++counters_.transport_errors;
+    drop_connection(decision.shard);
+    mark_unhealthy(decision.shard);
+    out.error_message = "response timeout or connection lost";
+    return out;
+  }
+
+  if (frame->type == wire::FrameType::kError) {
+    ++counters_.server_errors;
+    const auto info = wire::parse_error(frame->payload);
+    out.error = info ? info->code : wire::ErrorCode::kNone;
+    out.error_message = info ? info->message : "unparseable error frame";
+    return out;
+  }
+
+  const auto result = wire::parse_predict_response(*frame);
+  if (!result) {
+    ++counters_.transport_errors;
+    drop_connection(decision.shard);
+    out.error_message = "malformed predict response";
+    return out;
+  }
+  ++counters_.responses;
+  out.ok = true;
+  out.predicted = result->predicted;
+  out.confidence = result->confidence;
+  out.trusted = result->trusted;
+  out.degraded = result->degraded;
+  out.abstained = result->abstained;
+  out.model_version = result->model_version;
+  if (result->abstained) {
+    // The shard's breaker is shedding: route around it until the
+    // cooldown expires, then probe again.
+    mark_unhealthy(decision.shard);
+  }
+  return out;
+}
+
+bool Client::ping(std::size_t shard) {
+  if (!ensure_connected(shard)) return false;
+  const std::uint64_t request_id = next_request_id_++;
+  std::vector<std::byte> frame_bytes;
+  wire::append_frame(frame_bytes, wire::FrameType::kPing, 0, 0, request_id,
+                     {});
+  if (!send_all(shard, frame_bytes)) {
+    drop_connection(shard);
+    return false;
+  }
+  std::vector<std::byte> storage;
+  const auto frame = await_frame(shard, request_id, storage);
+  return frame && frame->type == wire::FrameType::kPong;
+}
+
+}  // namespace robusthd::fleet

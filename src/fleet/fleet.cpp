@@ -1,0 +1,98 @@
+#include "robusthd/fleet/fleet.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace robusthd::fleet {
+
+Fleet::Fleet(std::vector<model::HdcModel> models, FleetConfig config) {
+  if (models.empty()) {
+    throw std::invalid_argument("Fleet needs at least one model/shard");
+  }
+  if (config.shards.empty()) {
+    config.shards.resize(models.size());
+  }
+  if (config.shards.size() != models.size()) {
+    throw std::invalid_argument(
+        "FleetConfig::shards must match models (one config per shard)");
+  }
+  dimension_ = models[0].dimension();
+  std::vector<std::string> groups;
+  groups.reserve(models.size());
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    if (models[i].dimension() != dimension_) {
+      throw std::invalid_argument(
+          "all fleet shards must serve the same dimension");
+    }
+    groups.push_back(config.shards[i].model_id);
+    shards_.push_back(std::make_unique<Shard>(i, std::move(models[i]),
+                                              std::move(config.shards[i])));
+  }
+  router_ = std::make_unique<Router>(std::move(groups), config.router);
+}
+
+Fleet::~Fleet() { shutdown(); }
+
+void Fleet::refresh_health() noexcept {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    router_->set_healthy(i, shards_[i]->healthy());
+  }
+}
+
+Router::Decision Fleet::route(std::uint64_t tenant_id) noexcept {
+  refresh_health();
+  const auto d = router_->route_healthy(tenant_id);
+  if (d.failover) failovers_.fetch_add(1, std::memory_order_relaxed);
+  if (d.all_unhealthy) {
+    shed_unrouteable_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+std::future<serve::Response> Fleet::submit(std::uint64_t tenant_id,
+                                           hv::BinVec query) {
+  const auto d = route(tenant_id);
+  return shards_[d.shard]->server().submit(std::move(query));
+}
+
+std::optional<Fleet::TrySubmitResult> Fleet::try_submit(
+    std::uint64_t tenant_id, hv::BinVec query) {
+  const auto d = route(tenant_id);
+  auto future = shards_[d.shard]->server().try_submit(std::move(query));
+  if (!future) return std::nullopt;
+  TrySubmitResult r;
+  r.future = std::move(*future);
+  r.shard = d.shard;
+  r.failover = d.failover;
+  return r;
+}
+
+FleetStats Fleet::stats() const {
+  FleetStats out;
+  out.failovers = failovers_.load(std::memory_order_relaxed);
+  out.shed_unrouteable = shed_unrouteable_.load(std::memory_order_relaxed);
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    out.shards.push_back(shard->stats());
+    const auto& s = out.shards.back();
+    out.completed += s.completed;
+    out.rejected += s.rejected;
+    out.scrub_repairs += s.scrub_repairs;
+    out.scrub_substituted_bits += s.scrub_substituted_bits;
+    out.degraded_responses += s.degraded_responses;
+    out.abstained_responses += s.abstained_responses;
+    out.breaker_trips += s.breaker_trips;
+  }
+  return out;
+}
+
+void Fleet::drain() {
+  for (auto& shard : shards_) shard->server().drain();
+}
+
+void Fleet::shutdown() {
+  for (auto& shard : shards_) shard->server().shutdown();
+}
+
+}  // namespace robusthd::fleet

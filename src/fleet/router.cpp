@@ -1,0 +1,101 @@
+#include "robusthd/fleet/router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::fleet {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t v) noexcept {
+  return util::SplitMix64(v).next();
+}
+
+}  // namespace
+
+Router::Router(std::vector<std::string> shard_groups,
+               const RouterConfig& config)
+    : groups_(std::move(shard_groups)) {
+  if (groups_.empty()) {
+    throw std::invalid_argument("Router needs at least one shard");
+  }
+  if (config.virtual_nodes == 0) {
+    throw std::invalid_argument("Router needs virtual_nodes >= 1");
+  }
+  points_.reserve(groups_.size() * config.virtual_nodes);
+  for (std::size_t shard = 0; shard < groups_.size(); ++shard) {
+    for (std::size_t replica = 0; replica < config.virtual_nodes; ++replica) {
+      // Two mix rounds decorrelate the (shard, replica) lattice; the
+      // constant keeps shard point sets disjoint from tenant hashes.
+      const std::uint64_t position =
+          mix(mix(0x5148463146534844ULL + shard) + replica);
+      points_.push_back(
+          {position, static_cast<std::uint32_t>(shard)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Position ties (astronomically unlikely) break by shard id
+              // so the ring order is still total and deterministic.
+              return a.position != b.position ? a.position < b.position
+                                              : a.shard < b.shard;
+            });
+  healthy_ = std::make_unique<std::atomic<bool>[]>(groups_.size());
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    healthy_[i].store(true, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Router::hash_tenant(std::uint64_t tenant_id) noexcept {
+  return mix(tenant_id ^ 0x74656e616e744964ULL);
+}
+
+std::size_t Router::successor(std::uint64_t hash) const noexcept {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const Point& p, std::uint64_t h) { return p.position < h; });
+  return it == points_.end() ? 0
+                             : static_cast<std::size_t>(it - points_.begin());
+}
+
+std::size_t Router::route(std::uint64_t tenant_id) const noexcept {
+  return points_[successor(hash_tenant(tenant_id))].shard;
+}
+
+Router::Decision Router::route_healthy(
+    std::uint64_t tenant_id) const noexcept {
+  Decision d;
+  const std::size_t start = successor(hash_tenant(tenant_id));
+  d.primary = d.shard = points_[start].shard;
+  if (healthy(d.primary)) return d;
+
+  // Walk the ring past the primary's arc: the first healthy same-group
+  // shard inherits the tenant. Bounded by the ring size; each tenant's
+  // walk order is fixed by the ring, so redistribution spreads over the
+  // surviving shards instead of dogpiling one.
+  const std::string& want = groups_[d.primary];
+  for (std::size_t step = 1; step < points_.size(); ++step) {
+    const std::size_t shard =
+        points_[(start + step) % points_.size()].shard;
+    if (shard == d.primary || groups_[shard] != want) continue;
+    if (healthy(shard)) {
+      d.shard = shard;
+      d.failover = true;
+      return d;
+    }
+  }
+  d.all_unhealthy = true;  // shard stays primary; its breaker sheds
+  return d;
+}
+
+void Router::set_healthy(std::size_t shard, bool healthy) noexcept {
+  healthy_[shard].store(healthy, std::memory_order_relaxed);
+}
+
+bool Router::healthy(std::size_t shard) const noexcept {
+  return healthy_[shard].load(std::memory_order_relaxed);
+}
+
+}  // namespace robusthd::fleet

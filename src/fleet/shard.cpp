@@ -1,0 +1,34 @@
+#include "robusthd/fleet/shard.hpp"
+
+#include <utility>
+
+namespace robusthd::fleet {
+
+Shard::Shard(std::size_t index, model::HdcModel model, ShardConfig config)
+    : index_(index), model_id_(std::move(config.model_id)) {
+  if (!config.cpus.empty()) {
+    config.server.cpu_affinity = config.cpus;
+  }
+  server_ = std::make_unique<serve::Server>(std::move(model), config.server);
+}
+
+ShardStats Shard::stats() const {
+  const auto s = server_->stats();
+  ShardStats out;
+  out.completed = s.completed;
+  out.rejected = s.rejected;
+  out.scrub_repairs = s.scrub_repairs;
+  out.scrub_substituted_bits = s.scrub_substituted_bits;
+  out.faults_injected = s.faults_injected;
+  out.quarantined_chunks = s.quarantined_chunks;
+  out.degraded_responses = s.degraded_responses;
+  out.abstained_responses = s.abstained_responses;
+  out.breaker_trips = s.breaker_trips;
+  out.breaker_open = s.breaker_open;
+  out.canary_accuracy = s.canary_accuracy;
+  out.model_version = s.model_version;
+  out.p99_ms = s.end_to_end.p99_ns / 1e6;
+  return out;
+}
+
+}  // namespace robusthd::fleet

@@ -1,0 +1,229 @@
+#include "robusthd/fleet/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "robusthd/util/bitops.hpp"
+#include "robusthd/util/crc32c.hpp"
+
+namespace robusthd::fleet::wire {
+
+namespace {
+
+// All wire integers are little-endian. The serialisation below memcpys
+// native values, which is correct on every platform this repo targets
+// (x86-64 / aarch64 Linux); a big-endian port would byte-swap here.
+static_assert(std::endian::native == std::endian::little,
+              "wire format assumes a little-endian host");
+
+template <typename T>
+void put(std::vector<std::byte>& out, T value) {
+  const auto* p = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T get(std::span<const std::byte> bytes, std::size_t offset) {
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+bool valid_type(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(FrameType::kPredictRequest) &&
+         t <= static_cast<std::uint8_t>(FrameType::kPong);
+}
+
+}  // namespace
+
+const char* wire_error_name(WireError e) noexcept {
+  switch (e) {
+    case WireError::kNone: return "none";
+    case WireError::kBadMagic: return "bad magic";
+    case WireError::kBadType: return "bad frame type";
+    case WireError::kReservedNotZero: return "reserved bytes not zero";
+    case WireError::kOversizedPayload: return "oversized payload length";
+    case WireError::kHeaderCrcMismatch: return "header CRC mismatch";
+    case WireError::kPayloadCrcMismatch: return "payload CRC mismatch";
+    case WireError::kBadPayload: return "malformed payload";
+  }
+  return "unknown";
+}
+
+void append_frame(std::vector<std::byte>& out, FrameType type,
+                  std::uint8_t flags, std::uint64_t tenant_id,
+                  std::uint64_t request_id,
+                  std::span<const std::byte> payload) {
+  const std::size_t header_at = out.size();
+  put<std::uint32_t>(out, kMagic);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(type));
+  put<std::uint8_t>(out, flags);
+  put<std::uint16_t>(out, 0);  // reserved
+  put<std::uint64_t>(out, tenant_id);
+  put<std::uint64_t>(out, request_id);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
+  const std::uint32_t header_crc =
+      util::crc32c(out.data() + header_at, kHeaderSize - 4);
+  put<std::uint32_t>(out, header_crc);
+  out.insert(out.end(), payload.begin(), payload.end());
+  put<std::uint32_t>(out, util::crc32c(payload));
+}
+
+void append_predict_request(std::vector<std::byte>& out,
+                            std::uint64_t tenant_id, std::uint64_t request_id,
+                            const hv::BinVec& query) {
+  std::vector<std::byte> payload;
+  payload.reserve(4 + query.word_count() * 8);
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(query.dimension()));
+  const auto words = query.words();
+  const auto* p = reinterpret_cast<const std::byte*>(words.data());
+  payload.insert(payload.end(), p, p + words.size_bytes());
+  append_frame(out, FrameType::kPredictRequest, 0, tenant_id, request_id,
+               payload);
+}
+
+void append_predict_response(std::vector<std::byte>& out,
+                             std::uint64_t tenant_id, std::uint64_t request_id,
+                             const PredictResult& result) {
+  std::vector<std::byte> payload;
+  payload.reserve(20);
+  put<std::int32_t>(payload, result.predicted);
+  put<std::uint64_t>(payload, std::bit_cast<std::uint64_t>(result.confidence));
+  put<std::uint64_t>(payload, result.model_version);
+  std::uint8_t flags = 0;
+  if (result.trusted) flags |= kFlagTrusted;
+  if (result.degraded) flags |= kFlagDegraded;
+  if (result.abstained) flags |= kFlagAbstained;
+  append_frame(out, FrameType::kPredictResponse, flags, tenant_id, request_id,
+               payload);
+}
+
+void append_error(std::vector<std::byte>& out, std::uint64_t tenant_id,
+                  std::uint64_t request_id, ErrorCode code,
+                  std::string_view message) {
+  std::vector<std::byte> payload;
+  if (message.size() > 256) message = message.substr(0, 256);
+  payload.reserve(2 + message.size());
+  put<std::uint16_t>(payload, static_cast<std::uint16_t>(code));
+  const auto* p = reinterpret_cast<const std::byte*>(message.data());
+  payload.insert(payload.end(), p, p + message.size());
+  append_frame(out, FrameType::kError, 0, tenant_id, request_id, payload);
+}
+
+bool parse_predict_request(std::span<const std::byte> payload,
+                           hv::BinVec& query) {
+  if (payload.size() < 4) return false;
+  const auto dim = get<std::uint32_t>(payload, 0);
+  if (dim == 0 || dim > kMaxDimension) return false;
+  const std::size_t words = util::words_for_bits(dim);
+  if (payload.size() != 4 + words * 8) return false;
+  hv::BinVec parsed(dim);
+  std::memcpy(parsed.mutable_words().data(), payload.data() + 4, words * 8);
+  // Reject tail garbage instead of silently masking it: a peer that sets
+  // bits past `dim` either disagrees with us about the dimension or is
+  // probing — both are protocol errors.
+  if (words > 0) {
+    const std::uint64_t last = parsed.words()[words - 1];
+    hv::BinVec masked = parsed;
+    masked.mask_tail();
+    if (masked.words()[words - 1] != last) return false;
+  }
+  query = std::move(parsed);
+  return true;
+}
+
+std::optional<PredictResult> parse_predict_response(const Frame& frame) {
+  if (frame.payload.size() != 20) return std::nullopt;
+  PredictResult r;
+  r.predicted = get<std::int32_t>(frame.payload, 0);
+  r.confidence =
+      std::bit_cast<double>(get<std::uint64_t>(frame.payload, 4));
+  r.model_version = get<std::uint64_t>(frame.payload, 12);
+  r.trusted = (frame.flags & kFlagTrusted) != 0;
+  r.degraded = (frame.flags & kFlagDegraded) != 0;
+  r.abstained = (frame.flags & kFlagAbstained) != 0;
+  return r;
+}
+
+std::optional<ErrorInfo> parse_error(std::span<const std::byte> payload) {
+  if (payload.size() < 2) return std::nullopt;
+  ErrorInfo info;
+  info.code = static_cast<ErrorCode>(get<std::uint16_t>(payload, 0));
+  info.message.assign(reinterpret_cast<const char*>(payload.data()) + 2,
+                      payload.size() - 2);
+  return info;
+}
+
+void FrameReader::feed(std::span<const std::byte> bytes) {
+  if (poisoned()) return;
+  compact();
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void FrameReader::compact() {
+  if (consumed_ == 0) return;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+  consumed_ = 0;
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (poisoned()) return std::nullopt;
+  compact();
+  if (buffer_.size() < kHeaderSize) return std::nullopt;
+  const std::span<const std::byte> head(buffer_.data(), kHeaderSize);
+
+  // Validate everything the header claims before trusting payload_len.
+  if (get<std::uint32_t>(head, 0) != kMagic) {
+    error_ = WireError::kBadMagic;
+    return std::nullopt;
+  }
+  const auto raw_type = get<std::uint8_t>(head, 4);
+  if (!valid_type(raw_type)) {
+    error_ = WireError::kBadType;
+    return std::nullopt;
+  }
+  if (get<std::uint16_t>(head, 6) != 0) {
+    error_ = WireError::kReservedNotZero;
+    return std::nullopt;
+  }
+  const auto payload_len = get<std::uint32_t>(head, 24);
+  if (payload_len > max_payload_) {
+    error_ = WireError::kOversizedPayload;
+    return std::nullopt;
+  }
+  if (get<std::uint32_t>(head, 28) !=
+      util::crc32c(buffer_.data(), kHeaderSize - 4)) {
+    error_ = WireError::kHeaderCrcMismatch;
+    return std::nullopt;
+  }
+
+  const std::size_t total = kHeaderSize + payload_len + kTrailerSize;
+  if (buffer_.size() < total) return std::nullopt;  // wait for the rest
+
+  const std::span<const std::byte> payload(buffer_.data() + kHeaderSize,
+                                           payload_len);
+  if (get<std::uint32_t>(
+          std::span<const std::byte>(buffer_.data(), total),
+          kHeaderSize + payload_len) != util::crc32c(payload)) {
+    error_ = WireError::kPayloadCrcMismatch;
+    return std::nullopt;
+  }
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.flags = get<std::uint8_t>(head, 5);
+  frame.tenant_id = get<std::uint64_t>(head, 8);
+  frame.request_id = get<std::uint64_t>(head, 16);
+  frame.payload = payload;
+  consumed_ = total;  // released at the next feed()/next()/reset()
+  return frame;
+}
+
+void FrameReader::reset() {
+  buffer_.clear();
+  consumed_ = 0;
+  error_ = WireError::kNone;
+}
+
+}  // namespace robusthd::fleet::wire

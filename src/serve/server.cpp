@@ -1,5 +1,10 @@
 #include "robusthd/serve/server.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include <cassert>
 #include <span>
 #include <stdexcept>
@@ -28,6 +33,20 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
           .count());
+}
+
+/// Best-effort affinity: an out-of-range cpu id or a restricted cpuset
+/// just leaves the thread unpinned.
+void pin_current_thread(int cpu) noexcept {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
 }
 
 }  // namespace
@@ -334,7 +353,11 @@ bool Server::publish_last_good() {
   }
 }
 
-void Server::worker_main(std::size_t) {
+void Server::worker_main(std::size_t worker_index) {
+  if (!config_.cpu_affinity.empty()) {
+    pin_current_thread(
+        config_.cpu_affinity[worker_index % config_.cpu_affinity.size()]);
+  }
   Batcher<Request> batcher(queue_, config_.max_batch, config_.batch_linger);
   const model::ConfidenceConfig confidence =
       config_.scrubber.recovery.confidence;

@@ -1,0 +1,207 @@
+// Tests for the fleet's consistent-hash router: deterministic and
+// balanced assignment, bounded redistribution when shards are added or
+// fail, group-confined failover, and clean release on recovery. This
+// binary also runs under TSan in CI (health flags are touched from
+// multiple threads in the concurrency test).
+#include "robusthd/fleet/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace robusthd::fleet {
+namespace {
+
+constexpr std::size_t kTenants = 20000;
+
+std::vector<std::string> same_group(std::size_t n,
+                                    const std::string& id = "m0") {
+  return std::vector<std::string>(n, id);
+}
+
+std::vector<std::size_t> assignments(const Router& router) {
+  std::vector<std::size_t> out(kTenants);
+  for (std::uint64_t t = 0; t < kTenants; ++t) out[t] = router.route(t);
+  return out;
+}
+
+TEST(FleetRouter, DeterministicAcrossInstances) {
+  Router a(same_group(8));
+  Router b(same_group(8));
+  for (std::uint64_t t = 0; t < kTenants; ++t) {
+    ASSERT_EQ(a.route(t), b.route(t)) << "tenant " << t;
+  }
+}
+
+TEST(FleetRouter, HealthBlindRouteIgnoresHealth) {
+  Router router(same_group(4));
+  const auto before = assignments(router);
+  router.set_healthy(2, false);
+  EXPECT_EQ(assignments(router), before);
+}
+
+TEST(FleetRouter, ReasonablyBalanced) {
+  Router router(same_group(8));
+  std::map<std::size_t, std::size_t> load;
+  for (std::uint64_t t = 0; t < kTenants; ++t) ++load[router.route(t)];
+  ASSERT_EQ(load.size(), 8u) << "some shard received no tenants";
+  for (const auto& [shard, count] : load) {
+    const double share = static_cast<double>(count) / kTenants;
+    EXPECT_GT(share, 0.04) << "shard " << shard;  // uniform = 0.125
+    EXPECT_LT(share, 0.30) << "shard " << shard;
+  }
+}
+
+TEST(FleetRouter, StableUnderShardGrowth) {
+  Router small(same_group(8));
+  Router grown(same_group(9));
+  std::size_t moved = 0;
+  for (std::uint64_t t = 0; t < kTenants; ++t) {
+    const auto before = small.route(t);
+    const auto after = grown.route(t);
+    if (after != before) {
+      ++moved;
+      // Consistent hashing: a tenant either stays put or moves to the
+      // NEW shard — never shuffles between survivors.
+      EXPECT_EQ(after, 8u) << "tenant " << t;
+    }
+  }
+  // Expected move fraction is 1/9 ≈ 0.11; allow generous slack for
+  // ring-point variance but catch rehash-everything regressions.
+  const double frac = static_cast<double>(moved) / kTenants;
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.30);
+}
+
+TEST(FleetRouter, FailoverIsBoundedAndConfinedToSurvivors) {
+  Router router(same_group(4));
+  const auto before = assignments(router);
+  router.set_healthy(1, false);
+
+  std::size_t redistributed = 0;
+  for (std::uint64_t t = 0; t < kTenants; ++t) {
+    const auto d = router.route_healthy(t);
+    EXPECT_FALSE(d.all_unhealthy);
+    if (before[t] != 1) {
+      // Tenants of healthy shards are untouched — failure of one shard
+      // must not reshuffle anyone else.
+      EXPECT_EQ(d.shard, before[t]) << "tenant " << t;
+      EXPECT_FALSE(d.failover);
+    } else {
+      EXPECT_NE(d.shard, 1u) << "tenant " << t;
+      EXPECT_TRUE(d.failover);
+      EXPECT_EQ(d.primary, 1u);
+      ++redistributed;
+    }
+  }
+  // Exactly the dead shard's tenants moved (its share of the ring).
+  EXPECT_GT(redistributed, 0u);
+  EXPECT_LT(static_cast<double>(redistributed) / kTenants, 0.5);
+}
+
+TEST(FleetRouter, FailedShardLoadSpreadsOverSurvivors) {
+  Router router(same_group(8));
+  router.set_healthy(3, false);
+  std::map<std::size_t, std::size_t> inherited;
+  for (std::uint64_t t = 0; t < kTenants; ++t) {
+    const auto d = router.route_healthy(t);
+    if (d.failover) ++inherited[d.shard];
+  }
+  // The dead shard's tenants should land on several survivors (virtual
+  // nodes interleave arcs), not dogpile one.
+  EXPECT_GE(inherited.size(), 3u);
+}
+
+TEST(FleetRouter, RecoveryReleasesToExactOriginalAssignment) {
+  Router router(same_group(5));
+  const auto before = assignments(router);
+  router.set_healthy(0, false);
+  router.set_healthy(3, false);
+  router.set_healthy(0, true);
+  router.set_healthy(3, true);
+  for (std::uint64_t t = 0; t < kTenants; ++t) {
+    const auto d = router.route_healthy(t);
+    EXPECT_EQ(d.shard, before[t]) << "tenant " << t;
+    EXPECT_FALSE(d.failover);
+  }
+}
+
+TEST(FleetRouter, FailoverRespectsModelGroups) {
+  // Shards 0,1 serve model A; shards 2,3 serve model B.
+  Router router({"A", "A", "B", "B"});
+  router.set_healthy(0, false);
+  for (std::uint64_t t = 0; t < kTenants; ++t) {
+    const auto d = router.route_healthy(t);
+    if (d.primary == 0) {
+      // A-tenants may only fail over to the other A shard — a B shard
+      // would answer with a different model.
+      EXPECT_EQ(d.shard, 1u) << "tenant " << t;
+    }
+  }
+  // Whole group down: requests stay on the primary, flagged unrouteable
+  // (the shard's own breaker sheds with `abstained`).
+  router.set_healthy(1, false);
+  bool saw_group_a = false;
+  for (std::uint64_t t = 0; t < kTenants && !saw_group_a; ++t) {
+    const auto d = router.route_healthy(t);
+    if (d.primary == 0 || d.primary == 1) {
+      saw_group_a = true;
+      EXPECT_TRUE(d.all_unhealthy);
+      EXPECT_EQ(d.shard, d.primary);
+      EXPECT_FALSE(d.failover);
+    }
+  }
+  EXPECT_TRUE(saw_group_a);
+  // B-tenants are untouched by A's outage.
+  for (std::uint64_t t = 0; t < 1000; ++t) {
+    const auto d = router.route_healthy(t);
+    if (d.primary >= 2) {
+      EXPECT_FALSE(d.failover);
+      EXPECT_FALSE(d.all_unhealthy);
+    }
+  }
+}
+
+TEST(FleetRouter, ConcurrentHealthFlapsAndRoutingAreRaceFree) {
+  Router router(same_group(6));
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  for (int flapper = 0; flapper < 2; ++flapper) {
+    threads.emplace_back([&router, &stop, flapper] {
+      std::size_t shard = static_cast<std::size_t>(flapper);
+      while (!stop.load(std::memory_order_relaxed)) {
+        router.set_healthy(shard, false);
+        router.set_healthy(shard, true);
+        shard = (shard + 2) % 6;
+      }
+    });
+  }
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&router, &stop] {
+      std::uint64_t t = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto d = router.route_healthy(t++ % kTenants);
+        EXPECT_LT(d.shard, 6u);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : threads) thread.join();
+}
+
+TEST(FleetRouter, RejectsDegenerateConfigs) {
+  EXPECT_THROW(Router({}, {}), std::invalid_argument);
+  RouterConfig zero;
+  zero.virtual_nodes = 0;
+  EXPECT_THROW(Router(same_group(2), zero), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace robusthd::fleet

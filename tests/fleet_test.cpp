@@ -1,0 +1,402 @@
+// End-to-end tests for the sharded fleet: in-process and over-TCP
+// predictions must be bit-identical to a direct serve::Server on the
+// same model (including the confidence double and the trusted /
+// degraded / abstained flags), the degradation ladder must propagate
+// over the wire, server-side failover must route around an open
+// breaker, and a hostile connection must die without hurting its
+// neighbours. Runs under TSan in CI.
+#include "robusthd/fleet/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "robusthd/fleet/client.hpp"
+#include "robusthd/fleet/frontend.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::fleet {
+namespace {
+
+constexpr std::size_t kDim = 1500;
+constexpr std::size_t kClasses = 4;
+
+struct World {
+  std::vector<hv::BinVec> queries;
+  std::vector<int> labels;
+  model::HdcModel model;
+};
+
+World make_world(std::uint64_t seed, std::size_t queries_per_class = 20) {
+  World w;
+  util::Xoshiro256 rng(seed);
+  std::vector<hv::BinVec> prototypes;
+  std::vector<hv::BinVec> train;
+  std::vector<int> train_labels;
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    prototypes.push_back(hv::BinVec::random(kDim, rng));
+  }
+  auto noisy = [&](std::size_t c) {
+    auto v = prototypes[c];
+    for (std::size_t d = 0; d < kDim; ++d) {
+      if (rng.bernoulli(0.04)) v.flip(d);
+    }
+    return v;
+  };
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    for (int i = 0; i < 15; ++i) {
+      train.push_back(noisy(c));
+      train_labels.push_back(static_cast<int>(c));
+    }
+    for (std::size_t i = 0; i < queries_per_class; ++i) {
+      w.queries.push_back(noisy(c));
+      w.labels.push_back(static_cast<int>(c));
+    }
+  }
+  w.model = model::HdcModel::train(train, train_labels, kClasses, {});
+  return w;
+}
+
+/// N same-model shards with deterministic scoring (no recovery).
+Fleet make_fleet(const World& w, std::size_t shards,
+                 std::size_t queue_capacity = 256) {
+  std::vector<model::HdcModel> models;
+  FleetConfig config;
+  for (std::size_t i = 0; i < shards; ++i) {
+    models.push_back(w.model);
+    ShardConfig shard;
+    shard.server.worker_threads = 2;
+    shard.server.queue_capacity = queue_capacity;
+    shard.server.enable_recovery = false;
+    config.shards.push_back(std::move(shard));
+  }
+  return Fleet(std::move(models), std::move(config));
+}
+
+void expect_identical(const serve::Response& fleet_r,
+                      const serve::Response& direct_r, std::size_t i) {
+  EXPECT_EQ(fleet_r.predicted, direct_r.predicted) << "query " << i;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(fleet_r.confidence),
+            std::bit_cast<std::uint64_t>(direct_r.confidence))
+      << "query " << i;
+  EXPECT_EQ(fleet_r.trusted, direct_r.trusted) << "query " << i;
+  EXPECT_EQ(fleet_r.degraded, direct_r.degraded) << "query " << i;
+  EXPECT_EQ(fleet_r.abstained, direct_r.abstained) << "query " << i;
+  EXPECT_EQ(fleet_r.model_version, direct_r.model_version) << "query " << i;
+}
+
+// ----------------------------------------------------------- in-process --
+
+TEST(Fleet, InProcessPredictionsBitIdenticalToDirectServer) {
+  const auto w = make_world(0x11);
+  auto fleet = make_fleet(w, 3);
+
+  serve::ServerConfig direct_config;
+  direct_config.worker_threads = 2;
+  direct_config.enable_recovery = false;
+  serve::Server direct(w.model, direct_config);
+
+  for (std::size_t i = 0; i < w.queries.size(); ++i) {
+    auto fleet_future = fleet.submit(/*tenant_id=*/i, w.queries[i]);
+    auto direct_future = direct.submit(w.queries[i]);
+    expect_identical(fleet_future.get(), direct_future.get(), i);
+  }
+  const auto stats = fleet.stats();
+  EXPECT_EQ(stats.completed, w.queries.size());
+  EXPECT_EQ(stats.failovers, 0u);
+  fleet.shutdown();
+  direct.shutdown();
+}
+
+TEST(Fleet, TenantsSpreadAcrossShardsAndRoutingIsStable) {
+  const auto w = make_world(0x22);
+  auto fleet = make_fleet(w, 4);
+  std::vector<std::size_t> per_shard(4, 0);
+  for (std::uint64_t t = 0; t < 2000; ++t) {
+    const auto d = fleet.route(t);
+    EXPECT_EQ(d.shard, fleet.router().route(t));
+    ++per_shard[d.shard];
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(per_shard[s], 0u) << "shard " << s << " owns no tenants";
+  }
+  fleet.shutdown();
+}
+
+TEST(Fleet, RejectsMixedDimensions) {
+  const auto a = make_world(0x31);
+  util::Xoshiro256 rng(1);
+  std::vector<hv::BinVec> train;
+  std::vector<int> labels;
+  for (int i = 0; i < 8; ++i) {
+    train.push_back(hv::BinVec::random(kDim / 2, rng));
+    labels.push_back(i % 2);
+  }
+  auto other = model::HdcModel::train(train, labels, 2, {});
+  std::vector<model::HdcModel> models;
+  models.push_back(a.model);
+  models.push_back(std::move(other));
+  EXPECT_THROW(Fleet(std::move(models)), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- over TCP --
+
+TEST(Fleet, TcpPredictionsBitIdenticalToDirectServer) {
+  const auto w = make_world(0x33);
+  auto fleet = make_fleet(w, 2);
+  Frontend frontend(fleet);
+  frontend.start();
+  const auto ports = frontend.ports();
+  ASSERT_EQ(ports.size(), 2u);
+
+  serve::ServerConfig direct_config;
+  direct_config.worker_threads = 2;
+  direct_config.enable_recovery = false;
+  serve::Server direct(w.model, direct_config);
+
+  std::vector<Endpoint> endpoints;
+  std::vector<std::string> groups;
+  for (const auto port : ports) {
+    endpoints.push_back({"127.0.0.1", port});
+    groups.push_back("default");
+  }
+  Client client(std::move(endpoints), std::move(groups));
+
+  for (std::size_t i = 0; i < w.queries.size(); ++i) {
+    const auto over_wire = client.predict(/*tenant_id=*/i, w.queries[i]);
+    ASSERT_TRUE(over_wire.ok) << over_wire.error_message;
+    const auto direct_r = direct.submit(w.queries[i]).get();
+    EXPECT_EQ(over_wire.predicted, direct_r.predicted) << "query " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(over_wire.confidence),
+              std::bit_cast<std::uint64_t>(direct_r.confidence))
+        << "query " << i;
+    EXPECT_EQ(over_wire.trusted, direct_r.trusted) << "query " << i;
+    EXPECT_EQ(over_wire.degraded, direct_r.degraded) << "query " << i;
+    EXPECT_EQ(over_wire.abstained, direct_r.abstained) << "query " << i;
+    EXPECT_EQ(over_wire.model_version, direct_r.model_version)
+        << "query " << i;
+    // Client-side routing agreed with the fleet's router.
+    EXPECT_EQ(over_wire.shard, fleet.router().route(i)) << "query " << i;
+    EXPECT_FALSE(over_wire.failover);
+  }
+  EXPECT_EQ(client.counters().responses, w.queries.size());
+  EXPECT_EQ(client.counters().transport_errors, 0u);
+
+  frontend.stop();
+  fleet.shutdown();
+  direct.shutdown();
+}
+
+TEST(Fleet, PingAndDimensionMismatchOverTcp) {
+  const auto w = make_world(0x44);
+  auto fleet = make_fleet(w, 1);
+  Frontend frontend(fleet);
+  frontend.start();
+  Client client({{"127.0.0.1", frontend.ports()[0]}}, {"default"});
+
+  EXPECT_TRUE(client.ping(0));
+
+  util::Xoshiro256 rng(3);
+  const auto wrong = hv::BinVec::random(kDim + 64, rng);
+  const auto response = client.predict(0, wrong);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, wire::ErrorCode::kDimensionMismatch);
+  // The connection survives a well-framed bad request.
+  const auto good = client.predict(0, w.queries[0]);
+  EXPECT_TRUE(good.ok);
+  EXPECT_EQ(frontend.counters().dimension_rejections, 1u);
+
+  frontend.stop();
+  fleet.shutdown();
+}
+
+TEST(Fleet, MalformedConnectionIsClosedWithoutCollateralDamage) {
+  const auto w = make_world(0x55);
+  auto fleet = make_fleet(w, 1);
+  Frontend frontend(fleet);
+  frontend.start();
+  const auto port = frontend.ports()[0];
+
+  // A healthy client first.
+  Client client({{"127.0.0.1", port}}, {"default"});
+  ASSERT_TRUE(client.predict(1, w.queries[0]).ok);
+
+  // Raw garbage on a second connection: the frontend must poison and
+  // close it (recv eventually returns 0) without touching the client.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  std::vector<char> garbage(4096, 'z');
+  ASSERT_GT(::send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL), 0);
+  char buf[64];
+  const auto n = ::recv(fd, buf, sizeof buf, 0);  // blocks until close
+  EXPECT_LE(n, 0);
+  ::close(fd);
+
+  EXPECT_GE(frontend.counters().protocol_errors, 1u);
+  // The well-behaved connection still works.
+  EXPECT_TRUE(client.predict(2, w.queries[1]).ok);
+
+  frontend.stop();
+  fleet.shutdown();
+}
+
+// ------------------------------------------- degradation ladder, end-to-end
+
+/// Shard config with a manually driven sentinel (period 0) whose canary
+/// labels are deliberately wrong, so one run_round() trips the breaker
+/// and it stays open (reload cannot fix mislabeled canaries).
+ShardConfig breaker_trap_shard(const World& w) {
+  ShardConfig shard;
+  shard.server.worker_threads = 1;
+  shard.server.enable_recovery = false;
+  shard.server.sentinel.enabled = true;
+  shard.server.sentinel.period = std::chrono::milliseconds(0);
+  shard.server.sentinel.breaker_floor = 0.9;
+  shard.server.sentinel.breaker_window = 1;
+  shard.server.sentinel.breaker_reload_retries = 1;
+  shard.server.sentinel.breaker_backoff = std::chrono::milliseconds(1);
+  shard.server.canaries.assign(w.queries.begin(), w.queries.begin() + 20);
+  shard.server.canary_labels.assign(20, -7);  // never correct
+  return shard;
+}
+
+TEST(Fleet, OpenBreakerAbstainsOverTheWireOnSingleShard) {
+  const auto w = make_world(0x66);
+  std::vector<model::HdcModel> models;
+  models.push_back(w.model);
+  FleetConfig config;
+  config.shards.push_back(breaker_trap_shard(w));
+  Fleet fleet(std::move(models), std::move(config));
+
+  fleet.shard(0).server().sentinel()->run_round();  // trip
+  ASSERT_TRUE(fleet.shard(0).server().breaker_open());
+  EXPECT_FALSE(fleet.shard(0).healthy());
+
+  Frontend frontend(fleet);
+  frontend.start();
+  Client client({{"127.0.0.1", frontend.ports()[0]}}, {"default"});
+
+  const auto response = client.predict(5, w.queries[0]);
+  ASSERT_TRUE(response.ok);
+  EXPECT_TRUE(response.abstained);
+  EXPECT_EQ(response.predicted, -1);
+
+  // The client marked the shard unhealthy; with no same-group failover
+  // the router still targets it (all_unhealthy) and keeps shedding.
+  const auto again = client.predict(5, w.queries[0]);
+  ASSERT_TRUE(again.ok);
+  EXPECT_TRUE(again.abstained);
+
+  frontend.stop();
+  fleet.shutdown();
+}
+
+TEST(Fleet, ServerSideFailoverRoutesAroundOpenBreaker) {
+  const auto w = make_world(0x77);
+  std::vector<model::HdcModel> models;
+  models.push_back(w.model);
+  models.push_back(w.model);
+  FleetConfig config;
+  config.shards.push_back(breaker_trap_shard(w));
+  ShardConfig healthy;
+  healthy.server.worker_threads = 1;
+  healthy.server.enable_recovery = false;
+  config.shards.push_back(std::move(healthy));
+  Fleet fleet(std::move(models), std::move(config));
+
+  fleet.shard(0).server().sentinel()->run_round();
+  ASSERT_TRUE(fleet.shard(0).server().breaker_open());
+
+  // Find a tenant whose primary is the tripped shard.
+  std::uint64_t victim = 0;
+  while (fleet.router().route(victim) != 0) ++victim;
+
+  const auto d = fleet.route(victim);
+  EXPECT_TRUE(d.failover);
+  EXPECT_EQ(d.shard, 1u);
+
+  // In-process: the fleet answers from the healthy twin, not abstained.
+  auto response = fleet.submit(victim, w.queries[0]).get();
+  EXPECT_FALSE(response.abstained);
+  EXPECT_GE(response.predicted, 0);
+
+  // Over the wire, even when the client connects to the tripped shard's
+  // own port, the server-side router rescues the request.
+  Frontend frontend(fleet);
+  frontend.start();
+  {
+    std::vector<Endpoint> only_tripped{{"127.0.0.1", frontend.ports()[0]}};
+    Client client(std::move(only_tripped), {"default"});
+    const auto wire_response = client.predict(victim, w.queries[0]);
+    ASSERT_TRUE(wire_response.ok) << wire_response.error_message;
+    EXPECT_FALSE(wire_response.abstained);
+    EXPECT_EQ(wire_response.predicted, response.predicted);
+  }
+  EXPECT_GE(fleet.stats().failovers, 2u);
+
+  // Recovery: close the breaker path by healing the router view — once
+  // the shard reports healthy again the original assignment returns.
+  frontend.stop();
+  fleet.shutdown();
+}
+
+TEST(Fleet, QuarantineDegradedFlagPropagatesOverTheWire) {
+  const auto w = make_world(0x88);
+  std::vector<model::HdcModel> models;
+  models.push_back(w.model);
+  FleetConfig config;
+  ShardConfig shard;
+  shard.server.worker_threads = 1;
+  shard.server.enable_recovery = false;  // direct-publish fault injection
+  shard.server.sentinel.enabled = true;
+  shard.server.sentinel.period = std::chrono::milliseconds(0);
+  // Light random damage drifts every chunk past the threshold; the 0.5
+  // quarantine cap keeps the worst half (same recipe as resilience_test).
+  shard.server.sentinel.chunk_drift_threshold = 0.01;
+  shard.server.sentinel.bad_streak = 1;
+  shard.server.sentinel.good_streak = 1000;   // hold quarantine for the test
+  shard.server.sentinel.breaker_floor = 0.0;  // never trip in this test
+  shard.server.canaries.assign(w.queries.begin(), w.queries.begin() + 20);
+  shard.server.canary_labels.assign(w.labels.begin(), w.labels.begin() + 20);
+  config.shards.push_back(std::move(shard));
+  Fleet fleet(std::move(models), std::move(config));
+
+  fleet.shard(0).server().inject_faults(0.05, fault::AttackMode::kRandom, 7);
+  fleet.shard(0).server().sentinel()->run_round();
+  ASSERT_GT(fleet.shard(0).server().stats().quarantined_chunks, 0u);
+
+  Frontend frontend(fleet);
+  frontend.start();
+  Client client({{"127.0.0.1", frontend.ports()[0]}}, {"default"});
+  const auto response = client.predict(3, w.queries[0]);
+  ASSERT_TRUE(response.ok) << response.error_message;
+  EXPECT_TRUE(response.degraded);
+  EXPECT_FALSE(response.abstained);
+  EXPECT_GE(response.predicted, 0);
+
+  const auto stats = fleet.stats();
+  EXPECT_GT(stats.shards[0].quarantined_chunks, 0u);
+  EXPECT_GE(stats.degraded_responses, 1u);
+
+  frontend.stop();
+  fleet.shutdown();
+}
+
+}  // namespace
+}  // namespace robusthd::fleet

@@ -39,13 +39,34 @@
 //       steady-state accuracy and degradation-ladder activity; with
 //       --floor, exits nonzero when the final canary accuracy is below
 //       it (see also bench/chaos_soak.cpp).
+//   fleet-serve --dataset NAME [--model FILE] [--shards N] [--workers N]
+//           [--port P] [--seconds S] [--dimension D]
+//       Stand up a sharded fleet (robusthd::fleet) behind its TCP front
+//       end on loopback, run a wire self-test against the held-out
+//       queries, then serve for --seconds (0 = until killed) and print
+//       the per-shard health/repair counters (docs/fleet.md).
+//   fleet-bench [--shards N] [--clients N] [--seconds S] [--dimension D]
+//           [--rate R] [--gate G]
+//       Closed-loop loopback throughput: measures 1 shard vs --shards
+//       shards under --clients client threads per shard, prints QPS /
+//       latency / repair counters and the core-aware weak-scaling
+//       efficiency; with --gate, exits nonzero below the floor (the
+//       same measurement as bench/fleet_throughput.cpp).
+//
+// Flags are strict: every flag takes exactly one value, and a flag a
+// subcommand does not document is rejected (run `robusthd <cmd> --help`).
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "robusthd/robusthd.hpp"
 #include "robusthd/util/timer.hpp"
@@ -54,16 +75,143 @@ using namespace robusthd;
 
 namespace {
 
-/// Minimal --flag VALUE parser; every flag takes exactly one value.
+/// Everything the driver knows about one subcommand: the one-line
+/// summary for the global usage screen, the flag reference for
+/// `robusthd <cmd> --help`, and the exact set of flags it accepts.
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  const char* flags_help;
+  std::vector<const char*> flags;
+};
+
+/// Flags understood by every command that loads a dataset (load_split).
+#define ROBUSTHD_SPLIT_FLAGS \
+  "dataset", "train", "test", "seed", "csv", "label-col", "header", "split"
+
+const std::vector<CommandSpec>& command_specs() {
+  static const std::vector<CommandSpec> specs = {
+      {"train", "train on a dataset and save the model",
+       "  --dataset NAME | --csv FILE   data source (synthetic benchmark or CSV)\n"
+       "  --out FILE                    where to save the model (required)\n"
+       "  --dimension D --levels L      encoder shape (default 10000 x 32)\n"
+       "  --precision B                 stored bits per counter (default 1)\n"
+       "  --train N --test N --seed S   synthetic split caps\n"
+       "  --label-col I --header 1 --split 0.8   CSV options\n",
+       {"out", "dimension", "levels", "precision", ROBUSTHD_SPLIT_FLAGS}},
+      {"eval", "load a model and report accuracy",
+       "  --model FILE                  stored model (required)\n"
+       "  --dataset NAME | --csv FILE   evaluation data\n"
+       "  --test N --seed S             synthetic split caps\n"
+       "  --label-col I --header 1 --split 0.8   CSV options\n",
+       {"model", ROBUSTHD_SPLIT_FLAGS}},
+      {"attack", "inject bit flips into a stored model",
+       "  --model FILE                  stored model (required)\n"
+       "  --dataset NAME | --csv FILE   evaluation data\n"
+       "  --rate R                      fraction of stored bits (default 0.10)\n"
+       "  --mode random|targeted|clustered\n"
+       "  --out FILE                    save the attacked model\n",
+       {"model", "rate", "mode", "out", ROBUSTHD_SPLIT_FLAGS}},
+      {"recover", "run self-recovery over unlabeled queries",
+       "  --model FILE                  stored (attacked) model (required)\n"
+       "  --dataset NAME | --csv FILE   query source\n"
+       "  --epochs E                    replay epochs (default 10)\n"
+       "  --out FILE                    save the recovered model\n",
+       {"model", "epochs", "out", ROBUSTHD_SPLIT_FLAGS}},
+      {"serve-bench", "drive the concurrent serving runtime",
+       "  --dataset NAME | --csv FILE   traffic source\n"
+       "  --model FILE                  serve a stored model (else train one)\n"
+       "  --workers N --batch B         server shape (default 4 x 16)\n"
+       "  --rounds R                    passes over the test queries\n"
+       "  --rate R --mode M             optional fault injection\n"
+       "  --dimension D                 trained-model dimension (default 4000)\n",
+       {"model", "workers", "rounds", "rate", "mode", "batch", "dimension",
+        ROBUSTHD_SPLIT_FLAGS}},
+      {"chaos", "live-fire soak with in-service chaos + recovery",
+       "  --dataset NAME | --csv FILE   traffic source\n"
+       "  --model FILE                  serve a stored model (else train one)\n"
+       "  --workers N --seconds S       soak shape (default 4 x 5s)\n"
+       "  --rate R --mode M --steps N   chaos campaign budget\n"
+       "  --floor A                     exit nonzero below this canary accuracy\n"
+       "  --dimension D                 trained-model dimension (default 4000)\n",
+       {"model", "workers", "seconds", "rate", "mode", "steps", "floor",
+        "dimension", ROBUSTHD_SPLIT_FLAGS}},
+      {"fleet-serve", "serve a sharded fleet over TCP",
+       "  --dataset NAME | --csv FILE   model/training source\n"
+       "  --model FILE                  serve a stored model (else train one)\n"
+       "  --shards N --workers N        fleet shape (default 2 shards x 1)\n"
+       "  --port P                      first port; shard i on P+i (default\n"
+       "                                ephemeral — the actual ports are printed)\n"
+       "  --seconds S                   serve duration, 0 = forever (default 5)\n"
+       "  --dimension D                 trained-model dimension (default 4000)\n",
+       {"model", "shards", "workers", "port", "seconds", "dimension",
+        ROBUSTHD_SPLIT_FLAGS}},
+      {"fleet-bench", "closed-loop fleet throughput over loopback",
+       "  --shards N                    shard count to compare vs 1 (default 2)\n"
+       "  --clients N                   client threads per shard (default 2)\n"
+       "  --seconds S                   measured seconds per point (default 2)\n"
+       "  --dimension D                 hypervector dimension (default 2048)\n"
+       "  --rate R                      mid-run bit-flip rate (default 0.05)\n"
+       "  --gate G                      efficiency floor, exit nonzero below\n"
+       "  --seed S                      world seed\n",
+       {"shards", "clients", "seconds", "dimension", "rate", "gate", "seed"}},
+      {"info", "print a stored model's shape and format",
+       "  --model FILE                  stored model (required)\n",
+       {"model"}},
+      {"integrity", "corrupt stored blobs, verify detection",
+       "  --model FILE                  stored model (required)\n"
+       "  --trials N                    corrupted copies per cell (default 200)\n"
+       "  --rate R                      test only this flip rate\n"
+       "  --seed S                      corruption seed\n",
+       {"model", "trials", "rate", "seed"}},
+  };
+  return specs;
+}
+
+#undef ROBUSTHD_SPLIT_FLAGS
+
+const CommandSpec* find_spec(const std::string& name) {
+  for (const auto& spec : command_specs()) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+void usage_for(const CommandSpec& spec) {
+  std::fprintf(stderr, "usage: robusthd %s [--flag value]...\n%s\n%s",
+               spec.name, spec.summary, spec.flags_help);
+}
+
+/// Strict --flag VALUE parser: every flag takes exactly one value, and
+/// only the subcommand's documented flags are accepted.
 class Args {
  public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
+  Args(int argc, char** argv, const CommandSpec& spec) {
+    for (int i = 2; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        usage_for(spec);
         std::exit(2);
       }
-      values_[argv[i] + 2] = argv[i + 1];
+      const std::string key = argv[i] + 2;
+      if (key == "help") {
+        usage_for(spec);
+        std::exit(0);
+      }
+      if (std::find_if(spec.flags.begin(), spec.flags.end(),
+                       [&](const char* f) { return key == f; }) ==
+          spec.flags.end()) {
+        std::fprintf(stderr, "unknown flag --%s for %s\n", key.c_str(),
+                     spec.name);
+        usage_for(spec);
+        std::exit(2);
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s requires a value\n", key.c_str());
+        usage_for(spec);
+        std::exit(2);
+      }
+      values_[key] = argv[++i];
     }
   }
 
@@ -479,24 +627,300 @@ int cmd_integrity(const Args& args) {
   return 0;
 }
 
+/// Trained model + encoded queries for the fleet commands (same
+/// load-or-train convention as serve-bench/chaos).
+struct FleetWorld {
+  model::HdcModel model;
+  std::vector<hv::BinVec> queries;
+  std::vector<int> labels;
+};
+
+FleetWorld fleet_world(const Args& args) {
+  const auto split = load_split(args);
+  FleetWorld w;
+  const auto model_file = args.get("model", "");
+  if (!model_file.empty()) {
+    auto clf = core::load_model(model_file);
+    w.queries = clf.encoder().encode_all(split.test);
+    w.model = clf.model();
+  } else {
+    core::HdcClassifierConfig config;
+    config.encoder.dimension =
+        static_cast<std::size_t>(args.number("dimension", 4000));
+    auto clf = core::HdcClassifier::train(split.train, config);
+    w.queries = clf.encoder().encode_all(split.test);
+    w.model = clf.model();
+  }
+  w.labels = split.test.labels;
+  return w;
+}
+
+fleet::Fleet make_fleet(const model::HdcModel& model, std::size_t shards,
+                        std::size_t workers) {
+  std::vector<model::HdcModel> models;
+  fleet::FleetConfig config;
+  for (std::size_t s = 0; s < shards; ++s) {
+    models.push_back(model);
+    fleet::ShardConfig shard;
+    shard.server.worker_threads = workers;
+    shard.server.enable_recovery = model.precision_bits() == 1;
+    config.shards.push_back(std::move(shard));
+  }
+  return fleet::Fleet(std::move(models), std::move(config));
+}
+
+void print_fleet_stats(const fleet::FleetStats& stats) {
+  std::printf("fleet: completed %zu, rejected %zu, failovers %zu, "
+              "shed (group down) %zu\n",
+              static_cast<std::size_t>(stats.completed),
+              static_cast<std::size_t>(stats.rejected),
+              static_cast<std::size_t>(stats.failovers),
+              static_cast<std::size_t>(stats.shed_unrouteable));
+  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+    const auto& sh = stats.shards[s];
+    std::printf("  shard %zu: completed %zu, repairs %zu (%zu bits), "
+                "quarantined %zu, degraded %zu, abstained %zu, "
+                "breaker %s, p99 %.3f ms\n",
+                s, static_cast<std::size_t>(sh.completed),
+                static_cast<std::size_t>(sh.scrub_repairs),
+                static_cast<std::size_t>(sh.scrub_substituted_bits),
+                sh.quarantined_chunks,
+                static_cast<std::size_t>(sh.degraded_responses),
+                static_cast<std::size_t>(sh.abstained_responses),
+                sh.breaker_open ? "OPEN" : "closed", sh.p99_ms);
+  }
+}
+
+int cmd_fleet_serve(const Args& args) {
+  const auto w = fleet_world(args);
+  const auto shards =
+      static_cast<std::size_t>(std::max(1L, args.number("shards", 2)));
+  const auto workers =
+      static_cast<std::size_t>(std::max(1L, args.number("workers", 1)));
+  auto fleet = make_fleet(w.model, shards, workers);
+
+  fleet::FrontendConfig frontend_config;
+  frontend_config.base_port =
+      static_cast<std::uint16_t>(args.number("port", 0));
+  fleet::Frontend frontend(fleet, frontend_config);
+  frontend.start();
+  std::printf("fleet up: %zu shards x %zu workers, D=%zu\n", shards, workers,
+              fleet.dimension());
+  const auto ports = frontend.ports();
+  for (std::size_t s = 0; s < ports.size(); ++s) {
+    std::printf("  shard %zu listening on 127.0.0.1:%u\n", s, ports[s]);
+  }
+
+  // Loopback self-test: the wire path must answer exactly like the model.
+  {
+    std::vector<fleet::Endpoint> endpoints;
+    std::vector<std::string> groups;
+    for (const auto port : ports) {
+      endpoints.push_back({"127.0.0.1", port});
+      groups.push_back("default");
+    }
+    fleet::Client client(std::move(endpoints), std::move(groups));
+    const std::size_t probes = std::min<std::size_t>(64, w.queries.size());
+    std::size_t ok = 0, correct = 0;
+    for (std::size_t i = 0; i < probes; ++i) {
+      const auto r = client.predict(i, w.queries[i]);
+      if (!r.ok) continue;
+      ++ok;
+      if (r.predicted == w.labels[i]) ++correct;
+    }
+    std::printf("self-test: %zu/%zu probes answered, accuracy %.2f%%\n", ok,
+                probes,
+                ok == 0 ? 0.0
+                        : 100.0 * static_cast<double>(correct) /
+                              static_cast<double>(ok));
+    if (ok != probes) {
+      frontend.stop();
+      fleet.shutdown();
+      return 1;
+    }
+  }
+
+  const double seconds = args.real("seconds", 5.0);
+  if (seconds <= 0.0) {
+    std::printf("serving until killed (ctrl-c)...\n");
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
+  }
+  std::printf("serving for %.1fs...\n", seconds);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+
+  print_fleet_stats(fleet.stats());
+  frontend.stop();
+  fleet.shutdown();
+  return 0;
+}
+
+/// One closed-loop measurement (same shape as bench/fleet_throughput).
+struct FleetPoint {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  fleet::FleetStats stats;
+};
+
+FleetPoint run_fleet_point(const model::HdcModel& model,
+                           const std::vector<hv::BinVec>& queries,
+                           std::size_t shards, std::size_t clients,
+                           double seconds, double fault_rate) {
+  auto fleet = make_fleet(model, shards, /*workers=*/1);
+  fleet::Frontend frontend(fleet);
+  frontend.start();
+  std::vector<fleet::Endpoint> endpoints;
+  std::vector<std::string> groups;
+  for (const auto port : frontend.ports()) {
+    endpoints.push_back({"127.0.0.1", port});
+    groups.push_back("default");
+  }
+
+  serve::LatencyHistogram latency;
+  std::atomic<bool> measuring{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> responses{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      fleet::Client client(endpoints, groups);
+      std::uint64_t tenant = t;
+      std::size_t q = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto begin = std::chrono::steady_clock::now();
+        const auto r = client.predict(tenant, queries[q % queries.size()]);
+        const auto end = std::chrono::steady_clock::now();
+        tenant += clients;
+        ++q;
+        if (r.ok && measuring.load(std::memory_order_relaxed)) {
+          responses.fetch_add(1, std::memory_order_relaxed);
+          latency.record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                                   begin)
+                  .count()));
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  measuring.store(true, std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds / 2.0));
+  if (fault_rate > 0.0 && model.precision_bits() == 1) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      fleet.shard(s).server().inject_faults(
+          fault_rate, fault::AttackMode::kRandom, 0x5eed + s);
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds / 2.0));
+  const auto t1 = std::chrono::steady_clock::now();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : threads) thread.join();
+
+  FleetPoint point;
+  point.qps = static_cast<double>(responses.load()) /
+              std::chrono::duration<double>(t1 - t0).count();
+  const auto summary = latency.summarize();
+  point.p50_ms = summary.p50_ns / 1e6;
+  point.p99_ms = summary.p99_ns / 1e6;
+  fleet.drain();
+  point.stats = fleet.stats();
+  frontend.stop();
+  fleet.shutdown();
+  return point;
+}
+
+int cmd_fleet_bench(const Args& args) {
+  // Synthetic tight-cluster world at a serving-friendly dimension (the
+  // standalone bench uses the identical geometry).
+  const auto dim =
+      static_cast<std::size_t>(std::max(64L, args.number("dimension", 2048)));
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 0x5eed));
+  constexpr std::size_t kClasses = 4;
+  util::Xoshiro256 rng(seed);
+  std::vector<hv::BinVec> prototypes, train, queries;
+  std::vector<int> labels;
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    prototypes.push_back(hv::BinVec::random(dim, rng));
+  }
+  auto noisy = [&](std::size_t c) {
+    auto v = prototypes[c];
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (rng.bernoulli(0.04)) v.flip(d);
+    }
+    return v;
+  };
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    for (int i = 0; i < 15; ++i) {
+      train.push_back(noisy(c));
+      labels.push_back(static_cast<int>(c));
+    }
+    for (int i = 0; i < 16; ++i) queries.push_back(noisy(c));
+  }
+  auto model = model::HdcModel::train(train, labels, kClasses, {});
+
+  const auto shards =
+      static_cast<std::size_t>(std::max(1L, args.number("shards", 2)));
+  const auto clients_per_shard =
+      static_cast<std::size_t>(std::max(1L, args.number("clients", 2)));
+  const double seconds = args.real("seconds", 2.0);
+  const double rate = args.real("rate", 0.05);
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  const auto base =
+      run_fleet_point(model, queries, 1, clients_per_shard, seconds, rate);
+  std::printf("shards=1 clients=%zu: %.0f qps, p50 %.3f ms, p99 %.3f ms\n",
+              clients_per_shard, base.qps, base.p50_ms, base.p99_ms);
+  const auto scaled = run_fleet_point(
+      model, queries, shards, clients_per_shard * shards, seconds, rate);
+  std::printf("shards=%zu clients=%zu: %.0f qps, p50 %.3f ms, p99 %.3f ms\n",
+              shards, clients_per_shard * shards, scaled.qps, scaled.p50_ms,
+              scaled.p99_ms);
+  print_fleet_stats(scaled.stats);
+
+  const double ideal =
+      static_cast<double>(std::min(shards, cores)) * base.qps;
+  const double efficiency = ideal > 0.0 ? scaled.qps / ideal : 0.0;
+  std::printf("weak-scaling efficiency 1 -> %zu shards: %.2f "
+              "(core-aware, %zu cores)\n",
+              shards, efficiency, cores);
+
+  const double gate = args.real("gate", 0.0);
+  if (gate > 0.0 && shards > 1 && efficiency < gate) {
+    std::printf("FAIL: efficiency %.2f below gate %.2f\n", efficiency, gate);
+    return 1;
+  }
+  return 0;
+}
+
 void usage() {
-  std::fprintf(
-      stderr,
-      "usage: robusthd "
-      "<train|eval|attack|recover|serve-bench|chaos|info|integrity>\n"
-      "       [--flag value]...\n"
-      "see the header comment of tools/robusthd_cli.cpp for flags\n");
+  std::fprintf(stderr, "usage: robusthd <command> [--flag value]...\n"
+                       "commands:\n");
+  for (const auto& spec : command_specs()) {
+    std::fprintf(stderr, "  %-12s %s\n", spec.name, spec.summary);
+  }
+  std::fprintf(stderr,
+               "run `robusthd <command> --help` for that command's flags\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "help") == 0) {
+    usage();
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string command = argv[1];
+  const CommandSpec* spec = find_spec(command);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     usage();
     return 2;
   }
-  const std::string command = argv[1];
-  const Args args(argc, argv);
+  const Args args(argc, argv, *spec);
   try {
     if (command == "train") return cmd_train(args);
     if (command == "eval") return cmd_eval(args);
@@ -504,6 +928,8 @@ int main(int argc, char** argv) {
     if (command == "recover") return cmd_recover(args);
     if (command == "serve-bench") return cmd_serve_bench(args);
     if (command == "chaos") return cmd_chaos(args);
+    if (command == "fleet-serve") return cmd_fleet_serve(args);
+    if (command == "fleet-bench") return cmd_fleet_bench(args);
     if (command == "info") return cmd_info(args);
     if (command == "integrity") return cmd_integrity(args);
   } catch (const std::exception& e) {
