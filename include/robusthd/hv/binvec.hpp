@@ -6,12 +6,13 @@
 // bits in 64-bit words. All hot operations — XOR binding, Hamming distance,
 // permutation — are word-parallel and branch-free.
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "robusthd/kernels/kernels.hpp"
+#include "robusthd/util/aligned.hpp"
 #include "robusthd/util/bitops.hpp"
 #include "robusthd/util/rng.hpp"
 
@@ -28,7 +29,9 @@ class BinVec {
 
   /// All-zeros vector of the given dimension.
   explicit BinVec(std::size_t dimension)
-      : dim_(dimension), words_(util::words_for_bits(dimension), 0) {}
+      : dim_(dimension), words_(util::words_for_bits(dimension), 0) {
+    assert(words_.empty() || util::is_cacheline_aligned(words_.data()));
+  }
 
   /// I.i.d. uniform random vector — the holographic representation's
   /// building block (each bit is 1 with probability 1/2).
@@ -72,7 +75,9 @@ class BinVec {
 
  private:
   std::size_t dim_ = 0;
-  std::vector<std::uint64_t> words_;
+  /// 64-byte-aligned storage: vector loads in the SIMD kernels never split
+  /// a cache line, even on the non-arena (per-BinVec) fallback path.
+  util::AlignedU64Vec words_;
 };
 
 /// Hamming distance between two vectors of equal dimension.
@@ -88,6 +93,14 @@ BinVec bind(const BinVec& a, const BinVec& b);
 /// Hamming distance restricted to the bit range [begin, end) — the chunk
 /// primitive of the RobustHD fault detector.
 std::size_t hamming_range(const BinVec& a, const BinVec& b, std::size_t begin,
+                          std::size_t end) noexcept;
+
+/// hamming_range over raw packed word spans (each at least
+/// words_for_bits(end) words) — the same word/edge-mask resolution applied
+/// to storage that is not a BinVec, e.g. plane rows inside a
+/// mem::PlaneArena. Bit-identical to the BinVec overload on equal words.
+std::size_t hamming_range(std::span<const std::uint64_t> a,
+                          std::span<const std::uint64_t> b, std::size_t begin,
                           std::size_t end) noexcept;
 
 }  // namespace robusthd::hv

@@ -37,6 +37,28 @@ enum class Isa { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
 /// Human-readable ISA name ("scalar", "avx2", "avx512").
 const char* isa_name(Isa isa) noexcept;
 
+/// A set of stored planes in one contiguous allocation with a known,
+/// constant stride — the arena-native view the mem::PlaneArena exposes.
+/// Plane p occupies words [base + p*stride_words, base + p*stride_words +
+/// words); the padding words up to stride_words are zero and never read.
+/// tile_words is the word width of one cache tile: the arena kernels walk
+/// the word dimension tile-by-tile across *all* planes, so a tile of the
+/// whole plane set stays L2-resident across the query blocks instead of
+/// every plane being streamed from DRAM once per block. tile_words == 0
+/// means "untiled" (one tile spanning all words); integer popcount partial
+/// sums make any tile split bit-identical to the untiled traversal.
+struct PlaneSet {
+  const std::uint64_t* base = nullptr;
+  std::size_t planes = 0;
+  std::size_t stride_words = 0;  ///< allocation stride, multiple of 8
+  std::size_t words = 0;         ///< live words per plane (<= stride_words)
+  std::size_t tile_words = 0;    ///< tile width in words; 0 = untiled
+
+  const std::uint64_t* plane(std::size_t p) const noexcept {
+    return base + p * stride_words;
+  }
+};
+
 /// One resolved kernel table. All function pointers are non-null.
 struct Ops {
   /// Total set bits over words[0, n).
@@ -78,6 +100,26 @@ struct Ops {
                                 std::size_t num_planes, std::size_t words,
                                 const std::uint64_t* mask,
                                 std::uint32_t* out);
+
+  /// hamming_matrix over an arena PlaneSet: same output contract
+  /// (out[q * planes.planes + p]), but plane rows are reached by stride
+  /// arithmetic instead of a pointer-table gather, the word dimension is
+  /// walked in L2-resident tiles across all planes, and the next tile of
+  /// each plane row is software-prefetched while the current one is being
+  /// consumed. Bit-identical to hamming_matrix on the same plane contents
+  /// for every tile size.
+  void (*hamming_matrix_arena)(const std::uint64_t* const* queries,
+                               std::size_t num_queries, const PlaneSet& planes,
+                               std::uint32_t* out);
+
+  /// Masked variant of hamming_matrix_arena: `mask` holds planes.words
+  /// words ANDed into every XOR (the quarantine primitive). Bit-identical
+  /// to hamming_matrix_masked on the same plane contents.
+  void (*hamming_matrix_arena_masked)(const std::uint64_t* const* queries,
+                                      std::size_t num_queries,
+                                      const PlaneSet& planes,
+                                      const std::uint64_t* mask,
+                                      std::uint32_t* out);
 };
 
 /// The kernel table for the ISA selected at first use. Thread-safe; the
@@ -129,6 +171,20 @@ inline void hamming_matrix_masked(const std::uint64_t* const* queries,
                                   std::uint32_t* out) {
   ops().hamming_matrix_masked(queries, num_queries, planes, num_planes, words,
                               mask, out);
+}
+
+inline void hamming_matrix_arena(const std::uint64_t* const* queries,
+                                 std::size_t num_queries,
+                                 const PlaneSet& planes, std::uint32_t* out) {
+  ops().hamming_matrix_arena(queries, num_queries, planes, out);
+}
+
+inline void hamming_matrix_arena_masked(const std::uint64_t* const* queries,
+                                        std::size_t num_queries,
+                                        const PlaneSet& planes,
+                                        const std::uint64_t* mask,
+                                        std::uint32_t* out) {
+  ops().hamming_matrix_arena_masked(queries, num_queries, planes, mask, out);
 }
 
 }  // namespace robusthd::kernels

@@ -1,0 +1,127 @@
+#pragma once
+// robusthd::mem::PlaneArena — contiguous tiled class-plane storage.
+//
+// The associative memory of a deployed HDC model is k (or k * precision)
+// fixed-length bit planes that every hot loop streams together: batched
+// scoring, the recovery engine's chunk sweep, the sentinel's drift diff.
+// Storing each plane as its own heap vector makes that stream a pointer-
+// table gather over scattered allocations with no alignment or locality
+// guarantee. The arena instead owns *all* planes of one model snapshot in
+// a single 64-byte-aligned allocation (optionally hugepage-backed via
+// madvise(MADV_HUGEPAGE), with graceful fallback when transparent
+// hugepages are unavailable):
+//
+//   plane p  ->  [base + p*stride_words, base + p*stride_words + words)
+//
+// The stride is the word count rounded up to 8 (one 512-bit vector /
+// cache line), so every plane row starts cache-line-aligned and the
+// padding words stay zero. Tiling is a property of the *kernels*, not the
+// layout: plane(i) stays a plain contiguous row (existing callers keep
+// working), while the arena-native kernels (kernels::hamming_matrix_arena)
+// walk the word dimension in tiles sized so one tile of all k planes fits
+// in L2 — the in-memory-HDC "associative memory as one array" view with
+// cache blocking on top. Integer popcount partial sums make every tile
+// split bit-identical to the untiled traversal.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "robusthd/hv/binvec.hpp"
+#include "robusthd/kernels/kernels.hpp"
+
+namespace robusthd::mem {
+
+struct PlaneArenaConfig {
+  /// Target footprint of one tile across *all* planes. Sized to half a
+  /// typical per-core L2 so the query block and quarantine mask fit
+  /// beside it. Tile width = l2_tile_bytes / (8 * planes), rounded down
+  /// to a whole 512-bit vector (8 words) and clamped to [8, words].
+  std::size_t l2_tile_bytes = 1u << 20;
+  /// Request transparent hugepages for the allocation. Best-effort: when
+  /// the kernel refuses (THP disabled, allocation too small), the arena
+  /// silently runs on normal pages and hugepage_backed() reports false.
+  bool hugepages = true;
+
+  /// Reads ROBUSTHD_ARENA_TILE_KB / ROBUSTHD_ARENA_HUGEPAGES (0 disables)
+  /// over the defaults — the bench and CLI tuning knobs.
+  static PlaneArenaConfig from_env();
+};
+
+/// One model snapshot's plane storage. Deep-copyable (snapshot publication
+/// copies the whole arena in one memcpy) and movable; default-constructed
+/// arenas are empty and hold no allocation.
+class PlaneArena {
+ public:
+  PlaneArena() = default;
+  PlaneArena(std::size_t planes, std::size_t dimension,
+             const PlaneArenaConfig& config = PlaneArenaConfig::from_env());
+  ~PlaneArena();
+
+  PlaneArena(const PlaneArena& other);
+  PlaneArena& operator=(const PlaneArena& other);
+  PlaneArena(PlaneArena&& other) noexcept;
+  PlaneArena& operator=(PlaneArena&& other) noexcept;
+
+  bool empty() const noexcept { return base_ == nullptr; }
+  std::size_t num_planes() const noexcept { return planes_; }
+  std::size_t dimension() const noexcept { return dim_; }
+  /// Live words per plane (words_for_bits(dimension())).
+  std::size_t words() const noexcept { return words_; }
+  /// Allocation stride between consecutive plane rows, a multiple of 8.
+  std::size_t stride_words() const noexcept { return stride_words_; }
+  /// Tile width in words the kernels block on (multiple of 8, or == words
+  /// for single-tile arenas).
+  std::size_t tile_words() const noexcept { return tile_words_; }
+  std::size_t num_tiles() const noexcept {
+    return tile_words_ == 0 ? 0 : (words_ + tile_words_ - 1) / tile_words_;
+  }
+  /// Total allocation size in bytes.
+  std::size_t bytes() const noexcept { return bytes_; }
+  /// True when the MADV_HUGEPAGE request was accepted by the kernel.
+  bool hugepage_backed() const noexcept { return hugepage_backed_; }
+
+  const std::uint64_t* data() const noexcept { return base_; }
+  const std::uint64_t* plane(std::size_t p) const noexcept {
+    return base_ + p * stride_words_;
+  }
+  std::uint64_t* plane(std::size_t p) noexcept {
+    return base_ + p * stride_words_;
+  }
+
+  /// The kernel-facing view (base, stride, words, tile geometry).
+  kernels::PlaneSet view() const noexcept {
+    kernels::PlaneSet ps;
+    ps.base = base_;
+    ps.planes = planes_;
+    ps.stride_words = stride_words_;
+    ps.words = words_;
+    ps.tile_words = tile_words_;
+    return ps;
+  }
+
+  /// Copies a BinVec's words into plane row p (dimensions must match).
+  void store_plane(std::size_t p, const hv::BinVec& v) noexcept;
+  /// Copies plane row p back out into a BinVec of the arena's dimension.
+  void load_plane(std::size_t p, hv::BinVec& out) const noexcept;
+  /// Copies the word range [word_begin, word_end) of `src`'s storage into
+  /// the same range of plane row p — the one-tile republish primitive: a
+  /// scrubber repair confined to one chunk moves only that chunk's words.
+  void store_words(std::size_t p, std::size_t word_begin,
+                   std::size_t word_end, const std::uint64_t* src) noexcept;
+
+ private:
+  void allocate(const PlaneArenaConfig& config);
+  void release() noexcept;
+
+  std::uint64_t* base_ = nullptr;
+  std::size_t planes_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t words_ = 0;
+  std::size_t stride_words_ = 0;
+  std::size_t tile_words_ = 0;
+  std::size_t bytes_ = 0;
+  bool hugepage_backed_ = false;
+  bool mmapped_ = false;
+};
+
+}  // namespace robusthd::mem

@@ -15,8 +15,23 @@
 #include "robusthd/fault/memory.hpp"
 #include "robusthd/hv/accumulator.hpp"
 #include "robusthd/hv/binvec.hpp"
+#include "robusthd/mem/plane_arena.hpp"
 
 namespace robusthd::model {
+
+/// Which physical layout the hot scoring paths read the model from.
+/// kArena (the default) routes batched scoring, masked scoring and the
+/// chunk sweep through the model's contiguous tiled mem::PlaneArena
+/// mirror whenever it is in sync; kRowMajor forces the historical
+/// per-BinVec pointer-table path. Results are bit-identical either way —
+/// the toggle exists for A/B benchmarking (bench --layout / serve-bench
+/// --layout) and as an escape hatch.
+enum class ScoringLayout { kArena, kRowMajor };
+
+/// Process-wide layout toggle (atomic; relaxed). Reads the
+/// ROBUSTHD_LAYOUT env var ("rowmajor"/"arena") on first use.
+void set_scoring_layout(ScoringLayout layout) noexcept;
+ScoringLayout scoring_layout() noexcept;
 
 /// Reusable buffers for the blocked batch-scoring path (one per thread;
 /// capacities persist across batches, so steady-state scoring performs no
@@ -50,6 +65,13 @@ struct ClassVector {
 class HdcModel {
  public:
   HdcModel() = default;
+  ~HdcModel() = default;
+  /// Copying re-establishes the arena mirror when the source's is stale,
+  /// so every snapshot published by value scores through the arena.
+  HdcModel(const HdcModel& other);
+  HdcModel& operator=(const HdcModel& other);
+  HdcModel(HdcModel&&) noexcept = default;
+  HdcModel& operator=(HdcModel&&) noexcept = default;
 
   /// Single-pass bundling + retraining over pre-encoded training data.
   static HdcModel train(std::span<const hv::BinVec> encoded,
@@ -73,7 +95,45 @@ class HdcModel {
   const ClassVector& class_vector(std::size_t cls) const noexcept {
     return classes_[cls];
   }
-  ClassVector& class_vector(std::size_t cls) noexcept { return classes_[cls]; }
+  /// Mutable class access invalidates the arena mirror (the caller may
+  /// rewrite plane bits); scoring falls back to the row-major path until
+  /// sync_arena() re-establishes coherence.
+  ClassVector& class_vector(std::size_t cls) noexcept {
+    arena_valid_ = false;
+    return classes_[cls];
+  }
+
+  /// Mutable access to one plane *without* invalidating the arena — for
+  /// the recovery engine's repair path, which substitutes a bit range and
+  /// then republishes exactly that range via sync_arena_range(). The
+  /// caller owns coherence: mutate, then sync the touched range.
+  hv::BinVec& plane_for_repair(std::size_t cls, std::size_t plane) noexcept {
+    return classes_[cls].planes[plane];
+  }
+
+  /// Read-only packed words of one class plane — the arena row when the
+  /// mirror is live (so chunk diffs stream the same contiguous storage the
+  /// scoring kernels do), the BinVec storage otherwise. Content is
+  /// identical either way.
+  std::span<const std::uint64_t> plane_words(std::size_t cls,
+                                             std::size_t plane) const noexcept;
+
+  /// Rebuilds the arena mirror from the stored class planes. Ragged
+  /// hand-built models (unequal plane counts) stay arena-less and score
+  /// through the row-major path.
+  void sync_arena();
+
+  /// Propagates the bit range [bit_begin, bit_end) of one plane into the
+  /// arena — the one-chunk republish primitive behind in-service repair.
+  /// Falls back to a full sync when the mirror is stale.
+  void sync_arena_range(std::size_t cls, std::size_t plane,
+                        std::size_t bit_begin, std::size_t bit_end);
+
+  /// True when the arena mirror matches the stored planes bit-for-bit.
+  bool arena_valid() const noexcept { return arena_valid_; }
+  /// The arena itself (geometry/diagnostics: bytes, tile width, hugepage
+  /// backing). Empty until the first sync_arena().
+  const mem::PlaneArena& arena() const noexcept { return arena_; }
 
   /// Normalised similarity score per class, each in [0, 1]
   /// (1-bit: 1 - hamming/D).
@@ -140,9 +200,21 @@ class HdcModel {
   void chunk_scores_into(const hv::BinVec& query, std::size_t begin,
                          std::size_t end, double* out) const;
 
+  /// True when the hot paths should read the arena mirror: it is in sync
+  /// and the process-wide layout toggle selects it.
+  bool use_arena() const noexcept {
+    return arena_valid_ && scoring_layout() == ScoringLayout::kArena;
+  }
+
   std::size_t dim_ = 0;
   unsigned precision_bits_ = 1;
   std::vector<ClassVector> classes_;
+  /// Contiguous tiled mirror of classes_ (row c * precision + p holds
+  /// class c, plane p). The BinVec planes stay authoritative — fault
+  /// injection, serialisation and recovery all mutate them — and the
+  /// arena tracks them under the arena_valid_ flag.
+  mem::PlaneArena arena_;
+  bool arena_valid_ = false;
 };
 
 }  // namespace robusthd::model

@@ -40,6 +40,7 @@
 #include "robusthd/mem/dram.hpp"
 #include "robusthd/mem/ecc.hpp"
 #include "robusthd/mem/ecc_memory.hpp"
+#include "robusthd/mem/plane_arena.hpp"
 #include "robusthd/model/confidence.hpp"
 #include "robusthd/model/hdc_model.hpp"
 #include "robusthd/model/metrics.hpp"

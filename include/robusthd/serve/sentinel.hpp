@@ -54,7 +54,9 @@ namespace robusthd::serve {
 /// dimension i participates in scoring. Built once per quarantine change
 /// and published epoch-style to the workers (never mutated after build).
 struct QuarantineMask {
-  std::vector<std::uint64_t> words;  ///< words_for_bits(dimension)
+  /// 64-byte-aligned so the masked SIMD kernels stream it without split
+  /// loads, matching the arena rows it is applied against.
+  util::AlignedU64Vec words;  ///< words_for_bits(dimension)
   std::size_t dimension = 0;
   std::size_t kept_dims = 0;         ///< popcount(words)
   std::vector<bool> chunks;          ///< chunks[c] == true -> excluded

@@ -182,6 +182,10 @@ struct ServerStats {
   bool breaker_open = false;           ///< instantaneous breaker state
   std::uint64_t reload_retries = 0;    ///< breaker last-good reload attempts
 
+  // Memory layout of the live snapshot (mem::PlaneArena mirror).
+  std::size_t arena_bytes = 0;  ///< arena allocation size; 0 == arena-less
+  bool arena_hugepage = false;  ///< MADV_HUGEPAGE accepted by the kernel
+
   /// Zeroes every cumulative field of this snapshot, keeping the
   /// instantaneous gauges (queue_depth, model_version, quarantined_chunks,
   /// breaker_open). Soak phases subtract a baseline snapshot this way;
@@ -191,11 +195,15 @@ struct ServerStats {
     const std::uint64_t version = model_version;
     const std::size_t quarantined = quarantined_chunks;
     const bool open = breaker_open;
+    const std::size_t arena = arena_bytes;
+    const bool huge = arena_hugepage;
     *this = ServerStats{};
     queue_depth = depth;
     model_version = version;
     quarantined_chunks = quarantined;
     breaker_open = open;
+    arena_bytes = arena;
+    arena_hugepage = huge;
   }
 };
 

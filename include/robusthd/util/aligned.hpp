@@ -1,0 +1,67 @@
+#pragma once
+// Cache-line-aligned heap storage for hot word arrays.
+//
+// The SIMD kernels stream packed uint64 words with 256/512-bit loads; a
+// std::vector<uint64_t> only guarantees alignof(uint64_t) == 8, so a plane
+// that happens to start mid-cache-line pays a split-load on every vector
+// access. This allocator over-aligns every allocation to 64 bytes (one
+// cache line, and the widest vector register), which makes BinVec word
+// storage and quarantine masks line-aligned without changing their types'
+// interfaces — the arena layout (mem::PlaneArena) then extends the same
+// guarantee to whole models.
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace robusthd::util {
+
+/// Minimal over-aligning allocator: std::allocator semantics with every
+/// allocation aligned to `Alignment` bytes. Alignment must be a power of
+/// two and at least alignof(T).
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's own alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// The packed-word vector type shared by BinVec and the quarantine masks:
+/// 64-byte-aligned uint64 storage, drop-in for std::vector<uint64_t>.
+using AlignedU64Vec = std::vector<std::uint64_t, AlignedAllocator<std::uint64_t>>;
+
+/// True when `p` sits on a 64-byte boundary (runtime counterpart of the
+/// allocator guarantee; asserted in BinVec and PlaneArena).
+inline bool is_cacheline_aligned(const void* p) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & 63u) == 0;
+}
+
+}  // namespace robusthd::util

@@ -28,6 +28,8 @@ ShardStats Shard::stats() const {
   out.canary_accuracy = s.canary_accuracy;
   out.model_version = s.model_version;
   out.p99_ms = s.end_to_end.p99_ns / 1e6;
+  out.arena_bytes = s.arena_bytes;
+  out.arena_hugepage = s.arena_hugepage;
   return out;
 }
 

@@ -38,4 +38,24 @@ inline std::uint64_t masked_word(std::uint64_t x, std::size_t i, std::size_t n,
   return x;
 }
 
+/// Effective tile width of an arena PlaneSet (0 means untiled).
+inline std::size_t arena_tile_words(const PlaneSet& ps) noexcept {
+  return ps.tile_words == 0 || ps.tile_words > ps.words ? ps.words
+                                                        : ps.tile_words;
+}
+
+/// Software-prefetches words [p, p + n), one touch per 64-byte line. Used
+/// by the arena kernels to pull the next tile of a plane row into cache
+/// while the current tile is being consumed.
+inline void prefetch_words(const std::uint64_t* p, std::size_t n) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  for (std::size_t i = 0; i < n; i += 8) {
+    __builtin_prefetch(p + i, /*rw=*/0, /*locality=*/3);
+  }
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
 }  // namespace robusthd::kernels::detail

@@ -1,13 +1,43 @@
 #include "robusthd/model/hdc_model.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstdlib>
+#include <string_view>
 
 #include "robusthd/kernels/kernels.hpp"
 #include "robusthd/util/parallel.hpp"
 #include "robusthd/util/rng.hpp"
 
 namespace robusthd::model {
+
+namespace {
+
+/// Layout toggle backing store. Function-local static so the env lookup
+/// happens on first use regardless of static-init order.
+std::atomic<int>& layout_flag() {
+  static std::atomic<int> flag{[] {
+    if (const char* v = std::getenv("ROBUSTHD_LAYOUT")) {
+      if (std::string_view(v) == "rowmajor") {
+        return static_cast<int>(ScoringLayout::kRowMajor);
+      }
+    }
+    return static_cast<int>(ScoringLayout::kArena);
+  }()};
+  return flag;
+}
+
+}  // namespace
+
+void set_scoring_layout(ScoringLayout layout) noexcept {
+  layout_flag().store(static_cast<int>(layout), std::memory_order_relaxed);
+}
+
+ScoringLayout scoring_layout() noexcept {
+  return static_cast<ScoringLayout>(
+      layout_flag().load(std::memory_order_relaxed));
+}
 
 namespace {
 
@@ -41,6 +71,86 @@ NearestTwo nearest_two(const std::uint32_t* distances, std::size_t classes) {
 }
 
 }  // namespace
+
+HdcModel::HdcModel(const HdcModel& other)
+    : dim_(other.dim_),
+      precision_bits_(other.precision_bits_),
+      classes_(other.classes_),
+      arena_(other.arena_valid_ ? other.arena_ : mem::PlaneArena()),
+      arena_valid_(other.arena_valid_) {
+  if (!arena_valid_) sync_arena();
+}
+
+HdcModel& HdcModel::operator=(const HdcModel& other) {
+  if (this == &other) return *this;
+  dim_ = other.dim_;
+  precision_bits_ = other.precision_bits_;
+  classes_ = other.classes_;
+  if (other.arena_valid_) {
+    // Geometry-matching assignments (scrubber resync, snapshot republish)
+    // reuse the existing allocation: one memcpy, no mmap churn.
+    arena_ = other.arena_;
+    arena_valid_ = true;
+  } else {
+    arena_valid_ = false;
+    sync_arena();
+  }
+  return *this;
+}
+
+void HdcModel::sync_arena() {
+  arena_valid_ = false;
+  const std::size_t ppc = classes_.empty() ? 0 : classes_[0].planes.size();
+  if (dim_ == 0 || ppc == 0) {
+    arena_ = mem::PlaneArena();
+    return;
+  }
+  for (const auto& cls : classes_) {
+    if (cls.planes.size() != ppc) {
+      arena_ = mem::PlaneArena();
+      return;
+    }
+    for (const auto& plane : cls.planes) {
+      if (plane.dimension() != dim_) {
+        arena_ = mem::PlaneArena();
+        return;
+      }
+    }
+  }
+  const std::size_t rows = classes_.size() * ppc;
+  if (arena_.num_planes() != rows || arena_.dimension() != dim_) {
+    arena_ = mem::PlaneArena(rows, dim_);
+  }
+  std::size_t row = 0;
+  for (const auto& cls : classes_) {
+    for (const auto& plane : cls.planes) arena_.store_plane(row++, plane);
+  }
+  arena_valid_ = true;
+}
+
+void HdcModel::sync_arena_range(std::size_t cls, std::size_t plane,
+                                std::size_t bit_begin, std::size_t bit_end) {
+  if (!arena_valid_) {
+    sync_arena();
+    return;
+  }
+  if (bit_begin >= bit_end) return;
+  assert(bit_end <= dim_);
+  const std::size_t row = cls * classes_[0].planes.size() + plane;
+  const std::size_t word_begin = bit_begin >> 6;
+  const std::size_t word_end = ((bit_end - 1) >> 6) + 1;
+  arena_.store_words(row, word_begin, word_end,
+                     classes_[cls].planes[plane].words().data());
+}
+
+std::span<const std::uint64_t> HdcModel::plane_words(
+    std::size_t cls, std::size_t plane) const noexcept {
+  if (use_arena()) {
+    const std::size_t row = cls * classes_[0].planes.size() + plane;
+    return {arena_.plane(row), arena_.words()};
+  }
+  return classes_[cls].planes[plane].words();
+}
 
 HdcModel HdcModel::train(std::span<const hv::BinVec> encoded,
                          std::span<const int> labels,
@@ -116,6 +226,7 @@ HdcModel HdcModel::train(std::span<const hv::BinVec> encoded,
     cv.planes = acc.quantize_planes(model.precision_bits_);
     model.classes_.push_back(std::move(cv));
   }
+  model.sync_arena();
   return model;
 }
 
@@ -132,6 +243,7 @@ HdcModel HdcModel::from_accumulators(
     cv.planes = acc.quantize_planes(model.precision_bits_);
     model.classes_.push_back(std::move(cv));
   }
+  model.sync_arena();
   return model;
 }
 
@@ -142,6 +254,7 @@ HdcModel HdcModel::from_planes(std::vector<ClassVector> classes,
   model.dim_ = classes[0].planes[0].dimension();
   model.precision_bits_ = std::max(precision_bits, 1u);
   model.classes_ = std::move(classes);
+  model.sync_arena();
   return model;
 }
 
@@ -158,11 +271,15 @@ void HdcModel::chunk_scores_into(const hv::BinVec& query, std::size_t begin,
   }
   const double denom = static_cast<double>(width) *
                        static_cast<double>((1u << precision_bits_) - 1);
+  // plane_words() serves the arena row when the mirror is live, so the
+  // chunk sweep streams the same contiguous storage as batched scoring;
+  // the span-level hamming_range is bit-identical on either storage.
   for (std::size_t c = 0; c < classes_.size(); ++c) {
     double score = 0.0;
     for (std::size_t p = 0; p < classes_[c].planes.size(); ++p) {
       const std::size_t matches =
-          width - hv::hamming_range(query, classes_[c].planes[p], begin, end);
+          width - hv::hamming_range(query.words(), plane_words(c, p), begin,
+                                    end);
       score += static_cast<double>(1u << p) * static_cast<double>(matches);
     }
     out[c] = score / denom;
@@ -195,35 +312,42 @@ void HdcModel::scores_batch(std::span<const hv::BinVec* const> queries,
   ws.scores.resize(q * k);
   if (q == 0 || k == 0) return;
 
-  // Flatten the stored model into one plane-pointer table (plane-major per
-  // class, matching the p-ascending weight accumulation below).
   const std::size_t planes_per_class = classes_[0].planes.size();
-  ws.plane_ptrs.clear();
-  for (const auto& cls : classes_) {
-    if (cls.planes.size() != planes_per_class) {
-      // Ragged plane counts (hand-built models): take the exact per-query
-      // path rather than a padded matrix.
-      for (std::size_t i = 0; i < q; ++i) {
-        chunk_scores_into(*queries[i], 0, dim_, ws.scores.data() + i * k);
-      }
-      return;
-    }
-    for (const auto& plane : cls.planes) {
-      ws.plane_ptrs.push_back(plane.words().data());
-    }
-  }
-  const std::size_t total_planes = ws.plane_ptrs.size();
-
+  const std::size_t total_planes = k * planes_per_class;
   ws.query_ptrs.resize(q);
   for (std::size_t i = 0; i < q; ++i) {
     ws.query_ptrs[i] = queries[i]->words().data();
   }
-
-  // One blocked pass over the model scores the whole batch.
   ws.distances.resize(q * total_planes);
-  kernels::hamming_matrix(ws.query_ptrs.data(), q, ws.plane_ptrs.data(),
-                          total_planes, util::words_for_bits(dim_),
-                          ws.distances.data());
+
+  if (use_arena()) {
+    // Arena fast path: one tiled pass over the contiguous mirror (row
+    // c * planes + p == pointer-table slot c * planes + p, so the distance
+    // matrix is laid out identically to the row-major path below).
+    kernels::hamming_matrix_arena(ws.query_ptrs.data(), q, arena_.view(),
+                                  ws.distances.data());
+  } else {
+    // Flatten the stored model into one plane-pointer table (plane-major
+    // per class, matching the p-ascending weight accumulation below).
+    ws.plane_ptrs.clear();
+    for (const auto& cls : classes_) {
+      if (cls.planes.size() != planes_per_class) {
+        // Ragged plane counts (hand-built models): take the exact
+        // per-query path rather than a padded matrix.
+        for (std::size_t i = 0; i < q; ++i) {
+          chunk_scores_into(*queries[i], 0, dim_, ws.scores.data() + i * k);
+        }
+        return;
+      }
+      for (const auto& plane : cls.planes) {
+        ws.plane_ptrs.push_back(plane.words().data());
+      }
+    }
+    // One blocked pass over the model scores the whole batch.
+    kernels::hamming_matrix(ws.query_ptrs.data(), q, ws.plane_ptrs.data(),
+                            total_planes, util::words_for_bits(dim_),
+                            ws.distances.data());
+  }
 
   // Plane-weighted combination — operation order matches chunk_scores_into
   // exactly, so the scores are bit-identical to the per-query path.
@@ -258,15 +382,18 @@ void HdcModel::scores_batch_masked(std::span<const hv::BinVec* const> queries,
   }
 
   const std::size_t planes_per_class = classes_[0].planes.size();
+  const bool arena_path = use_arena();
   ws.plane_ptrs.clear();
   bool ragged = false;
-  for (const auto& cls : classes_) {
-    if (cls.planes.size() != planes_per_class) {
-      ragged = true;
-      break;
-    }
-    for (const auto& plane : cls.planes) {
-      ws.plane_ptrs.push_back(plane.words().data());
+  if (!arena_path) {
+    for (const auto& cls : classes_) {
+      if (cls.planes.size() != planes_per_class) {
+        ragged = true;
+        break;
+      }
+      for (const auto& plane : cls.planes) {
+        ws.plane_ptrs.push_back(plane.words().data());
+      }
     }
   }
   const double denom = static_cast<double>(kept_dims) *
@@ -292,7 +419,7 @@ void HdcModel::scores_batch_masked(std::span<const hv::BinVec* const> queries,
     }
     return;
   }
-  const std::size_t total_planes = ws.plane_ptrs.size();
+  const std::size_t total_planes = k * planes_per_class;
 
   ws.query_ptrs.resize(q);
   for (std::size_t i = 0; i < q; ++i) {
@@ -300,9 +427,17 @@ void HdcModel::scores_batch_masked(std::span<const hv::BinVec* const> queries,
   }
 
   ws.distances.resize(q * total_planes);
-  kernels::hamming_matrix_masked(ws.query_ptrs.data(), q, ws.plane_ptrs.data(),
-                                 total_planes, words, mask.data(),
-                                 ws.distances.data());
+  if (arena_path) {
+    // Arena fast path: tiled masked pass over the contiguous mirror —
+    // quarantine-masked scoring keeps the layout win.
+    kernels::hamming_matrix_arena_masked(ws.query_ptrs.data(), q,
+                                         arena_.view(), mask.data(),
+                                         ws.distances.data());
+  } else {
+    kernels::hamming_matrix_masked(ws.query_ptrs.data(), q,
+                                   ws.plane_ptrs.data(), total_planes, words,
+                                   mask.data(), ws.distances.data());
+  }
 
   // Same combination as scores_batch with kept_dims substituted for dim_:
   // identical float operation order, so an all-ones mask reproduces the
@@ -335,7 +470,10 @@ std::vector<int> HdcModel::predict_batch(std::span<const hv::BinVec> queries,
   // block argmax matches predict()'s max_element (first maximum wins), so
   // results stay bit-identical to the serial per-query loop regardless of
   // block size or thread count.
-  constexpr std::size_t kBlock = 32;
+  // The arena path scores much larger blocks: the tile loop lives inside
+  // the kernel, so one call streams each plane tile from memory once for
+  // the whole block instead of once per 32 queries.
+  const std::size_t kBlock = use_arena() ? 256 : 32;
   const std::size_t blocks = (queries.size() + kBlock - 1) / kBlock;
   util::parallel_for(
       blocks,
@@ -370,6 +508,10 @@ double HdcModel::evaluate(std::span<const hv::BinVec> queries,
 }
 
 std::vector<fault::MemoryRegion> HdcModel::memory_regions() {
+  // The regions hand out writable views of the BinVec planes — any fault
+  // campaign through them leaves the arena mirror stale, so drop it until
+  // the owner resyncs (the scrubber does so before republishing).
+  arena_valid_ = false;
   std::vector<fault::MemoryRegion> regions;
   regions.reserve(classes_.size() * precision_bits_);
   for (std::size_t c = 0; c < classes_.size(); ++c) {

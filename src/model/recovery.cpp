@@ -106,7 +106,10 @@ ObserveResult RecoveryEngine::observe(const hv::BinVec& query) {
   result.trusted = true;
 
   const auto winner = static_cast<std::size_t>(conf.predicted);
-  auto& class_plane = model_.class_vector(winner).planes[0];
+  // plane_for_repair keeps the arena mirror live through the (common)
+  // no-repair exit paths below; when a substitution does land, the touched
+  // bit range is propagated explicitly via sync_arena_range.
+  auto& class_plane = model_.plane_for_repair(winner, 0);
 
   // Health watchdog: repairs must never make the model worse. Track the
   // population mean of per-class winning similarities; a sustained drop
@@ -245,6 +248,11 @@ ObserveResult RecoveryEngine::observe(const hv::BinVec& query) {
       }
       votes.snapshots.clear();
       result.substituted_bits += substitute(class_plane, majority, begin, end);
+    }
+    if (result.substituted_bits > 0) {
+      // One-chunk republish into the arena mirror: scoring stays on the
+      // fast path across in-service repairs.
+      model_.sync_arena_range(winner, 0, begin, end);
     }
   }
 

@@ -157,6 +157,10 @@ void Scrubber::run_commands() {
             regions, cmd.flips, cmd.mode, cmd.target_plane,
             cmd.cluster_fraction, rng);
       }
+      // The injector wrote through the BinVec regions, leaving the arena
+      // mirror stale; rebuild it so the engine's own scoring and the
+      // published copy both stay on the arena fast path.
+      working_.sync_arena();
       // Publish immediately: serving workers must see the damage the same
       // way deployed hardware would — recovery races real traffic. The
       // publish is conditional: losing to a concurrent reload discards

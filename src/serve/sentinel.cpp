@@ -214,8 +214,11 @@ void Sentinel::run_round_locked() {
       const std::size_t width = end - begin;
       std::size_t drifted = 0;
       for (std::size_t p = 0; p < planes; ++p) {
-        drifted += hv::hamming_range(ref_planes[p], live_planes[p], begin,
-                                     end);
+        // plane_words streams the arena rows of both models when their
+        // mirrors are live — same contiguous storage the scoring kernels
+        // read, identical counts either way.
+        drifted += hv::hamming_range(reference_.plane_words(cls, p),
+                                     model->plane_words(cls, p), begin, end);
       }
       last_drift_[cls * m + c] =
           width == 0 || planes == 0

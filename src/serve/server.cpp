@@ -302,6 +302,11 @@ ServerStats Server::stats() const {
     s.breaker_open = sentinel_->breaker_open();
   }
   s.model_version = snapshot_.version();
+  {
+    const auto model = snapshot_.acquire();
+    s.arena_bytes = model->arena().bytes();
+    s.arena_hugepage = model->arena().hugepage_backed();
+  }
   return s;
 }
 

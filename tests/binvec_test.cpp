@@ -3,10 +3,23 @@
 
 #include <gtest/gtest.h>
 
+#include "robusthd/util/aligned.hpp"
 #include "robusthd/util/rng.hpp"
 
 namespace robusthd::hv {
 namespace {
+
+TEST(BinVec, WordStorageIsCachelineAligned) {
+  // The SIMD kernels and the plane arena assume 64-byte-aligned word
+  // storage; BinVec's allocator guarantees it for every dimension.
+  util::Xoshiro256 rng(99);
+  for (std::size_t dim : {1u, 63u, 64u, 65u, 1000u, 10000u}) {
+    BinVec v(dim);
+    EXPECT_TRUE(util::is_cacheline_aligned(v.words().data())) << dim;
+    BinVec r = BinVec::random(dim, rng);
+    EXPECT_TRUE(util::is_cacheline_aligned(r.words().data())) << dim;
+  }
+}
 
 TEST(BinVec, DefaultIsEmpty) {
   BinVec v;

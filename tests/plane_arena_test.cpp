@@ -1,0 +1,465 @@
+// Tests for mem::PlaneArena and the arena scoring path.
+//
+// Covers the storage invariants the arena kernels rely on (64-byte base
+// and per-row alignment, vector-multiple and set-de-aliased stride, L1/L2
+// tile geometry), the hugepage request plumbing and its graceful
+// fallback, BinVec round-trips through store/load, the arena kernels'
+// bit-identity with the row-major matrix kernels on every available ISA
+// (awkward dimensions, all-ones and random masks), and the model-level
+// coherence contract: layout-toggled scoring, copy/move semantics,
+// invalidation on mutable class access, and ranged republish after an
+// in-place repair.
+#include "robusthd/mem/plane_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "robusthd/hv/binvec.hpp"
+#include "robusthd/kernels/kernels.hpp"
+#include "robusthd/model/hdc_model.hpp"
+#include "robusthd/util/aligned.hpp"
+#include "robusthd/util/bitops.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd {
+namespace {
+
+constexpr std::array<kernels::Isa, 3> kAllIsas = {
+    kernels::Isa::kScalar, kernels::Isa::kAvx2, kernels::Isa::kAvx512};
+
+mem::PlaneArena make_arena(std::size_t planes, std::size_t dim,
+                           util::Xoshiro256& rng,
+                           std::vector<hv::BinVec>& sources,
+                           const mem::PlaneArenaConfig& config = {}) {
+  mem::PlaneArena arena(planes, dim, config);
+  sources.clear();
+  for (std::size_t p = 0; p < planes; ++p) {
+    sources.push_back(hv::BinVec::random(dim, rng));
+    arena.store_plane(p, sources.back());
+  }
+  return arena;
+}
+
+// ---- storage invariants -------------------------------------------------
+
+TEST(PlaneArenaTest, AlignmentAndStrideInvariants) {
+  util::Xoshiro256 rng(1);
+  for (const auto& [planes, dim] : std::vector<std::pair<std::size_t,
+                                                         std::size_t>>{
+           {1, 63}, {3, 64}, {7, 65}, {16, 10000}, {4, 32768}, {2, 131072}}) {
+    std::vector<hv::BinVec> sources;
+    const auto arena = make_arena(planes, dim, rng, sources);
+    ASSERT_FALSE(arena.empty());
+    EXPECT_EQ(arena.num_planes(), planes);
+    EXPECT_EQ(arena.dimension(), dim);
+    EXPECT_EQ(arena.words(), util::words_for_bits(dim));
+    EXPECT_TRUE(util::is_cacheline_aligned(arena.data()));
+    for (std::size_t p = 0; p < planes; ++p) {
+      EXPECT_TRUE(util::is_cacheline_aligned(arena.plane(p)));
+    }
+    // Stride: whole 512-bit vectors, at least the payload...
+    EXPECT_EQ(arena.stride_words() % 8, 0u);
+    EXPECT_GE(arena.stride_words(), arena.words());
+    // ...and never a page multiple: a 4096-byte-aligned stride maps the
+    // same tile chunk of every plane onto one small group of L2 sets.
+    EXPECT_NE(arena.stride_words() * sizeof(std::uint64_t) % 4096, 0u)
+        << "stride " << arena.stride_words() << " words aliases L2 sets";
+  }
+}
+
+TEST(PlaneArenaTest, PageMultipleStrideIsPadded) {
+  // 32768 bits = 512 words = exactly 4 KiB: the natural stride is a page
+  // multiple and must be padded by one vector.
+  mem::PlaneArena arena(2, 32768);
+  EXPECT_EQ(arena.words(), 512u);
+  EXPECT_EQ(arena.stride_words(), 520u);
+}
+
+TEST(PlaneArenaTest, TileGeometry) {
+  mem::PlaneArenaConfig config;
+  config.l2_tile_bytes = 1u << 20;
+  // 128 planes, 4096 words: the 1 MiB L2 budget would allow 1024-word
+  // chunks, but the L1 cap (8-query group working set) holds them at 512.
+  mem::PlaneArena arena(128, 262144, config);
+  EXPECT_EQ(arena.tile_words(), 512u);
+  EXPECT_EQ(arena.num_tiles(), 8u);
+
+  // Many planes: the L2 budget divides below the cap.
+  mem::PlaneArena narrow(1024, 262144, config);
+  EXPECT_EQ(narrow.tile_words(), 128u);
+
+  // Few words: a single tile covering the whole plane.
+  mem::PlaneArena tiny(4, 1000, config);
+  EXPECT_EQ(tiny.tile_words(), tiny.words());
+  EXPECT_EQ(tiny.num_tiles(), 1u);
+
+  // Tile width is always a whole number of vectors (or the whole plane).
+  for (std::size_t planes : {3u, 77u, 500u}) {
+    mem::PlaneArena a(planes, 100000, config);
+    if (a.tile_words() < a.words()) {
+      EXPECT_EQ(a.tile_words() % 8, 0u) << planes << " planes";
+    }
+  }
+}
+
+TEST(PlaneArenaTest, EmptyArena) {
+  mem::PlaneArena arena;
+  EXPECT_TRUE(arena.empty());
+  EXPECT_EQ(arena.num_planes(), 0u);
+  EXPECT_EQ(arena.bytes(), 0u);
+  EXPECT_EQ(arena.data(), nullptr);
+}
+
+TEST(PlaneArenaTest, HugepageDisabledNeverBacked) {
+  mem::PlaneArenaConfig config;
+  config.hugepages = false;
+  mem::PlaneArena arena(8, 100000, config);
+  EXPECT_FALSE(arena.hugepage_backed());
+  // Allocation works either way and is zero-filled.
+  for (std::size_t w = 0; w < arena.words(); ++w) {
+    ASSERT_EQ(arena.plane(3)[w], 0u);
+  }
+}
+
+TEST(PlaneArenaTest, HugepageRequestIsBestEffort) {
+  // With the request on, the flag reports whatever the kernel granted —
+  // either way the arena must be usable and zeroed.
+  mem::PlaneArenaConfig config;
+  config.hugepages = true;
+  mem::PlaneArena arena(4, 2 * 1024 * 1024);
+  ASSERT_FALSE(arena.empty());
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (std::size_t w = 0; w < arena.words(); w += 997) {
+      ASSERT_EQ(arena.plane(p)[w], 0u);
+    }
+  }
+}
+
+// ---- round-trips --------------------------------------------------------
+
+TEST(PlaneArenaTest, StoreLoadRoundTrip) {
+  util::Xoshiro256 rng(2);
+  for (std::size_t dim : {63u, 64u, 65u, 10000u}) {
+    std::vector<hv::BinVec> sources;
+    const auto arena = make_arena(5, dim, rng, sources);
+    for (std::size_t p = 0; p < 5; ++p) {
+      hv::BinVec out;
+      arena.load_plane(p, out);
+      EXPECT_EQ(out, sources[p]) << "dim " << dim << " plane " << p;
+    }
+  }
+}
+
+TEST(PlaneArenaTest, StoreWordsUpdatesOnlyRange) {
+  util::Xoshiro256 rng(3);
+  std::vector<hv::BinVec> sources;
+  auto arena = make_arena(3, 10000, rng, sources);
+  auto mutated = sources[1];
+  for (std::size_t w = 40; w < 60; ++w) {
+    mutated.mutable_words()[w] = ~sources[1].words()[w];
+  }
+  // Republish a range that covers the mutation but not the whole plane.
+  arena.store_words(1, 40, 60, mutated.words().data());
+  hv::BinVec out;
+  arena.load_plane(1, out);
+  EXPECT_EQ(out, mutated);
+  // Neighbouring planes untouched.
+  arena.load_plane(0, out);
+  EXPECT_EQ(out, sources[0]);
+  arena.load_plane(2, out);
+  EXPECT_EQ(out, sources[2]);
+}
+
+// ---- kernel equivalence -------------------------------------------------
+
+TEST(PlaneArenaTest, ArenaKernelMatchesRowMajorEveryIsa) {
+  util::Xoshiro256 rng(4);
+  for (std::size_t dim : {63u, 64u, 65u, 10000u}) {
+    const std::size_t planes = 7;
+    std::vector<hv::BinVec> sources;
+    const auto arena = make_arena(planes, dim, rng, sources);
+
+    std::vector<hv::BinVec> queries_store;
+    std::vector<const std::uint64_t*> queries, rows;
+    // 13 queries: exercises the 8-, 4-, and single-query group rims.
+    for (std::size_t q = 0; q < 13; ++q) {
+      queries_store.push_back(hv::BinVec::random(dim, rng));
+    }
+    for (const auto& q : queries_store) queries.push_back(q.words().data());
+    for (const auto& s : sources) rows.push_back(s.words().data());
+
+    for (const auto isa : kAllIsas) {
+      const auto* ops = kernels::ops_for(isa);
+      if (ops == nullptr) continue;
+      std::vector<std::uint32_t> want(queries.size() * planes, 0xdead);
+      std::vector<std::uint32_t> got(queries.size() * planes, 0xbeef);
+      ops->hamming_matrix(queries.data(), queries.size(), rows.data(), planes,
+                          arena.words(), want.data());
+      ops->hamming_matrix_arena(queries.data(), queries.size(), arena.view(),
+                                got.data());
+      EXPECT_EQ(got, want) << kernels::isa_name(isa) << " dim " << dim;
+    }
+  }
+}
+
+TEST(PlaneArenaTest, MaskedArenaKernelMatchesRowMajorEveryIsa) {
+  util::Xoshiro256 rng(5);
+  for (std::size_t dim : {63u, 64u, 65u, 10000u}) {
+    const std::size_t planes = 5;
+    const std::size_t words = util::words_for_bits(dim);
+    std::vector<hv::BinVec> sources;
+    const auto arena = make_arena(planes, dim, rng, sources);
+
+    std::vector<hv::BinVec> queries_store;
+    std::vector<const std::uint64_t*> queries, rows;
+    for (std::size_t q = 0; q < 9; ++q) {
+      queries_store.push_back(hv::BinVec::random(dim, rng));
+    }
+    for (const auto& q : queries_store) queries.push_back(q.words().data());
+    for (const auto& s : sources) rows.push_back(s.words().data());
+
+    // All-ones (within the dimension) and a random quarantine-style mask.
+    util::AlignedU64Vec all_ones(words, ~0ull);
+    if (dim % 64 != 0) all_ones[words - 1] = util::low_mask(dim % 64);
+    util::AlignedU64Vec random_mask(words);
+    for (auto& w : random_mask) w = rng.next();
+    random_mask[words - 1] &= all_ones[words - 1];
+
+    for (const auto* mask : {&all_ones, &random_mask}) {
+      for (const auto isa : kAllIsas) {
+        const auto* ops = kernels::ops_for(isa);
+        if (ops == nullptr) continue;
+        std::vector<std::uint32_t> want(queries.size() * planes, 1);
+        std::vector<std::uint32_t> got(queries.size() * planes, 2);
+        ops->hamming_matrix_masked(queries.data(), queries.size(), rows.data(),
+                                   planes, words, mask->data(), want.data());
+        ops->hamming_matrix_arena_masked(queries.data(), queries.size(),
+                                         arena.view(), mask->data(),
+                                         got.data());
+        EXPECT_EQ(got, want) << kernels::isa_name(isa) << " dim " << dim;
+      }
+    }
+  }
+}
+
+// ---- copy/move ----------------------------------------------------------
+
+TEST(PlaneArenaTest, CopyIsDeepAndPreservesGeometry) {
+  util::Xoshiro256 rng(6);
+  std::vector<hv::BinVec> sources;
+  const auto arena = make_arena(4, 10000, rng, sources);
+
+  mem::PlaneArena copy(arena);
+  ASSERT_EQ(copy.num_planes(), arena.num_planes());
+  EXPECT_EQ(copy.stride_words(), arena.stride_words());
+  EXPECT_EQ(copy.tile_words(), arena.tile_words());
+  EXPECT_NE(copy.data(), arena.data());
+  hv::BinVec out;
+  for (std::size_t p = 0; p < 4; ++p) {
+    copy.load_plane(p, out);
+    EXPECT_EQ(out, sources[p]);
+  }
+
+  // Same-geometry assignment reuses the allocation.
+  std::vector<hv::BinVec> other_sources;
+  const auto other = make_arena(4, 10000, rng, other_sources);
+  const std::uint64_t* before = copy.data();
+  copy = other;
+  EXPECT_EQ(copy.data(), before);
+  copy.load_plane(2, out);
+  EXPECT_EQ(out, other_sources[2]);
+}
+
+TEST(PlaneArenaTest, MoveTransfersOwnership) {
+  util::Xoshiro256 rng(7);
+  std::vector<hv::BinVec> sources;
+  auto arena = make_arena(2, 5000, rng, sources);
+  const std::uint64_t* base = arena.data();
+
+  mem::PlaneArena moved(std::move(arena));
+  EXPECT_EQ(moved.data(), base);
+  EXPECT_TRUE(arena.empty());  // NOLINT(bugprone-use-after-move)
+  hv::BinVec out;
+  moved.load_plane(1, out);
+  EXPECT_EQ(out, sources[1]);
+}
+
+// ---- model coherence ----------------------------------------------------
+
+class ScopedLayout {
+ public:
+  explicit ScopedLayout(model::ScoringLayout layout)
+      : prev_(model::scoring_layout()) {
+    model::set_scoring_layout(layout);
+  }
+  ~ScopedLayout() { model::set_scoring_layout(prev_); }
+
+ private:
+  model::ScoringLayout prev_;
+};
+
+model::HdcModel random_model(std::size_t classes, std::size_t dim,
+                             unsigned precision_bits, util::Xoshiro256& rng) {
+  std::vector<model::ClassVector> cvs;
+  for (std::size_t c = 0; c < classes; ++c) {
+    model::ClassVector cv;
+    for (unsigned p = 0; p < precision_bits; ++p) {
+      cv.planes.push_back(hv::BinVec::random(dim, rng));
+    }
+    cvs.push_back(std::move(cv));
+  }
+  return model::HdcModel::from_planes(std::move(cvs), precision_bits);
+}
+
+TEST(PlaneArenaModelTest, FactoriesEstablishTheArena) {
+  util::Xoshiro256 rng(8);
+  const auto m = random_model(6, 10000, 2, rng);
+  EXPECT_TRUE(m.arena_valid());
+  EXPECT_EQ(m.arena().num_planes(), 12u);
+  EXPECT_EQ(m.arena().dimension(), 10000u);
+}
+
+TEST(PlaneArenaModelTest, LayoutsScoreBitIdentically) {
+  util::Xoshiro256 rng(9);
+  for (unsigned precision : {1u, 3u}) {
+    const auto m = random_model(5, 10000, precision, rng);
+    std::vector<hv::BinVec> queries;
+    // 70 queries: crosses the arena block's 8/4/1 group rims.
+    for (int q = 0; q < 70; ++q) {
+      queries.push_back(hv::BinVec::random(10000, rng));
+    }
+    std::vector<const hv::BinVec*> ptrs;
+    for (const auto& q : queries) ptrs.push_back(&q);
+
+    model::ScoreWorkspace rowmajor_ws, arena_ws;
+    std::vector<int> rowmajor_pred, arena_pred;
+    {
+      ScopedLayout layout(model::ScoringLayout::kRowMajor);
+      m.scores_batch(ptrs, rowmajor_ws);
+      rowmajor_pred = m.predict_batch(queries, 1);
+    }
+    {
+      ScopedLayout layout(model::ScoringLayout::kArena);
+      m.scores_batch(ptrs, arena_ws);
+      arena_pred = m.predict_batch(queries, 1);
+    }
+    EXPECT_EQ(arena_ws.scores, rowmajor_ws.scores) << "precision " << precision;
+    EXPECT_EQ(arena_pred, rowmajor_pred);
+  }
+}
+
+TEST(PlaneArenaModelTest, MaskedLayoutsScoreBitIdentically) {
+  util::Xoshiro256 rng(10);
+  const auto m = random_model(4, 10000, 1, rng);
+  const std::size_t words = util::words_for_bits(10000);
+  std::vector<hv::BinVec> queries;
+  for (int q = 0; q < 9; ++q) queries.push_back(hv::BinVec::random(10000, rng));
+  std::vector<const hv::BinVec*> ptrs;
+  for (const auto& q : queries) ptrs.push_back(&q);
+
+  util::AlignedU64Vec mask(words, ~0ull);
+  mask[words - 1] = util::low_mask(10000 % 64);
+  // Quarantine a chunk in the middle.
+  for (std::size_t w = 50; w < 80; ++w) mask[w] = 0;
+  std::size_t kept = 0;
+  for (const auto w : mask) kept += std::popcount(w);
+
+  model::ScoreWorkspace rowmajor_ws, arena_ws;
+  {
+    ScopedLayout layout(model::ScoringLayout::kRowMajor);
+    m.scores_batch_masked(ptrs, mask, kept, rowmajor_ws);
+  }
+  {
+    ScopedLayout layout(model::ScoringLayout::kArena);
+    m.scores_batch_masked(ptrs, mask, kept, arena_ws);
+  }
+  EXPECT_EQ(arena_ws.scores, rowmajor_ws.scores);
+}
+
+TEST(PlaneArenaModelTest, MutableAccessInvalidatesAndSyncRestores) {
+  util::Xoshiro256 rng(11);
+  auto m = random_model(3, 4000, 1, rng);
+  ASSERT_TRUE(m.arena_valid());
+
+  auto& cv = m.class_vector(1);
+  EXPECT_FALSE(m.arena_valid());
+  cv.planes[0].flip(123);
+
+  // Stale mirror: scoring still works (row-major fallback) and matches a
+  // freshly synced arena bit-for-bit.
+  const auto query = hv::BinVec::random(4000, rng);
+  const auto stale_scores = m.scores(query);
+  m.sync_arena();
+  ASSERT_TRUE(m.arena_valid());
+  ScopedLayout layout(model::ScoringLayout::kArena);
+  EXPECT_EQ(m.scores(query), stale_scores);
+  EXPECT_EQ(m.plane_words(1, 0)[1], cv.planes[0].words()[1]);
+}
+
+TEST(PlaneArenaModelTest, RangedRepublishAfterRepair) {
+  util::Xoshiro256 rng(12);
+  auto m = random_model(3, 10000, 1, rng);
+  ASSERT_TRUE(m.arena_valid());
+
+  // In-place repair of bits [3200, 4800) of class 2, plane 0 — the
+  // recovery engine's pattern: mutate via plane_for_repair, republish
+  // exactly the touched range.
+  auto& plane = m.plane_for_repair(2, 0);
+  for (std::size_t bit = 3200; bit < 4800; ++bit) {
+    if (rng.next() & 1) plane.flip(bit);
+  }
+  EXPECT_TRUE(m.arena_valid());  // not invalidated by design
+  m.sync_arena_range(2, 0, 3200, 4800);
+
+  // The arena row now matches the repaired plane everywhere.
+  const auto arena_words = m.plane_words(2, 0);
+  for (std::size_t w = 0; w < arena_words.size(); ++w) {
+    ASSERT_EQ(arena_words[w], plane.words()[w]) << "word " << w;
+  }
+
+  // And both layouts agree on scores after the repair.
+  const auto query = hv::BinVec::random(10000, rng);
+  std::vector<double> rowmajor_scores, arena_scores;
+  {
+    ScopedLayout layout(model::ScoringLayout::kRowMajor);
+    rowmajor_scores = m.scores(query);
+  }
+  {
+    ScopedLayout layout(model::ScoringLayout::kArena);
+    arena_scores = m.scores(query);
+  }
+  EXPECT_EQ(arena_scores, rowmajor_scores);
+}
+
+TEST(PlaneArenaModelTest, CopySyncsStaleMirror) {
+  util::Xoshiro256 rng(13);
+  auto m = random_model(3, 4000, 1, rng);
+  m.class_vector(0).planes[0].flip(7);  // invalidate
+  ASSERT_FALSE(m.arena_valid());
+
+  // Copy-construction re-establishes the mirror (snapshot publication).
+  const model::HdcModel copy(m);
+  EXPECT_TRUE(copy.arena_valid());
+  EXPECT_EQ(copy.plane_words(0, 0)[0], m.class_vector(0).planes[0].words()[0]);
+
+  // Copy-assignment from a valid source stays valid.
+  model::HdcModel assigned;
+  assigned = copy;
+  EXPECT_TRUE(assigned.arena_valid());
+
+  // Ragged models stay arena-less and score row-major.
+  std::vector<model::ClassVector> ragged(2);
+  ragged[0].planes.push_back(hv::BinVec::random(1000, rng));
+  ragged[0].planes.push_back(hv::BinVec::random(1000, rng));
+  ragged[1].planes.push_back(hv::BinVec::random(1000, rng));
+  auto ragged_model = model::HdcModel::from_planes(std::move(ragged), 2);
+  EXPECT_FALSE(ragged_model.arena_valid());
+}
+
+}  // namespace
+}  // namespace robusthd

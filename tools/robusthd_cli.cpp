@@ -124,9 +124,10 @@ const std::vector<CommandSpec>& command_specs() {
        "  --workers N --batch B         server shape (default 4 x 16)\n"
        "  --rounds R                    passes over the test queries\n"
        "  --rate R --mode M             optional fault injection\n"
-       "  --dimension D                 trained-model dimension (default 4000)\n",
+       "  --dimension D                 trained-model dimension (default 4000)\n"
+       "  --layout rowmajor|arena       plane-memory scoring layout (default arena)\n",
        {"model", "workers", "rounds", "rate", "mode", "batch", "dimension",
-        ROBUSTHD_SPLIT_FLAGS}},
+        "layout", ROBUSTHD_SPLIT_FLAGS}},
       {"chaos", "live-fire soak with in-service chaos + recovery",
        "  --dataset NAME | --csv FILE   traffic source\n"
        "  --model FILE                  serve a stored model (else train one)\n"
@@ -153,8 +154,10 @@ const std::vector<CommandSpec>& command_specs() {
        "  --dimension D                 hypervector dimension (default 2048)\n"
        "  --rate R                      mid-run bit-flip rate (default 0.05)\n"
        "  --gate G                      efficiency floor, exit nonzero below\n"
-       "  --seed S                      world seed\n",
-       {"shards", "clients", "seconds", "dimension", "rate", "gate", "seed"}},
+       "  --seed S                      world seed\n"
+       "  --layout rowmajor|arena       plane-memory scoring layout (default arena)\n",
+       {"shards", "clients", "seconds", "dimension", "rate", "gate", "seed",
+        "layout"}},
       {"info", "print a stored model's shape and format",
        "  --model FILE                  stored model (required)\n",
        {"model"}},
@@ -242,6 +245,21 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Applies --layout rowmajor|arena (default arena). Strict: any other
+/// value is a usage error, so a typo can't silently bench the wrong path.
+void apply_layout_flag(const Args& args) {
+  const auto layout = args.get("layout", "arena");
+  if (layout == "arena") {
+    model::set_scoring_layout(model::ScoringLayout::kArena);
+  } else if (layout == "rowmajor") {
+    model::set_scoring_layout(model::ScoringLayout::kRowMajor);
+  } else {
+    std::fprintf(stderr, "invalid --layout %s (expected rowmajor|arena)\n",
+                 layout.c_str());
+    std::exit(2);
+  }
+}
 
 data::Split load_split(const Args& args) {
   const auto csv = args.get("csv", "");
@@ -356,6 +374,7 @@ int cmd_recover(const Args& args) {
 }
 
 int cmd_serve_bench(const Args& args) {
+  apply_layout_flag(args);
   const auto split = load_split(args);
 
   // Either load a stored model (its encoder re-encodes the queries) or
@@ -832,6 +851,7 @@ FleetPoint run_fleet_point(const model::HdcModel& model,
 }
 
 int cmd_fleet_bench(const Args& args) {
+  apply_layout_flag(args);
   // Synthetic tight-cluster world at a serving-friendly dimension (the
   // standalone bench uses the identical geometry).
   const auto dim =
