@@ -1,0 +1,245 @@
+// Crash-recovery campaign — the kill-9 gate for robusthd::persist.
+//
+// Each trial forks a child that serves real traffic with persistence on
+// (fresh on the first trial, Server::recover on every later one — so the
+// campaign also soaks recover-under-fire), injects bit-flip attacks so
+// the scrubber generates WAL traffic, and is SIGKILLed at a random
+// instant 5–80 ms in. After every kill the parent replays the directory
+// and asserts the contract:
+//
+//   * recover_dir() succeeds — a kill at ANY instant leaves a loadable
+//     base checkpoint (atomic_write_file) plus replayable closed epochs;
+//   * state_crc_ok — the rebuilt model is bit-identical to the writer's
+//     shadow at its last closed epoch (CRC32C over every plane word);
+//   * replaying the same directory twice yields bit-identical models —
+//     recovery is deterministic, not best-effort.
+//
+// The final recovered state is then actually served (Server::recover +
+// live queries) to prove the recovered model is a serving model, not just
+// bytes that validate. Any violation exits 1 — CI runs this.
+//
+// Knobs: ROBUSTHD_CRASH_TRIALS (default 50), ROBUSTHD_CRASH_SEED.
+// Emits one JSON line to stdout and BENCH_crash_recovery.json.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "robusthd/core/serialize.hpp"
+#include "robusthd/fault/injector.hpp"
+#include "robusthd/hv/binvec.hpp"
+#include "robusthd/model/hdc_model.hpp"
+#include "robusthd/persist/recover.hpp"
+#include "robusthd/serve/server.hpp"
+#include "robusthd/util/fsio.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd {
+namespace {
+
+constexpr std::size_t kDim = 2048;
+constexpr std::size_t kClasses = 6;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long parsed = std::atol(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+struct World {
+  model::HdcModel model;
+  std::vector<hv::BinVec> queries;
+};
+
+World make_world(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<hv::BinVec> train;
+  std::vector<int> labels;
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    const auto proto = hv::BinVec::random(kDim, rng);
+    for (int i = 0; i < 10; ++i) {
+      auto v = proto;
+      for (std::size_t d = 0; d < kDim; ++d) {
+        if (rng.bernoulli(0.04)) v.flip(d);
+      }
+      train.push_back(std::move(v));
+      labels.push_back(static_cast<int>(c));
+    }
+  }
+  World world{model::HdcModel::train(train, labels, kClasses, {}), {}};
+  for (int i = 0; i < 64; ++i) {
+    auto q = train[static_cast<std::size_t>(rng.below(train.size()))];
+    for (std::size_t d = 0; d < kDim; ++d) {
+      if (rng.bernoulli(0.02)) q.flip(d);
+    }
+    world.queries.push_back(std::move(q));
+  }
+  return world;
+}
+
+bool models_bit_identical(const model::HdcModel& a, const model::HdcModel& b) {
+  if (a.num_classes() != b.num_classes() || a.dimension() != b.dimension() ||
+      a.precision_bits() != b.precision_bits()) {
+    return false;
+  }
+  for (std::size_t c = 0; c < a.num_classes(); ++c) {
+    const auto& pa = a.class_vector(c).planes;
+    const auto& pb = b.class_vector(c).planes;
+    if (pa.size() != pb.size()) return false;
+    for (std::size_t p = 0; p < pa.size(); ++p) {
+      const auto wa = pa[p].words();
+      const auto wb = pb[p].words();
+      if (!std::equal(wa.begin(), wa.end(), wb.begin(), wb.end())) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+serve::ServerConfig server_config(const std::string& dir) {
+  serve::ServerConfig config;
+  config.worker_threads = 2;
+  config.persist.dir = dir;
+  // Tight epochs so a 5-80 ms life still closes several — the kill lands
+  // inside write/fsync/rename windows, which is the point.
+  config.persist.epoch_period = std::chrono::milliseconds(2);
+  return config;
+}
+
+/// Child body: serve forever (until killed). Never returns.
+[[noreturn]] void child_serve(const World& world, const std::string& dir,
+                              std::uint64_t trial) {
+  std::unique_ptr<serve::Server> server;
+  if (persist::has_state(dir)) {
+    server = serve::Server::recover(dir, server_config(dir));
+  } else {
+    server = std::make_unique<serve::Server>(world.model, server_config(dir));
+  }
+  server->inject_faults(0.03, fault::AttackMode::kRandom, 100 + trial);
+  util::Xoshiro256 rng(trial * 977 + 11);
+  for (;;) {
+    auto q = world.queries[static_cast<std::size_t>(
+        rng.below(world.queries.size()))];
+    (void)server->submit(std::move(q)).get();
+    if (rng.bernoulli(0.001)) {
+      // Occasional hot reload: generation rotations race the kill too.
+      server->reload(*server->current_model());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace robusthd
+
+int main() {
+  using namespace robusthd;
+
+  const std::size_t trials = env_size("ROBUSTHD_CRASH_TRIALS", 50);
+  const auto seed = static_cast<std::uint64_t>(
+      env_size("ROBUSTHD_CRASH_SEED", 0x5eed));
+  const World world = make_world(seed);
+
+  char tmpl[] = "/tmp/robusthd_crash_XXXXXX";
+  const char* dir_c = ::mkdtemp(tmpl);
+  if (dir_c == nullptr) {
+    std::fprintf(stderr, "crash_recovery: mkdtemp failed\n");
+    return 1;
+  }
+  const std::string dir = dir_c;
+
+  util::Xoshiro256 rng(seed ^ 0xfeedface);
+  std::size_t failures = 0;
+  std::size_t torn_tails = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t epochs_applied = 0;
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "crash_recovery: fork failed at trial %zu\n",
+                   trial);
+      return 1;
+    }
+    if (pid == 0) {
+      child_serve(world, dir, trial);  // never returns
+    }
+    const auto life_ms = 5 + rng.below(76);  // 5..80 ms
+    std::this_thread::sleep_for(std::chrono::milliseconds(life_ms));
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+
+    const auto first = persist::recover_dir(dir);
+    if (!first.has_value()) {
+      std::fprintf(stderr, "trial %zu: recover_dir found no usable state\n",
+                   trial);
+      ++failures;
+      continue;
+    }
+    if (!first->stats.state_crc_ok) {
+      std::fprintf(stderr,
+                   "trial %zu: recovered model CRC mismatches the last "
+                   "closed epoch (gen %llu, %llu records)\n",
+                   trial,
+                   static_cast<unsigned long long>(first->generation),
+                   static_cast<unsigned long long>(
+                       first->stats.replay_records));
+      ++failures;
+      continue;
+    }
+    const auto second = persist::recover_dir(dir);
+    if (!second.has_value() ||
+        !models_bit_identical(first->model, second->model)) {
+      std::fprintf(stderr, "trial %zu: replay is not deterministic\n", trial);
+      ++failures;
+      continue;
+    }
+    if (first->stats.torn_tail) ++torn_tails;
+    records_replayed += first->stats.replay_records;
+    epochs_applied += first->stats.epochs_applied;
+  }
+
+  // The recovered bytes must also *serve*: bring the final state up and
+  // push live traffic through it.
+  bool serves = false;
+  if (failures == 0) {
+    auto server = serve::Server::recover(dir, server_config(dir));
+    serves = true;
+    for (const auto& q : world.queries) {
+      if (server->submit(q).get().predicted < 0) serves = false;
+    }
+    server->shutdown();
+  }
+
+  for (const auto& name : util::list_dir(dir)) {
+    util::remove_file(dir + "/" + name);
+  }
+  ::rmdir(dir.c_str());
+
+  const bool pass = failures == 0 && serves;
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"crash_recovery\",\"trials\":%zu,"
+                "\"failures\":%zu,\"torn_tails\":%zu,"
+                "\"records_replayed\":%llu,\"epochs_applied\":%llu,"
+                "\"recovered_serves\":%s,\"pass\":%s}",
+                trials, failures, torn_tails,
+                static_cast<unsigned long long>(records_replayed),
+                static_cast<unsigned long long>(epochs_applied),
+                serves ? "true" : "false", pass ? "true" : "false");
+  std::printf("%s\n", line);
+  std::ofstream("BENCH_crash_recovery.json") << line << "\n";
+  return pass ? 0 : 1;
+}

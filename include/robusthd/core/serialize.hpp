@@ -27,12 +27,31 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "robusthd/core/hdc_classifier.hpp"
 
 namespace robusthd::core {
+
+/// Typed serialization failure. Every rejection in this layer throws a
+/// SerializeError; the code says *why* so callers (the persist replayer,
+/// the CLI, tests) can distinguish an unreadable file from a corrupt one
+/// without string-matching. Derives from std::runtime_error, so existing
+/// catch (const std::runtime_error&) sites keep working.
+struct SerializeError : std::runtime_error {
+  enum class Code {
+    kIo,         ///< open/read/write/stat failed (errno-level)
+    kEmpty,      ///< zero-size or unreadable-size (tellg() == -1) file
+    kTruncated,  ///< shorter than its header promises
+    kMalformed,  ///< bad magic/version/shape/trailing bytes
+    kIntegrity,  ///< a CRC32C check failed
+  };
+  SerializeError(Code c, const std::string& what)
+      : std::runtime_error(what), code(c) {}
+  Code code;
+};
 
 /// On-disk format versions. serialize() always writes the latest;
 /// deserialize() reads every version listed here.
@@ -65,6 +84,29 @@ struct BlobInfo {
 /// Serialises a trained classifier to a self-contained RHD2 byte blob.
 std::vector<std::byte> serialize(const HdcClassifier& classifier);
 
+/// Encoder-side header fields that an HdcModel alone does not carry.
+/// serialize_model() stores them so a blob written from a bare model (the
+/// serving runtime's persistence checkpoints) still round-trips through
+/// deserialize() when the metadata is real, and through
+/// deserialize_model() regardless.
+struct ModelMeta {
+  std::uint64_t levels = 0;
+  std::uint64_t encoder_seed = 0;
+  std::uint64_t feature_count = 0;
+};
+
+/// Serialises a bare model (no classifier/encoder) to an RHD2 blob. The
+/// payload and integrity guarantees are identical to serialize(); the
+/// encoder fields come from `meta` (zeros are valid — the blob then only
+/// loads through deserialize_model()).
+std::vector<std::byte> serialize_model(const model::HdcModel& model,
+                                       const ModelMeta& meta = {});
+
+/// Reconstructs just the model (planes + precision) from any RHD1/RHD2
+/// blob, with the full validation stack but no encoder construction —
+/// what the crash-recovery replayer uses to rebuild serving state.
+model::HdcModel deserialize_model(std::span<const std::byte> blob);
+
 /// Legacy RHD1 writer (no CRCs). Kept so compatibility tests and the
 /// storage-integrity experiment can produce pre-RHD2 blobs on demand; new
 /// code should never call this.
@@ -74,13 +116,44 @@ std::vector<std::byte> serialize_rhd1(const HdcClassifier& classifier);
 /// Throws std::runtime_error exactly when deserialize() would.
 BlobInfo inspect(std::span<const std::byte> blob);
 
+/// Validates a header *prefix* only (>= 48 bytes for RHD1, >= 64 for
+/// RHD2): magic/version dispatch, sanity bounds, and — for RHD2 — the
+/// header CRC and payload-size consistency. Payload bytes are not
+/// required or touched. This is the validate-before-allocate step of the
+/// file loader: the header is read and bounded first, and only then is
+/// an allocation of expected_blob_bytes() made.
+BlobInfo inspect_header(std::span<const std::byte> header_prefix);
+
+/// Total blob size (header + payload) a blob with this validated header
+/// must have — the loader's allocation bound and exact-size check.
+std::size_t expected_blob_bytes(const BlobInfo& info);
+
 /// Reconstructs a classifier from serialize()'s output (RHD2 or legacy
 /// RHD1). Throws std::runtime_error on malformed, truncated, trailing-
 /// garbage, out-of-bounds or CRC-failing input.
 HdcClassifier deserialize(std::span<const std::byte> blob);
 
-/// File convenience wrappers (throw std::runtime_error on I/O failure).
+/// Crash-atomic, durable model save: the blob is written to an O_EXCL
+/// temp file, fsync'd, renamed over `path`, and the parent directory is
+/// fsync'd (util::atomic_write_file) — after a crash at any instant,
+/// `path` holds either the complete previous file or the complete new
+/// one, never a torn RHD2 blob. Throws SerializeError/util::FsError.
 void save_model(const HdcClassifier& classifier, const std::string& path);
+
+/// save_model for a bare model (persistence checkpoints, `wal-recover
+/// --out`). Same atomicity contract.
+void save_model(const model::HdcModel& model, const std::string& path,
+                const ModelMeta& meta = {});
+
+/// Loads a model file with validate-before-allocate semantics: the
+/// 64-byte header is read and fully checked first (inspect_header), the
+/// allocation is bounded by what the validated header promises, and the
+/// file size must match it exactly. Empty files, unreadable sizes and
+/// header-level lies throw a typed SerializeError before any
+/// payload-sized allocation happens.
 HdcClassifier load_model(const std::string& path);
+
+/// load_model without encoder reconstruction (RHD1/RHD2, same checks).
+model::HdcModel load_model_planes(const std::string& path);
 
 }  // namespace robusthd::core

@@ -40,6 +40,12 @@ struct FleetConfig {
   /// trusts the caller — the bench and CLI clone one trained model).
   std::vector<ShardConfig> shards;
   RouterConfig router;
+  /// Fleet-wide persistence root: shard i journals into
+  /// `<persist_dir>/shard-<i>` and recovers from it on restart (each
+  /// shard is its own durability domain — a crash replays per shard,
+  /// never cross-shard). Empty (default) disables persistence. A
+  /// per-shard ShardConfig::server.persist.dir, when set, wins.
+  std::string persist_dir;
 };
 
 /// Aggregate + per-shard counters (Fleet::stats()).

@@ -57,6 +57,10 @@ struct ShardStats {
 
 class Shard {
  public:
+  /// When config.server.persist.dir names a directory that already holds
+  /// persisted state, the shard recovers from it (replacing `model`, which
+  /// only seeded the first run); otherwise `model` is served fresh and —
+  /// with a non-empty dir — becomes the new base checkpoint.
   Shard(std::size_t index, model::HdcModel model, ShardConfig config);
 
   std::size_t index() const noexcept { return index_; }

@@ -16,6 +16,7 @@
 // threat model in which *all* memory is attackable.
 
 #include <cstdint>
+#include <vector>
 
 #include "robusthd/model/confidence.hpp"
 #include "robusthd/model/hdc_model.hpp"
@@ -92,6 +93,30 @@ struct ObserveResult {
   bool trusted = false;          ///< confidence cleared T_C
   std::size_t faulty_chunks = 0; ///< chunks flagged and substituted
   std::size_t substituted_bits = 0;
+  /// When substituted_bits > 0, the single repair this query applied:
+  /// class `repaired_class`, bits [repaired_begin, repaired_end) of its
+  /// plane 0 (the engine repairs at most one chunk per query). The
+  /// serving layer turns this into a WAL plane-range delta. npos when no
+  /// repair landed.
+  static constexpr std::size_t kNoRepair = static_cast<std::size_t>(-1);
+  std::size_t repaired_class = kNoRepair;
+  std::size_t repaired_begin = 0;
+  std::size_t repaired_end = 0;
+};
+
+/// The durable slice of a RecoveryEngine: the budgets and watchdog state
+/// that must survive a restart so a recovered server does not treat a
+/// half-spent repair budget as fresh. Consensus vote buffers and the
+/// similarity EMAs are deliberately *not* here — they are advisory
+/// warm-up state that rebuilds within a few dozen queries, and carrying
+/// stale similarity statistics across a restart would poison the
+/// absolute gate against the recovered (possibly repaired) model.
+struct RecoveryEngineState {
+  std::uint64_t total_updates = 0;
+  std::uint64_t total_substituted_bits = 0;
+  double best_health = -1.0;
+  bool frozen = false;
+  std::vector<std::uint64_t> class_repairs;  ///< per-class repair counts
 };
 
 /// Stateful runtime recovery engine bound to one (mutable) HdcModel.
@@ -130,6 +155,16 @@ class RecoveryEngine {
   std::size_t total_substituted_bits() const noexcept {
     return total_substituted_bits_;
   }
+
+  /// Snapshot of the durable counters (persisted in WAL RecoveryState
+  /// records so budgets and the watchdog survive a kill-9).
+  RecoveryEngineState export_state() const;
+
+  /// Rehydrates the durable counters from a recovered snapshot. A state
+  /// whose class_repairs length disagrees with the bound model's class
+  /// count is rejected (throws std::invalid_argument) — it belongs to a
+  /// different model shape.
+  void restore_state(const RecoveryEngineState& state);
 
  private:
   /// Exponential moving estimate of the winning-similarity distribution,

@@ -1,0 +1,68 @@
+#pragma once
+// Crash recovery: rebuild a serving model from a persist directory.
+//
+// recover_dir() is the read half of the EpochLog contract:
+//   1. pick the highest generation whose base checkpoint validates
+//      (bases are written atomically, so normally the highest, full
+//      stop — earlier generations are a defence against a base that was
+//      corrupted *after* being written, e.g. by the storage itself);
+//   2. replay its WAL segments in sequence order, committing records
+//      only at EpochClose boundaries — a torn tail (the expected state
+//      of the final segment after a kill-9) and everything after the
+//      last close are discarded, never partially applied;
+//   3. verify the rebuilt model's CRC32C against the state_crc the
+//      writer recorded at its last epoch close — "bit-identical to the
+//      last closed epoch" as a checked result, not a hope.
+//
+// Nothing in replay throws on corrupt WAL bytes: bad frames end the scan
+// (SegmentReader) and malformed-but-CRC-valid payloads end it defensively
+// (ReplayStats::discarded_records says how much was dropped). Only an
+// unusable *directory* — no loadable base at all — is an error, reported
+// as a nullopt rather than an exception so "nothing to recover" and
+// "recovered" are both ordinary control flow.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "robusthd/core/serialize.hpp"
+#include "robusthd/model/hdc_model.hpp"
+#include "robusthd/model/recovery.hpp"
+
+namespace robusthd::persist {
+
+/// What replay saw, surfaced into ServerStats and the CLI.
+struct ReplayStats {
+  std::uint64_t segments = 0;         ///< WAL segments opened
+  std::uint64_t replay_records = 0;   ///< records committed (closed epochs)
+  std::uint64_t epochs_applied = 0;
+  std::uint64_t discarded_records = 0;///< torn tail + unterminated epoch
+  std::uint64_t wal_bytes = 0;        ///< segment bytes scanned
+  bool torn_tail = false;             ///< a segment ended mid-record
+  /// Replayed model CRC == last EpochClose's state_crc. True when no
+  /// epoch closed (the base alone is trivially consistent).
+  bool state_crc_ok = true;
+};
+
+/// A recovered serving state.
+struct Recovered {
+  model::HdcModel model;
+  core::BlobInfo base_info{};
+  std::uint64_t generation = 0;
+  /// Snapshot version the recovered state corresponds to (the highest
+  /// version folded in; new deltas must be fenced above it).
+  std::uint64_t model_version = 0;
+  std::optional<model::RecoveryEngineState> engine_state;
+  ReplayStats stats;
+};
+
+/// True when `dir` holds at least one base checkpoint file (no
+/// validation — existence only, the cheap "should I recover?" probe).
+bool has_state(const std::string& dir);
+
+/// Replays `dir` as described above. nullopt when no generation has a
+/// loadable base checkpoint. Filesystem errors on the directory itself
+/// propagate as util::FsError.
+std::optional<Recovered> recover_dir(const std::string& dir);
+
+}  // namespace robusthd::persist

@@ -1,0 +1,139 @@
+#pragma once
+// WAL record framing — the byte-level grammar of robusthd::persist.
+//
+// A WAL segment is a flat sequence of CRC32C-framed records, written
+// append-only and fsync'd at epoch boundaries (epoch_log.hpp owns the
+// when; this header owns the what). The framing borrows the fleet wire
+// protocol's discipline: a fixed little-endian header carrying its own
+// CRC, a payload CRC checked before any payload byte is interpreted,
+// and a hard payload bound checked *before* allocation — a torn tail,
+// a flipped bit or a hostile length field all land in the same place:
+// the reader stops cleanly at the first bad record and reports how far
+// it got. Readers never throw on corrupt input; corruption is a normal
+// return, because a torn tail is the *expected* state of the final
+// segment after a kill-9.
+//
+// Record layout (all integers little-endian, memcpy in/out):
+//
+//   [RecordHeader: 32 bytes]
+//     magic "RWL1" | type u16 | flags u16 | seq u64
+//     payload_bytes u32 | payload_crc u32 | reserved u32
+//     header_crc u32   (CRC32C over the preceding 28 bytes)
+//   [payload: payload_bytes bytes, zero-padded to an 8-byte boundary]
+//
+// The pad keeps every record header (and the u64 words inside plane
+// deltas) naturally aligned in an mmap'd or in-memory segment; decoders
+// still memcpy, so alignment is a nicety, not a correctness dependence.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "robusthd/model/recovery.hpp"
+
+namespace robusthd::persist {
+
+inline constexpr std::uint32_t kWalMagic = 0x314C5752u;  // "RWL1" LE
+inline constexpr std::size_t kRecordHeaderBytes = 32;
+/// Hard payload bound, checked before any allocation. A full plane at
+/// the serialization layer's kMaxDimension (64M bits) is 8 MiB; 16 MiB
+/// leaves headroom for the record's own fields.
+inline constexpr std::size_t kMaxRecordPayload = 16u << 20;
+
+/// Record vocabulary. Every segment opens with a kBaseRef naming the
+/// generation and base-checkpoint version it extends; kEpochClose is the
+/// commit point — records after the last close in a segment are an
+/// unterminated epoch and are discarded on replay.
+enum class RecordType : std::uint16_t {
+  kBaseRef = 1,        ///< {generation, base_version} — segment prologue
+  kPlaneDelta = 2,     ///< rewritten word range of one class plane
+  kRecoveryState = 3,  ///< RecoveryEngine durable counters
+  kEpochClose = 4,     ///< commit: {epoch, state_crc over all plane words}
+};
+
+/// A decoded plane-range delta: words [word_begin, word_begin+n) of
+/// plane `plane` of class `cls` were rewritten while snapshot version
+/// `model_version` was current. Replay discards deltas whose version is
+/// <= the generation's base version (they raced a reload rotation).
+struct PlaneDelta {
+  std::uint64_t model_version = 0;
+  std::uint32_t cls = 0;
+  std::uint32_t plane = 0;
+  std::uint64_t word_begin = 0;
+  std::vector<std::uint64_t> words;
+};
+
+/// Segment prologue: which base checkpoint this segment's deltas extend.
+struct BaseRef {
+  std::uint64_t generation = 0;
+  std::uint64_t base_version = 0;
+};
+
+/// Epoch commit record. state_crc is CRC32C over *all* plane words of
+/// the writer's shadow model (class-major, plane-minor, raw u64 bytes)
+/// at close time — replay recomputes it over the rebuilt model, so "the
+/// recovered model is bit-identical to the last closed epoch" is a
+/// checked property, not an assumption.
+struct EpochClose {
+  std::uint64_t epoch = 0;
+  std::uint32_t state_crc = 0;
+};
+
+/// Appends one framed record (header + payload + pad) to `out`.
+void encode_record(std::vector<std::byte>& out, RecordType type,
+                   std::uint64_t seq, std::span<const std::byte> payload);
+
+/// Payload codecs. Encoders append to a scratch vector; decoders return
+/// nullopt on any malformed payload (short, inconsistent counts) and
+/// never throw past a bad record.
+void encode_base_ref(std::vector<std::byte>& out, const BaseRef& ref);
+void encode_plane_delta(std::vector<std::byte>& out, const PlaneDelta& delta);
+void encode_recovery_state(std::vector<std::byte>& out,
+                           const model::RecoveryEngineState& state);
+void encode_epoch_close(std::vector<std::byte>& out, const EpochClose& close);
+
+std::optional<BaseRef> decode_base_ref(std::span<const std::byte> payload);
+std::optional<PlaneDelta> decode_plane_delta(
+    std::span<const std::byte> payload);
+std::optional<model::RecoveryEngineState> decode_recovery_state(
+    std::span<const std::byte> payload);
+std::optional<EpochClose> decode_epoch_close(
+    std::span<const std::byte> payload);
+
+/// One record as the reader hands it out: the payload span aliases the
+/// segment buffer (valid while the buffer lives).
+struct RecordView {
+  RecordType type = RecordType::kBaseRef;
+  std::uint64_t seq = 0;
+  std::span<const std::byte> payload;
+};
+
+/// Forward scanner over one segment's bytes. next() yields records until
+/// the end of the buffer or the first bad frame — truncated header,
+/// wrong magic, over-bound length, or either CRC failing — and then
+/// returns false forever. Nothing here throws: a torn tail is a normal
+/// outcome, reported through torn().
+class SegmentReader {
+ public:
+  explicit SegmentReader(std::span<const std::byte> segment) noexcept
+      : data_(segment) {}
+
+  /// Advances to the next record. False at a clean end or a tear.
+  bool next(RecordView& out) noexcept;
+
+  /// Bytes consumed by fully verified records.
+  std::size_t offset() const noexcept { return offset_; }
+  /// True once a bad frame stopped the scan (bytes remained past the
+  /// last good record, but they do not parse as one).
+  bool torn() const noexcept { return torn_; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t offset_ = 0;
+  bool torn_ = false;
+  bool done_ = false;
+};
+
+}  // namespace robusthd::persist

@@ -48,6 +48,9 @@
 #include "robusthd/model/online_trainer.hpp"
 #include "robusthd/model/recovery.hpp"
 #include "robusthd/model/regression.hpp"
+#include "robusthd/persist/epoch_log.hpp"
+#include "robusthd/persist/recover.hpp"
+#include "robusthd/persist/wal.hpp"
 #include "robusthd/pim/accelerator.hpp"
 #include "robusthd/pim/cost.hpp"
 #include "robusthd/pim/crossbar.hpp"

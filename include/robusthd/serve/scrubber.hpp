@@ -32,8 +32,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -155,10 +157,33 @@ struct ScrubberCounters {
   std::uint64_t priority_marks = 0;
 };
 
+/// One contiguous span of plane words rewritten since the last snapshot
+/// publication — `sync_arena_range` granularity, in words. What the
+/// persistence layer journals as a WAL plane delta.
+struct RepairedRange {
+  std::size_t cls = 0;
+  std::size_t plane = 0;
+  std::size_t word_begin = 0;
+  std::size_t word_count = 0;
+};
+
 /// The background recovery thread. Lifecycle: construct, start(), offer()
 /// from any thread, stop() (or destruction) to halt after a final drain.
 class Scrubber {
  public:
+  /// Persistence hook, invoked on the scrub thread immediately after a
+  /// *successful* snapshot publication: `version` is the version just
+  /// published, `model` the published content (the scrubber's working
+  /// copy — same thread, safe to read), `ranges` the word ranges that
+  /// changed since the previous publication, and `state` the engine's
+  /// durable counters at publish time. Publications that lose the race
+  /// to a reload are never reported (their repairs were discarded, so
+  /// journaling them would persist state no reader ever saw).
+  using PersistHook = std::function<void(
+      std::uint64_t version, const model::HdcModel& model,
+      std::span<const RepairedRange> ranges,
+      const model::RecoveryEngineState& state)>;
+
   Scrubber(ModelSnapshot& snapshot, const ScrubberConfig& config);
   ~Scrubber();
 
@@ -168,6 +193,16 @@ class Scrubber {
   void start();
   /// Drains outstanding work, then joins the thread. Idempotent.
   void stop();
+
+  /// Installs the persistence hook. Must be called before start() — the
+  /// hook is read from the scrub thread without synchronisation.
+  void set_persist_hook(PersistHook hook);
+
+  /// Schedules a rehydration of the recovery engine's durable counters
+  /// (crash recovery: budgets and the watchdog must not reset to zero on
+  /// restart). Executed on the scrub thread; a state whose shape does not
+  /// match the live model is dropped.
+  void restore_engine_state(model::RecoveryEngineState state);
 
   /// Hands a trusted query to the recovery loop. Returns false when the
   /// ring is full — the hint is dropped, recorded in trust_drops, and
@@ -215,6 +250,7 @@ class Scrubber {
       kAttackRate,   ///< BitFlipInjector::inject at `rate`
       kAttackFlips,  ///< exactly `flips` bit flips (ChaosAgent ticks)
       kPriority,     ///< engine repair-priority change (sentinel)
+      kRestoreState, ///< rehydrate engine counters (crash recovery)
     };
     Kind kind = Kind::kAttackRate;
     double rate = 0.0;
@@ -226,6 +262,7 @@ class Scrubber {
     std::size_t cls = 0;
     std::size_t chunk = 0;
     bool on = true;
+    model::RecoveryEngineState engine_state;  ///< kRestoreState payload
   };
 
   void enqueue_command(Command cmd);
@@ -233,6 +270,11 @@ class Scrubber {
   void thread_main();
   void run_commands();
   void publish_if_dirty();
+  /// Buffers the word range one engine repair rewrote (scrub thread).
+  void note_repair(const model::ObserveResult& result);
+  /// Reports a successful publication to the persist hook (scrub thread;
+  /// seen_version_ has already advanced to the published version).
+  void emit_publication(std::span<const RepairedRange> ranges);
   /// Adopts an externally published snapshot (a hot reload) as the new
   /// working copy, restarting the engine: pending repair state targeted
   /// the old weights and must not leak into the new ones. No-op while
@@ -276,6 +318,13 @@ class Scrubber {
   std::atomic<std::uint64_t> resyncs_{0};  ///< reloads adopted by the thread
   std::atomic<std::uint64_t> priority_marks_{0};
   std::uint64_t dirty_bits_ = 0;  ///< scrubber-thread-local
+
+  /// Set before start(), read on the scrub thread only.
+  PersistHook persist_hook_;
+  /// Ranges repaired since the last successful publication (scrub-thread
+  /// local). Cleared on publish (reported), failed publish and resync
+  /// (both discard the repairs themselves, so the journal must too).
+  std::vector<RepairedRange> pending_ranges_;
 };
 
 }  // namespace robusthd::serve

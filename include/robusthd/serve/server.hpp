@@ -38,6 +38,8 @@
 #include "robusthd/hv/binvec.hpp"
 #include "robusthd/hv/encoder_base.hpp"
 #include "robusthd/model/hdc_model.hpp"
+#include "robusthd/persist/epoch_log.hpp"
+#include "robusthd/persist/recover.hpp"
 #include "robusthd/serve/batcher.hpp"
 #include "robusthd/serve/chaos.hpp"
 #include "robusthd/serve/model_snapshot.hpp"
@@ -84,6 +86,12 @@ struct ServerConfig {
   /// each other's way; ids beyond the machine are ignored (pinning is a
   /// hint, never a failure).
   std::vector<int> cpu_affinity;
+  /// Epoch-based crash durability (docs/serialization.md, "Durability &
+  /// crash recovery"). A non-empty dir writes an atomic base checkpoint
+  /// at construction and journals every snapshot publication into a
+  /// fsync-committed WAL; Server::recover(dir) replays it after a crash.
+  /// Empty dir (the default) disables the layer entirely.
+  persist::PersistConfig persist{};
 };
 
 /// What a client gets back for one query.
@@ -112,6 +120,16 @@ class Server {
   /// multi-bit model (the substitution operator is binary-only).
   explicit Server(model::HdcModel model, const ServerConfig& config = {});
   ~Server();
+
+  /// Crash recovery: rebuilds the serving model from a persist directory
+  /// (base checkpoint + closed WAL epochs, torn tail discarded), starts a
+  /// server on it with persistence re-enabled into the same directory
+  /// (a fresh generation — the replayed one is never appended to), and
+  /// rehydrates the scrubber's recovery-engine counters when the log
+  /// carried them. Throws std::runtime_error when `dir` holds no usable
+  /// state; replay_stats() reports what was applied and what was torn.
+  static std::unique_ptr<Server> recover(const std::string& dir,
+                                         ServerConfig config = {});
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -166,6 +184,17 @@ class Server {
   /// Blocks until every accepted request has been answered and the
   /// scrubber has caught up with everything offered so far.
   void drain();
+
+  /// Durability barrier: drain(), then block until everything the
+  /// scrubber published so far sits on stable storage under a closed WAL
+  /// epoch. No-op without persistence. Returns immediately once the
+  /// epoch log has tripped its failed flag (check stats().persist_io_errors).
+  void persist_barrier();
+
+  /// What Server::recover replayed; all-zero for a fresh server.
+  const persist::ReplayStats& replay_stats() const noexcept {
+    return replay_stats_;
+  }
 
   /// Graceful shutdown: stop admitting, drain the queue, join workers,
   /// drain + stop the scrubber. Idempotent; the destructor calls it.
@@ -227,6 +256,20 @@ class Server {
   ServerConfig config_;
   ModelSnapshot snapshot_;
   RequestQueue<Request> queue_;
+  /// WAL durability layer; null when persist.dir is empty. Declared
+  /// before scrubber_: the scrubber's persist hook writes into it, so it
+  /// must outlive the scrub thread on every destruction path.
+  ///
+  /// Lock order (all leaf-free paths): direct_fault_mutex_ is taken
+  /// before the snapshot publication it guards; the epoch log's internal
+  /// mutex is innermost (rotate_generation is called with
+  /// direct_fault_mutex_ held and takes only the log's own lock);
+  /// last_good_mutex_ is a leaf — nothing is acquired under it. Recovery
+  /// replay (Server::recover) runs before any of these mutexes exist to
+  /// contend, and publish_last_good copies under last_good_mutex_ then
+  /// *releases it* before reload() re-enters the ordered chain.
+  std::unique_ptr<persist::EpochLog> epoch_log_;
+  persist::ReplayStats replay_stats_{};
   std::unique_ptr<Scrubber> scrubber_;  ///< null when recovery disabled
   std::unique_ptr<Sentinel> sentinel_;  ///< null when sentinel disabled
   std::unique_ptr<ChaosAgent> chaos_;   ///< null when chaos disabled

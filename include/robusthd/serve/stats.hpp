@@ -186,6 +186,17 @@ struct ServerStats {
   std::size_t arena_bytes = 0;  ///< arena allocation size; 0 == arena-less
   bool arena_hugepage = false;  ///< MADV_HUGEPAGE accepted by the kernel
 
+  // Durability (robusthd::persist epoch log; docs/serialization.md). All
+  // zero when ServerConfig::persist.dir is empty.
+  std::uint64_t epochs_closed = 0;   ///< WAL epochs committed (1 fsync each)
+  std::uint64_t wal_bytes = 0;       ///< record bytes appended to segments
+  std::uint64_t wal_rotations = 0;   ///< generation starts (reload/compact)
+  std::uint64_t wal_compactions = 0; ///< WALs folded into a fresh base
+  std::uint64_t persist_io_errors = 0; ///< nonzero => the log shut itself off
+  /// Records committed by Server::recover at startup — a replay gauge, not
+  /// a serving counter (preserved across reset()).
+  std::uint64_t replay_records = 0;
+
   /// Zeroes every cumulative field of this snapshot, keeping the
   /// instantaneous gauges (queue_depth, model_version, quarantined_chunks,
   /// breaker_open). Soak phases subtract a baseline snapshot this way;
@@ -197,6 +208,7 @@ struct ServerStats {
     const bool open = breaker_open;
     const std::size_t arena = arena_bytes;
     const bool huge = arena_hugepage;
+    const std::uint64_t replayed = replay_records;
     *this = ServerStats{};
     queue_depth = depth;
     model_version = version;
@@ -204,6 +216,7 @@ struct ServerStats {
     breaker_open = open;
     arena_bytes = arena;
     arena_hugepage = huge;
+    replay_records = replayed;
   }
 };
 

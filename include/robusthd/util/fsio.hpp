@@ -1,0 +1,76 @@
+#pragma once
+// Durable filesystem primitives — the fsync contract every crash-safe
+// writer in the repo goes through.
+//
+// The rules (docs/serialization.md, "Durability & crash recovery"):
+//  * a file replaced with atomic_write_file() is, after a crash at ANY
+//    instant, either the complete old content or the complete new
+//    content — never a prefix, never interleaved. The sequence is the
+//    classic tmp -> write -> fsync(fd) -> rename(2) -> fsync(dir);
+//  * appenders own their fds and call fsync_fd() at their commit points
+//    (an epoch close), never per write;
+//  * directory entries are only durable once the parent directory is
+//    fsync'd — creating a file without fsync_dir() leaves a window in
+//    which the file itself survives a crash but its name does not.
+//
+// Everything here throws util::FsError (a std::runtime_error) with errno
+// detail on failure; nothing retries.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace robusthd::util {
+
+/// Filesystem failure with errno context. Derives from std::runtime_error
+/// so existing catch sites keep working.
+struct FsError : std::runtime_error {
+  explicit FsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Crash-atomically replaces `path` with `data`: writes to an O_EXCL
+/// sibling temp file (`path`.tmp.<pid>.<n> — the collision guard: a
+/// concurrent writer gets its own temp name, a leftover temp from a
+/// crashed run is skipped, never truncated into), fsyncs the fd, renames
+/// over `path`, and fsyncs the parent directory. A reader (or a crash)
+/// can never observe a torn file at `path`.
+void atomic_write_file(const std::string& path,
+                       std::span<const std::byte> data);
+
+/// fsync(2) on an open descriptor; throws on failure.
+void fsync_fd(int fd);
+
+/// write(2) until `data` is fully out (short writes and EINTR retried).
+/// The appender primitive — durability still requires fsync_fd() at the
+/// caller's commit point.
+void write_fd(int fd, std::span<const std::byte> data);
+
+/// Opens the directory containing `path` (or `path` itself when it is a
+/// directory) and fsyncs it, making renames/creates/unlinks inside it
+/// durable.
+void fsync_parent_dir(const std::string& path);
+void fsync_dir(const std::string& dir);
+
+/// mkdir -p. No-op when the directory already exists.
+void make_dirs(const std::string& dir);
+
+/// Reads a whole file. `max_bytes` bounds the allocation: a file larger
+/// than the bound throws instead of being read (validate-before-allocate
+/// for on-disk inputs, same policy as the wire path).
+std::vector<std::byte> read_file(const std::string& path,
+                                 std::size_t max_bytes);
+
+/// True when `path` exists (any file type).
+bool path_exists(const std::string& path) noexcept;
+
+/// Names (not paths) of the entries in `dir`, excluding "." and "..".
+/// Missing directory == empty list.
+std::vector<std::string> list_dir(const std::string& dir);
+
+/// unlink(2); missing file is not an error.
+void remove_file(const std::string& path);
+
+}  // namespace robusthd::util

@@ -1,11 +1,14 @@
 #include "robusthd/core/serialize.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 
 #include "robusthd/util/bitops.hpp"
 #include "robusthd/util/crc32c.hpp"
+#include "robusthd/util/fsio.hpp"
 
 namespace robusthd::core {
 
@@ -59,7 +62,8 @@ void append(std::vector<std::byte>& out, const T& value) {
 template <typename T>
 T read_at(std::span<const std::byte> blob, std::size_t& offset) {
   if (offset + sizeof(T) > blob.size()) {
-    throw std::runtime_error("robusthd: truncated model blob");
+    throw SerializeError(SerializeError::Code::kTruncated,
+                         "robusthd: truncated model blob");
   }
   T value;
   std::memcpy(&value, blob.data() + offset, sizeof(T));
@@ -67,8 +71,10 @@ T read_at(std::span<const std::byte> blob, std::size_t& offset) {
   return value;
 }
 
-[[noreturn]] void reject(const char* what) {
-  throw std::runtime_error(std::string("robusthd: ") + what);
+[[noreturn]] void reject(
+    const char* what,
+    SerializeError::Code code = SerializeError::Code::kMalformed) {
+  throw SerializeError(code, std::string("robusthd: ") + what);
 }
 
 /// The shape fields shared by both header versions, after validation.
@@ -130,63 +136,80 @@ struct ValidatedBlob {
   std::uint32_t version;
 };
 
-ValidatedBlob validate(std::span<const std::byte> blob) {
+/// Header-prefix validation shared by validate() and inspect_header():
+/// magic/version dispatch, sanity bounds, and — for RHD2 — the header
+/// CRC and header/shape payload-size consistency. Never reads a payload
+/// byte, so it works on a bare header prefix read from a file.
+ValidatedBlob validate_header(std::span<const std::byte> prefix) {
   std::size_t offset = 0;
-  const auto magic = read_at<std::uint32_t>(blob, offset);
+  const auto magic = read_at<std::uint32_t>(prefix, offset);
 
   if (magic == kMagicRhd2) {
-    if (blob.size() < sizeof(HeaderV2)) reject("truncated model blob");
+    if (prefix.size() < sizeof(HeaderV2)) {
+      reject("truncated model blob", SerializeError::Code::kTruncated);
+    }
     HeaderV2 header;
-    std::memcpy(&header, blob.data(), sizeof(header));
+    std::memcpy(&header, prefix.data(), sizeof(header));
     if (header.version != kFormatRhd2) {
       reject("unsupported model version");
     }
     // Header CRC first: nothing else in the header is trustworthy until
     // it verifies.
-    if (util::crc32c(blob.data(), kHeaderCrcCoverage) != header.header_crc) {
-      reject("model header failed integrity check (CRC32C mismatch)");
+    if (util::crc32c(prefix.data(), kHeaderCrcCoverage) != header.header_crc) {
+      reject("model header failed integrity check (CRC32C mismatch)",
+             SerializeError::Code::kIntegrity);
     }
     const Shape shape = shape_of(header);
     validate_shape(shape);
     if (header.payload_bytes != shape.payload_bytes()) {
       reject("model header payload size disagrees with model shape");
     }
-    if (blob.size() != sizeof(HeaderV2) + header.payload_bytes) {
-      reject(blob.size() < sizeof(HeaderV2) + header.payload_bytes
-                 ? "truncated model blob"
-                 : "trailing bytes after model payload");
-    }
-    if (util::crc32c(blob.subspan(sizeof(HeaderV2))) != header.payload_crc) {
-      reject("model payload failed integrity check (CRC32C mismatch)");
-    }
     return {shape, sizeof(HeaderV2), kFormatRhd2};
   }
 
   if (magic == kMagicRhd1) {
-    if (blob.size() < sizeof(HeaderV1)) reject("truncated model blob");
+    if (prefix.size() < sizeof(HeaderV1)) {
+      reject("truncated model blob", SerializeError::Code::kTruncated);
+    }
     HeaderV1 header;
-    std::memcpy(&header, blob.data(), sizeof(header));
+    std::memcpy(&header, prefix.data(), sizeof(header));
     if (header.version != kFormatRhd1) {
       reject("unsupported model version");
     }
     const Shape shape = shape_of(header);
     validate_shape(shape);
-    // RHD1 carries no CRC, but size-exactness still holds: a legacy blob
-    // is header + payload and nothing else.
-    if (blob.size() != sizeof(HeaderV1) + shape.payload_bytes()) {
-      reject(blob.size() < sizeof(HeaderV1) + shape.payload_bytes()
-                 ? "truncated model planes"
-                 : "trailing bytes after model payload");
-    }
     return {shape, sizeof(HeaderV1), kFormatRhd1};
   }
 
   reject("not a RobustHD model blob");
 }
 
+ValidatedBlob validate(std::span<const std::byte> blob) {
+  const ValidatedBlob validated = validate_header(blob);
+  const std::uint64_t payload_bytes = validated.shape.payload_bytes();
+  // Size-exactness holds for both formats: a blob is header + payload and
+  // nothing else.
+  if (blob.size() != validated.payload_offset + payload_bytes) {
+    reject(blob.size() < validated.payload_offset + payload_bytes
+               ? "truncated model blob"
+               : "trailing bytes after model payload",
+           blob.size() < validated.payload_offset + payload_bytes
+               ? SerializeError::Code::kTruncated
+               : SerializeError::Code::kMalformed);
+  }
+  if (validated.version >= kFormatRhd2) {
+    HeaderV2 header;
+    std::memcpy(&header, blob.data(), sizeof(header));
+    if (util::crc32c(blob.subspan(sizeof(HeaderV2))) != header.payload_crc) {
+      reject("model payload failed integrity check (CRC32C mismatch)",
+             SerializeError::Code::kIntegrity);
+    }
+  }
+  return validated;
+}
+
 /// Appends every class plane's raw words (the payload both formats share).
-void append_planes(std::vector<std::byte>& out, const HdcClassifier& clf) {
-  const auto& model = clf.model();
+void append_planes(std::vector<std::byte>& out, const model::HdcModel& model) {
   for (std::size_t c = 0; c < model.num_classes(); ++c) {
     for (const auto& plane : model.class_vector(c).planes) {
       const auto words = plane.words();
@@ -196,68 +219,11 @@ void append_planes(std::vector<std::byte>& out, const HdcClassifier& clf) {
   }
 }
 
-}  // namespace
-
-std::vector<std::byte> serialize(const HdcClassifier& classifier) {
-  const auto& model = classifier.model();
-  const auto& encoder_config = classifier.encoder_config();
-
-  HeaderV2 header;
-  header.dimension = encoder_config.dimension;
-  header.levels = encoder_config.levels;
-  header.encoder_seed = encoder_config.seed;
-  header.feature_count = classifier.encoder().feature_count();
-  header.precision_bits = model.precision_bits();
-  header.num_classes = static_cast<std::uint32_t>(model.num_classes());
-
-  std::vector<std::byte> out;
-  out.resize(sizeof(HeaderV2));  // patched below once the CRCs are known
-  append_planes(out, classifier);
-
-  header.payload_bytes = out.size() - sizeof(HeaderV2);
-  header.payload_crc =
-      util::crc32c(std::span<const std::byte>(out).subspan(sizeof(HeaderV2)));
-  header.header_crc = util::crc32c(&header, kHeaderCrcCoverage);
-  std::memcpy(out.data(), &header, sizeof(header));
-  return out;
-}
-
-std::vector<std::byte> serialize_rhd1(const HdcClassifier& classifier) {
-  const auto& model = classifier.model();
-  const auto& encoder_config = classifier.encoder_config();
-
-  HeaderV1 header;
-  header.dimension = encoder_config.dimension;
-  header.levels = encoder_config.levels;
-  header.encoder_seed = encoder_config.seed;
-  header.feature_count = classifier.encoder().feature_count();
-  header.precision_bits = model.precision_bits();
-  header.num_classes = static_cast<std::uint32_t>(model.num_classes());
-
-  std::vector<std::byte> out;
-  append(out, header);
-  append_planes(out, classifier);
-  return out;
-}
-
-BlobInfo inspect(std::span<const std::byte> blob) {
-  const auto validated = validate(blob);
-  BlobInfo info;
-  info.version = validated.version;
-  info.dimension = static_cast<std::size_t>(validated.shape.dimension);
-  info.levels = static_cast<std::size_t>(validated.shape.levels);
-  info.encoder_seed = validated.shape.encoder_seed;
-  info.feature_count = static_cast<std::size_t>(validated.shape.feature_count);
-  info.precision_bits = validated.shape.precision_bits;
-  info.num_classes = validated.shape.num_classes;
-  info.integrity_checked = validated.version >= kFormatRhd2;
-  return info;
-}
-
-HdcClassifier deserialize(std::span<const std::byte> blob) {
-  const auto validated = validate(blob);
+/// Rebuilds the class planes from a validated blob's payload (the model
+/// half of deserialize(), shared with deserialize_model()).
+model::HdcModel planes_from_validated(std::span<const std::byte> blob,
+                                      const ValidatedBlob& validated) {
   const Shape& shape = validated.shape;
-
   const auto dim = static_cast<std::size_t>(shape.dimension);
   const std::size_t plane_bytes = shape.plane_bytes();
   std::size_t offset = validated.payload_offset;
@@ -274,36 +240,196 @@ HdcClassifier deserialize(std::span<const std::byte> blob) {
       cv.planes.push_back(std::move(plane));
     }
   }
+  return model::HdcModel::from_planes(std::move(classes),
+                                      shape.precision_bits);
+}
+
+/// Serialises any model to an RHD2 blob, with the encoder fields caller-
+/// supplied (serialize() passes the classifier's real values).
+std::vector<std::byte> serialize_model_with(const model::HdcModel& model,
+                                            std::uint64_t levels,
+                                            std::uint64_t encoder_seed,
+                                            std::uint64_t feature_count) {
+  HeaderV2 header;
+  header.dimension = model.dimension();
+  header.levels = levels;
+  header.encoder_seed = encoder_seed;
+  header.feature_count = feature_count;
+  header.precision_bits = model.precision_bits();
+  header.num_classes = static_cast<std::uint32_t>(model.num_classes());
+
+  std::vector<std::byte> out;
+  out.resize(sizeof(HeaderV2));  // patched below once the CRCs are known
+  append_planes(out, model);
+
+  header.payload_bytes = out.size() - sizeof(HeaderV2);
+  header.payload_crc =
+      util::crc32c(std::span<const std::byte>(out).subspan(sizeof(HeaderV2)));
+  header.header_crc = util::crc32c(&header, kHeaderCrcCoverage);
+  std::memcpy(out.data(), &header, sizeof(header));
+  return out;
+}
+
+BlobInfo info_of(const ValidatedBlob& validated) {
+  BlobInfo info;
+  info.version = validated.version;
+  info.dimension = static_cast<std::size_t>(validated.shape.dimension);
+  info.levels = static_cast<std::size_t>(validated.shape.levels);
+  info.encoder_seed = validated.shape.encoder_seed;
+  info.feature_count = static_cast<std::size_t>(validated.shape.feature_count);
+  info.precision_bits = validated.shape.precision_bits;
+  info.num_classes = validated.shape.num_classes;
+  info.integrity_checked = validated.version >= kFormatRhd2;
+  return info;
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize(const HdcClassifier& classifier) {
+  const auto& encoder_config = classifier.encoder_config();
+  return serialize_model_with(classifier.model(), encoder_config.levels,
+                              encoder_config.seed,
+                              classifier.encoder().feature_count());
+}
+
+std::vector<std::byte> serialize_model(const model::HdcModel& model,
+                                       const ModelMeta& meta) {
+  return serialize_model_with(model, meta.levels, meta.encoder_seed,
+                              meta.feature_count);
+}
+
+std::vector<std::byte> serialize_rhd1(const HdcClassifier& classifier) {
+  const auto& model = classifier.model();
+  const auto& encoder_config = classifier.encoder_config();
+
+  HeaderV1 header;
+  header.dimension = encoder_config.dimension;
+  header.levels = encoder_config.levels;
+  header.encoder_seed = encoder_config.seed;
+  header.feature_count = classifier.encoder().feature_count();
+  header.precision_bits = model.precision_bits();
+  header.num_classes = static_cast<std::uint32_t>(model.num_classes());
+
+  std::vector<std::byte> out;
+  append(out, header);
+  append_planes(out, classifier.model());
+  return out;
+}
+
+BlobInfo inspect(std::span<const std::byte> blob) {
+  return info_of(validate(blob));
+}
+
+BlobInfo inspect_header(std::span<const std::byte> header_prefix) {
+  return info_of(validate_header(header_prefix));
+}
+
+std::size_t expected_blob_bytes(const BlobInfo& info) {
+  const std::size_t header_bytes =
+      info.version >= kFormatRhd2 ? sizeof(HeaderV2) : sizeof(HeaderV1);
+  const std::size_t plane_bytes =
+      util::words_for_bits(info.dimension) * sizeof(std::uint64_t);
+  return header_bytes + info.num_classes * info.precision_bits * plane_bytes;
+}
+
+HdcClassifier deserialize(std::span<const std::byte> blob) {
+  const auto validated = validate(blob);
+  const Shape& shape = validated.shape;
 
   hv::EncoderConfig encoder_config;
-  encoder_config.dimension = dim;
+  encoder_config.dimension = static_cast<std::size_t>(shape.dimension);
   encoder_config.levels = static_cast<std::size_t>(shape.levels);
   encoder_config.seed = shape.encoder_seed;
   return HdcClassifier::assemble(
       encoder_config, static_cast<std::size_t>(shape.feature_count),
-      model::HdcModel::from_planes(std::move(classes),
-                                   shape.precision_bits));
+      planes_from_validated(blob, validated));
 }
 
+model::HdcModel deserialize_model(std::span<const std::byte> blob) {
+  const auto validated = validate(blob);
+  return planes_from_validated(blob, validated);
+}
+
+namespace {
+
+/// Shared body of the two save_model overloads: atomic, durable replace.
+void save_blob(const std::vector<std::byte>& blob, const std::string& path) {
+  try {
+    util::atomic_write_file(path, blob);
+  } catch (const util::FsError& e) {
+    throw SerializeError(SerializeError::Code::kIo, e.what());
+  }
+}
+
+/// The validate-before-allocate file loader both load paths share: read
+/// the header prefix, validate it, bound the allocation by what the
+/// validated header promises, then read and fully validate the blob.
+std::vector<std::byte> load_blob(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw SerializeError(SerializeError::Code::kIo,
+                         "robusthd: cannot open " + path);
+  }
+  const std::streampos end = in.tellg();
+  if (end == std::streampos(-1)) {
+    throw SerializeError(SerializeError::Code::kEmpty,
+                         "robusthd: cannot determine size of " + path);
+  }
+  const auto file_size = static_cast<std::uint64_t>(end);
+  if (file_size == 0) {
+    throw SerializeError(SerializeError::Code::kEmpty,
+                         "robusthd: " + path + " is empty");
+  }
+  // Header first: nothing payload-sized is allocated until the header
+  // verified (same policy as the wire path's validate-before-allocate).
+  std::array<std::byte, sizeof(HeaderV2)> prefix{};
+  const std::size_t prefix_bytes =
+      static_cast<std::size_t>(std::min<std::uint64_t>(file_size,
+                                                       prefix.size()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(prefix.data()),
+          static_cast<std::streamsize>(prefix_bytes));
+  if (!in) {
+    throw SerializeError(SerializeError::Code::kIo,
+                         "robusthd: read failed: " + path);
+  }
+  const BlobInfo info =
+      inspect_header(std::span<const std::byte>(prefix.data(), prefix_bytes));
+  const std::size_t expected = expected_blob_bytes(info);
+  if (file_size != expected) {
+    reject(file_size < expected ? "truncated model blob"
+                                : "trailing bytes after model payload",
+           file_size < expected ? SerializeError::Code::kTruncated
+                                : SerializeError::Code::kMalformed);
+  }
+  std::vector<std::byte> blob(expected);
+  std::memcpy(blob.data(), prefix.data(), prefix_bytes);
+  in.read(reinterpret_cast<char*>(blob.data() + prefix_bytes),
+          static_cast<std::streamsize>(expected - prefix_bytes));
+  if (!in) {
+    throw SerializeError(SerializeError::Code::kIo,
+                         "robusthd: read failed: " + path);
+  }
+  return blob;
+}
+
+}  // namespace
+
 void save_model(const HdcClassifier& classifier, const std::string& path) {
-  const auto blob = serialize(classifier);
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("robusthd: cannot open " + path);
-  out.write(reinterpret_cast<const char*>(blob.data()),
-            static_cast<std::streamsize>(blob.size()));
-  if (!out) throw std::runtime_error("robusthd: write failed: " + path);
+  save_blob(serialize(classifier), path);
+}
+
+void save_model(const model::HdcModel& model, const std::string& path,
+                const ModelMeta& meta) {
+  save_blob(serialize_model(model, meta), path);
 }
 
 HdcClassifier load_model(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw std::runtime_error("robusthd: cannot open " + path);
-  const auto size = static_cast<std::size_t>(in.tellg());
-  std::vector<std::byte> blob(size);
-  in.seekg(0);
-  in.read(reinterpret_cast<char*>(blob.data()),
-          static_cast<std::streamsize>(size));
-  if (!in) throw std::runtime_error("robusthd: read failed: " + path);
-  return deserialize(blob);
+  return deserialize(load_blob(path));
+}
+
+model::HdcModel load_model_planes(const std::string& path) {
+  return deserialize_model(load_blob(path));
 }
 
 }  // namespace robusthd::core

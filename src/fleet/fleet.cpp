@@ -26,6 +26,11 @@ Fleet::Fleet(std::vector<model::HdcModel> models, FleetConfig config) {
           "all fleet shards must serve the same dimension");
     }
     groups.push_back(config.shards[i].model_id);
+    if (!config.persist_dir.empty() &&
+        config.shards[i].server.persist.dir.empty()) {
+      config.shards[i].server.persist.dir =
+          config.persist_dir + "/shard-" + std::to_string(i);
+    }
     shards_.push_back(std::make_unique<Shard>(i, std::move(models[i]),
                                               std::move(config.shards[i])));
   }

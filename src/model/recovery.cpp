@@ -39,6 +39,31 @@ void RecoveryEngine::clear_priorities() noexcept {
   std::fill(priority_.begin(), priority_.end(), 0);
 }
 
+RecoveryEngineState RecoveryEngine::export_state() const {
+  RecoveryEngineState s;
+  s.total_updates = total_updates_;
+  s.total_substituted_bits = total_substituted_bits_;
+  s.best_health = best_health_;
+  s.frozen = frozen_;
+  s.class_repairs.assign(class_repairs_.begin(), class_repairs_.end());
+  return s;
+}
+
+void RecoveryEngine::restore_state(const RecoveryEngineState& state) {
+  if (state.class_repairs.size() != class_repairs_.size()) {
+    throw std::invalid_argument(
+        "restore_state: class_repairs length does not match the model");
+  }
+  total_updates_ = static_cast<std::size_t>(state.total_updates);
+  total_substituted_bits_ =
+      static_cast<std::size_t>(state.total_substituted_bits);
+  best_health_ = state.best_health;
+  frozen_ = state.frozen;
+  for (std::size_t i = 0; i < class_repairs_.size(); ++i) {
+    class_repairs_[i] = static_cast<std::size_t>(state.class_repairs[i]);
+  }
+}
+
 std::size_t RecoveryEngine::substitute(hv::BinVec& plane,
                                        const hv::BinVec& bits,
                                        std::size_t begin, std::size_t end) {
@@ -253,6 +278,9 @@ ObserveResult RecoveryEngine::observe(const hv::BinVec& query) {
       // One-chunk republish into the arena mirror: scoring stays on the
       // fast path across in-service repairs.
       model_.sync_arena_range(winner, 0, begin, end);
+      result.repaired_class = winner;
+      result.repaired_begin = begin;
+      result.repaired_end = end;
     }
   }
 

@@ -1,0 +1,207 @@
+#include "robusthd/persist/wal.hpp"
+
+#include <cstring>
+
+#include "robusthd/util/crc32c.hpp"
+
+namespace robusthd::persist {
+
+namespace {
+
+constexpr std::size_t kPad = 8;
+
+std::size_t padded(std::size_t n) noexcept {
+  return (n + (kPad - 1)) & ~(kPad - 1);
+}
+
+template <typename T>
+void put(std::vector<std::byte>& out, T value) {
+  const auto old = out.size();
+  out.resize(old + sizeof(T));
+  std::memcpy(out.data() + old, &value, sizeof(T));
+}
+
+/// Copies sizeof(T) bytes at `offset` out of `payload`; false when the
+/// payload is too short. Every decoder reads through this, so a short or
+/// lying payload can never run the cursor past the buffer.
+template <typename T>
+bool get(std::span<const std::byte> payload, std::size_t offset, T& value) {
+  if (payload.size() < sizeof(T) || offset > payload.size() - sizeof(T)) {
+    return false;
+  }
+  std::memcpy(&value, payload.data() + offset, sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+void encode_record(std::vector<std::byte>& out, RecordType type,
+                   std::uint64_t seq, std::span<const std::byte> payload) {
+  const auto header_at = out.size();
+  put<std::uint32_t>(out, kWalMagic);
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(type));
+  put<std::uint16_t>(out, 0);  // flags
+  put<std::uint64_t>(out, seq);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
+  put<std::uint32_t>(out, util::crc32c(payload));
+  put<std::uint32_t>(out, 0);  // reserved
+  put<std::uint32_t>(out,
+                     util::crc32c(out.data() + header_at,
+                                  kRecordHeaderBytes - sizeof(std::uint32_t)));
+  out.insert(out.end(), payload.begin(), payload.end());
+  out.resize(header_at + kRecordHeaderBytes + padded(payload.size()),
+             std::byte{0});
+}
+
+void encode_base_ref(std::vector<std::byte>& out, const BaseRef& ref) {
+  put<std::uint64_t>(out, ref.generation);
+  put<std::uint64_t>(out, ref.base_version);
+}
+
+void encode_plane_delta(std::vector<std::byte>& out, const PlaneDelta& delta) {
+  put<std::uint64_t>(out, delta.model_version);
+  put<std::uint32_t>(out, delta.cls);
+  put<std::uint32_t>(out, delta.plane);
+  put<std::uint64_t>(out, delta.word_begin);
+  const auto old = out.size();
+  out.resize(old + delta.words.size() * sizeof(std::uint64_t));
+  std::memcpy(out.data() + old, delta.words.data(),
+              delta.words.size() * sizeof(std::uint64_t));
+}
+
+void encode_recovery_state(std::vector<std::byte>& out,
+                           const model::RecoveryEngineState& state) {
+  put<std::uint64_t>(out, state.total_updates);
+  put<std::uint64_t>(out, state.total_substituted_bits);
+  std::uint64_t health_bits = 0;
+  static_assert(sizeof(health_bits) == sizeof(state.best_health));
+  std::memcpy(&health_bits, &state.best_health, sizeof(health_bits));
+  put<std::uint64_t>(out, health_bits);
+  put<std::uint32_t>(out, state.frozen ? 1u : 0u);
+  put<std::uint32_t>(out,
+                     static_cast<std::uint32_t>(state.class_repairs.size()));
+  for (const auto r : state.class_repairs) put<std::uint64_t>(out, r);
+}
+
+void encode_epoch_close(std::vector<std::byte>& out, const EpochClose& close) {
+  put<std::uint64_t>(out, close.epoch);
+  put<std::uint32_t>(out, close.state_crc);
+  put<std::uint32_t>(out, 0);  // reserved
+}
+
+std::optional<BaseRef> decode_base_ref(std::span<const std::byte> payload) {
+  BaseRef ref;
+  if (payload.size() != 16) return std::nullopt;
+  if (!get(payload, 0, ref.generation)) return std::nullopt;
+  if (!get(payload, 8, ref.base_version)) return std::nullopt;
+  return ref;
+}
+
+std::optional<PlaneDelta> decode_plane_delta(
+    std::span<const std::byte> payload) {
+  PlaneDelta delta;
+  constexpr std::size_t kFixed = 24;
+  if (payload.size() < kFixed) return std::nullopt;
+  if ((payload.size() - kFixed) % sizeof(std::uint64_t) != 0) {
+    return std::nullopt;
+  }
+  if (!get(payload, 0, delta.model_version)) return std::nullopt;
+  if (!get(payload, 8, delta.cls)) return std::nullopt;
+  if (!get(payload, 12, delta.plane)) return std::nullopt;
+  if (!get(payload, 16, delta.word_begin)) return std::nullopt;
+  const std::size_t words = (payload.size() - kFixed) / sizeof(std::uint64_t);
+  delta.words.resize(words);
+  std::memcpy(delta.words.data(), payload.data() + kFixed,
+              words * sizeof(std::uint64_t));
+  return delta;
+}
+
+std::optional<model::RecoveryEngineState> decode_recovery_state(
+    std::span<const std::byte> payload) {
+  model::RecoveryEngineState state;
+  constexpr std::size_t kFixed = 32;
+  if (payload.size() < kFixed) return std::nullopt;
+  std::uint64_t health_bits = 0;
+  std::uint32_t frozen = 0;
+  std::uint32_t classes = 0;
+  if (!get(payload, 0, state.total_updates)) return std::nullopt;
+  if (!get(payload, 8, state.total_substituted_bits)) return std::nullopt;
+  if (!get(payload, 16, health_bits)) return std::nullopt;
+  if (!get(payload, 24, frozen)) return std::nullopt;
+  if (!get(payload, 28, classes)) return std::nullopt;
+  std::memcpy(&state.best_health, &health_bits, sizeof(state.best_health));
+  state.frozen = frozen != 0;
+  // The declared class count must match the payload exactly — a lying
+  // count (even CRC-valid, i.e. a writer bug) cannot drive an oversized
+  // allocation.
+  if (payload.size() - kFixed !=
+      static_cast<std::size_t>(classes) * sizeof(std::uint64_t)) {
+    return std::nullopt;
+  }
+  state.class_repairs.resize(classes);
+  std::memcpy(state.class_repairs.data(), payload.data() + kFixed,
+              static_cast<std::size_t>(classes) * sizeof(std::uint64_t));
+  return state;
+}
+
+std::optional<EpochClose> decode_epoch_close(
+    std::span<const std::byte> payload) {
+  EpochClose close;
+  if (payload.size() != 16) return std::nullopt;
+  std::uint32_t reserved = 0;
+  if (!get(payload, 0, close.epoch)) return std::nullopt;
+  if (!get(payload, 8, close.state_crc)) return std::nullopt;
+  if (!get(payload, 12, reserved)) return std::nullopt;
+  return close;
+}
+
+bool SegmentReader::next(RecordView& out) noexcept {
+  if (done_) return false;
+  if (offset_ == data_.size()) {  // clean end, nothing torn
+    done_ = true;
+    return false;
+  }
+  // Anything from here on that fails to parse is a tear: bytes exist
+  // past the last good record but do not form one.
+  if (data_.size() - offset_ < kRecordHeaderBytes) {
+    torn_ = done_ = true;
+    return false;
+  }
+  const std::byte* h = data_.data() + offset_;
+  std::uint32_t magic = 0;
+  std::uint16_t type = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t payload_crc = 0;
+  std::uint32_t header_crc = 0;
+  std::memcpy(&magic, h, 4);
+  std::memcpy(&type, h + 4, 2);
+  std::memcpy(&seq, h + 8, 8);
+  std::memcpy(&payload_bytes, h + 16, 4);
+  std::memcpy(&payload_crc, h + 20, 4);
+  std::memcpy(&header_crc, h + 28, 4);
+  if (magic != kWalMagic ||
+      header_crc != util::crc32c(h, kRecordHeaderBytes - 4) ||
+      payload_bytes > kMaxRecordPayload) {
+    torn_ = done_ = true;
+    return false;
+  }
+  const std::size_t frame = kRecordHeaderBytes + padded(payload_bytes);
+  if (data_.size() - offset_ < frame) {
+    torn_ = done_ = true;
+    return false;
+  }
+  const auto payload =
+      data_.subspan(offset_ + kRecordHeaderBytes, payload_bytes);
+  if (payload_crc != util::crc32c(payload)) {
+    torn_ = done_ = true;
+    return false;
+  }
+  out.type = static_cast<RecordType>(type);
+  out.seq = seq;
+  out.payload = payload;
+  offset_ += frame;
+  return true;
+}
+
+}  // namespace robusthd::persist

@@ -1,7 +1,10 @@
 #include "robusthd/serve/scrubber.hpp"
 
+#include <cassert>
 #include <utility>
 #include <vector>
+
+#include "robusthd/util/bitops.hpp"
 
 namespace robusthd::serve {
 
@@ -17,6 +20,18 @@ Scrubber::Scrubber(ModelSnapshot& snapshot, const ScrubberConfig& config)
 }
 
 Scrubber::~Scrubber() { stop(); }
+
+void Scrubber::set_persist_hook(PersistHook hook) {
+  assert(!started_ && "persist hook must be installed before start()");
+  persist_hook_ = std::move(hook);
+}
+
+void Scrubber::restore_engine_state(model::RecoveryEngineState state) {
+  Command cmd;
+  cmd.kind = Command::Kind::kRestoreState;
+  cmd.engine_state = std::move(state);
+  enqueue_command(std::move(cmd));
+}
 
 void Scrubber::start() {
   if (started_) return;
@@ -119,7 +134,27 @@ void Scrubber::resync_if_stale() {
   seen_version_ = version;
   engine_.emplace(working_, config_.recovery);
   dirty_bits_ = 0;  // pending old-model repairs are meaningless now
+  pending_ranges_.clear();  // ...and so is their journal trail
   resyncs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Scrubber::note_repair(const model::ObserveResult& result) {
+  if (!persist_hook_ ||
+      result.repaired_class == model::ObserveResult::kNoRepair) {
+    return;
+  }
+  // Bit range -> word range, the same resolution sync_arena_range used
+  // to republish the repair into the arena.
+  const std::size_t word_begin = result.repaired_begin / 64;
+  const std::size_t word_end = util::words_for_bits(result.repaired_end);
+  pending_ranges_.push_back(
+      RepairedRange{result.repaired_class, 0, word_begin,
+                    word_end - word_begin});
+}
+
+void Scrubber::emit_publication(std::span<const RepairedRange> ranges) {
+  if (!persist_hook_) return;
+  persist_hook_(seen_version_, working_, ranges, engine_->export_state());
 }
 
 void Scrubber::run_commands() {
@@ -129,6 +164,19 @@ void Scrubber::run_commands() {
     pending.swap(commands_);
   }
   for (const auto& cmd : pending) {
+    if (cmd.kind == Command::Kind::kRestoreState) {
+      // Crash-recovery rehydration: the engine's budgets and watchdog
+      // resume where the last closed epoch left them. A state whose
+      // shape disagrees with the live model (a reload landed between
+      // recovery and this command) is dropped — it described the old
+      // weights.
+      resync_if_stale();
+      if (cmd.engine_state.class_repairs.size() == working_.num_classes()) {
+        engine_->restore_state(cmd.engine_state);
+      }
+      done_commands_.fetch_add(1, std::memory_order_release);
+      continue;
+    }
     if (cmd.kind == Command::Kind::kPriority) {
       // Engine mutation only — no model bits change, so nothing publishes.
       // Marks aimed at a stale geometry (a reload swapped in a smaller
@@ -170,6 +218,25 @@ void Scrubber::run_commands() {
         faults_injected_.fetch_add(flipped, std::memory_order_relaxed);
         published_.fetch_add(1, std::memory_order_relaxed);
         dirty_bits_ = 0;
+        // Journal the damage as full-plane deltas: persistence is a
+        // faithful record of the published model, and injected faults
+        // are published state — a recovered server resumes *repairing*
+        // them, exactly as the live one would have. Any repair ranges
+        // pending from before the attack are subsumed by the full
+        // planes.
+        if (persist_hook_) {
+          pending_ranges_.clear();
+          const auto& model = std::as_const(working_);
+          const std::size_t wpp = util::words_for_bits(model.dimension());
+          for (std::size_t c = 0; c < model.num_classes(); ++c) {
+            const auto planes = model.class_vector(c).planes.size();
+            for (std::size_t p = 0; p < planes; ++p) {
+              pending_ranges_.push_back(RepairedRange{c, p, 0, wpp});
+            }
+          }
+          emit_publication(pending_ranges_);
+          pending_ranges_.clear();
+        }
         break;
       }
     }
@@ -182,10 +249,14 @@ void Scrubber::publish_if_dirty() {
   if (snapshot_.try_publish(working_, seen_version_)) {
     ++seen_version_;
     published_.fetch_add(1, std::memory_order_relaxed);
+    // Readers can now see these repairs — journal them under the version
+    // that carries them.
+    emit_publication(pending_ranges_);
   }
   // On failure a reload won the race; the repairs applied to the old
   // weights are dropped and resync_if_stale() adopts the new model on
-  // the next loop iteration.
+  // the next loop iteration — and their journal trail dies with them.
+  pending_ranges_.clear();
   dirty_bits_ = 0;
 }
 
@@ -209,6 +280,7 @@ void Scrubber::thread_main() {
                                     std::memory_order_relaxed);
         dirty_bits_ += result.substituted_bits;
       }
+      note_repair(result);
       done_.fetch_add(1, std::memory_order_release);
     }
 
@@ -231,6 +303,7 @@ void Scrubber::thread_main() {
                                       std::memory_order_relaxed);
           dirty_bits_ += result.substituted_bits;
         }
+        note_repair(result);
         done_.fetch_add(1, std::memory_order_release);
       }
       publish_if_dirty();

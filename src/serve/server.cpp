@@ -62,8 +62,46 @@ Server::Server(model::HdcModel model, const ServerConfig& config)
           "set ServerConfig::enable_recovery = false for multi-bit models");
     }
     scrubber_ = std::make_unique<Scrubber>(snapshot_, config_.scrubber);
-    scrubber_->start();
   }
+
+  if (!config_.persist.dir.empty()) {
+    // Write the serving model as an atomic base checkpoint and start the
+    // WAL thread. This happens before any worker or the scrubber runs, so
+    // the base is exactly snapshot version 0 — every later publication is
+    // journaled as a delta above it.
+    epoch_log_ = std::make_unique<persist::EpochLog>(
+        config_.persist, core::serialize_model(*snapshot_.acquire(), {}),
+        snapshot_.version());
+    if (scrubber_) {
+      // The hook runs on the scrub thread right after a successful
+      // publication; it copies the rewritten words out of the (thread-
+      // local) working model and hands them to the log thread. Serving
+      // never waits on I/O.
+      scrubber_->set_persist_hook(
+          [this](std::uint64_t version, const model::HdcModel& published,
+                 std::span<const RepairedRange> ranges,
+                 const model::RecoveryEngineState& state) {
+            std::vector<persist::PlaneWrite> writes;
+            writes.reserve(ranges.size());
+            for (const auto& r : ranges) {
+              const auto words = published.class_vector(r.cls).planes[r.plane]
+                                     .words();
+              persist::PlaneWrite w;
+              w.cls = static_cast<std::uint32_t>(r.cls);
+              w.plane = static_cast<std::uint32_t>(r.plane);
+              w.word_begin = r.word_begin;
+              w.words.assign(
+                  words.begin() + static_cast<std::ptrdiff_t>(r.word_begin),
+                  words.begin() +
+                      static_cast<std::ptrdiff_t>(r.word_begin + r.word_count));
+              writes.push_back(std::move(w));
+            }
+            epoch_log_->append_publication(version, std::move(writes), state);
+          });
+    }
+  }
+
+  if (scrubber_) scrubber_->start();
 
   // The breaker's fallback: the model as constructed is blessed by
   // definition. Updated on every successful reload.
@@ -183,7 +221,13 @@ void Server::inject_faults(double rate, fault::AttackMode mode,
   auto regions = damaged.memory_regions();
   const auto report = fault::BitFlipInjector::inject(regions, rate, mode, rng);
   direct_faults_.fetch_add(report.flipped, std::memory_order_relaxed);
-  snapshot_.publish(std::move(damaged));
+  // Without a scrubber no hook journals this publication as deltas;
+  // rotate the generation around the damaged model instead — published
+  // state must be recoverable state, injected or not.
+  std::vector<std::byte> blob;
+  if (epoch_log_) blob = core::serialize_model(damaged, {});
+  const auto version = snapshot_.publish(std::move(damaged));
+  if (epoch_log_) epoch_log_->rotate_generation(std::move(blob), version);
 }
 
 std::uint64_t Server::reload(model::HdcModel model) {
@@ -207,8 +251,15 @@ std::uint64_t Server::reload(model::HdcModel model) {
   // hold their snapshot pointer and finish on the old model; every batch
   // formed after this line scores the new one. The scrubber notices the
   // foreign version at its next ring-empty boundary and resyncs.
+  std::vector<std::byte> blob;
+  if (epoch_log_) blob = core::serialize_model(model, {});
   const std::lock_guard<std::mutex> lock(direct_fault_mutex_);
   const auto version = snapshot_.publish(std::move(model));
+  // A reload rotates the WAL generation: the reloaded blob becomes the
+  // new base checkpoint, and any queued repair deltas of the pre-reload
+  // weights fall below the generation fence and are discarded — exactly
+  // mirroring the scrubber's own discard of those repairs.
+  if (epoch_log_) epoch_log_->rotate_generation(std::move(blob), version);
   reloads_.fetch_add(1, std::memory_order_relaxed);
   // rebase() only sets a flag, so this is safe even when reload() is
   // reached from the sentinel's own breaker path (attempt_reload hook).
@@ -248,6 +299,33 @@ void Server::shutdown() {
   queue_.close();     // wakes workers; pops drain accepted requests
   workers_.join();    // every accepted promise is now fulfilled
   if (scrubber_) scrubber_->stop();  // final ring drain, then halt
+  // Last: the scrubber's final publications are already appended, so this
+  // closes one last epoch over them — a graceful shutdown loses nothing.
+  if (epoch_log_) epoch_log_->stop();
+}
+
+void Server::persist_barrier() {
+  drain();
+  if (epoch_log_) epoch_log_->close_epoch();
+}
+
+std::unique_ptr<Server> Server::recover(const std::string& dir,
+                                        ServerConfig config) {
+  auto rec = persist::recover_dir(dir);
+  if (!rec) {
+    throw std::runtime_error(
+        "serve::Server::recover: no usable persisted state in '" + dir + "'");
+  }
+  config.persist.dir = dir;
+  auto server = std::make_unique<Server>(std::move(rec->model), config);
+  server->replay_stats_ = rec->stats;
+  // Rehydrate the recovery engine's durable counters (budgets, watchdog)
+  // on the scrub thread — a crash must not hand the attacker a fresh
+  // substitution budget.
+  if (rec->engine_state && server->scrubber_) {
+    server->scrubber_->restore_engine_state(std::move(*rec->engine_state));
+  }
+  return server;
 }
 
 ServerStats Server::stats() const {
@@ -307,6 +385,15 @@ ServerStats Server::stats() const {
     s.arena_bytes = model->arena().bytes();
     s.arena_hugepage = model->arena().hugepage_backed();
   }
+  if (epoch_log_) {
+    const auto p = epoch_log_->counters();
+    s.epochs_closed = p.epochs_closed;
+    s.wal_bytes = p.wal_bytes;
+    s.wal_rotations = p.rotations;
+    s.wal_compactions = p.compactions;
+    s.persist_io_errors = p.io_errors;
+  }
+  s.replay_records = replay_stats_.replay_records;
   return s;
 }
 

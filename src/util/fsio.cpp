@@ -1,0 +1,181 @@
+#include "robusthd/util/fsio.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(_WIN32)
+#error "robusthd::util fsio requires a POSIX platform"
+#endif
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace robusthd::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& op, const std::string& path) {
+  throw FsError("robusthd: " + op + " failed for " + path + ": " +
+                std::strerror(errno));
+}
+
+std::string parent_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// write(2) until everything is out, tolerating short writes and EINTR.
+void write_all(int fd, std::span<const std::byte> data,
+               const std::string& path) {
+  const auto* p = reinterpret_cast<const char*>(data.data());
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", path);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() noexcept {
+    const int f = fd;
+    fd = -1;
+    return f;
+  }
+};
+
+}  // namespace
+
+void fsync_fd(int fd) {
+  if (::fsync(fd) != 0) fail("fsync", "<fd>");
+}
+
+void write_fd(int fd, std::span<const std::byte> data) {
+  write_all(fd, data, "<fd>");
+}
+
+void fsync_dir(const std::string& dir) {
+  FdGuard g{::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC)};
+  if (g.fd < 0) fail("open(dir)", dir);
+  if (::fsync(g.fd) != 0) fail("fsync(dir)", dir);
+}
+
+void fsync_parent_dir(const std::string& path) { fsync_dir(parent_of(path)); }
+
+void atomic_write_file(const std::string& path,
+                       std::span<const std::byte> data) {
+  // O_EXCL collision guard: a stale temp file (crashed writer) or a
+  // concurrent writer makes open fail with EEXIST; we move to the next
+  // suffix rather than truncating someone else's in-progress file.
+  std::string tmp;
+  FdGuard g;
+  const auto pid = static_cast<unsigned long>(::getpid());
+  for (unsigned attempt = 0; attempt < 64; ++attempt) {
+    tmp = path + ".tmp." + std::to_string(pid) + "." + std::to_string(attempt);
+    g.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (g.fd >= 0) break;
+    if (errno != EEXIST) fail("open(tmp)", tmp);
+  }
+  if (g.fd < 0) fail("open(tmp, O_EXCL) — too many stale temp files", tmp);
+
+  try {
+    write_all(g.fd, data, tmp);
+    // The data must be on stable storage *before* the rename publishes
+    // the name — otherwise a crash can leave a fully-named empty file.
+    fsync_fd(g.fd);
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(g.release()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("close(tmp)", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("rename", path);
+  }
+  // And the rename itself must be durable: fsync the parent directory.
+  fsync_parent_dir(path);
+}
+
+void make_dirs(const std::string& dir) {
+  if (dir.empty()) return;
+  std::string partial;
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const auto slash = dir.find('/', pos);
+    const auto end = slash == std::string::npos ? dir.size() : slash;
+    partial = dir.substr(0, end);
+    pos = end + 1;
+    if (partial.empty()) continue;  // leading '/'
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      fail("mkdir", partial);
+    }
+  }
+}
+
+std::vector<std::byte> read_file(const std::string& path,
+                                 std::size_t max_bytes) {
+  FdGuard g{::open(path.c_str(), O_RDONLY | O_CLOEXEC)};
+  if (g.fd < 0) fail("open", path);
+  struct stat st{};
+  if (::fstat(g.fd, &st) != 0) fail("fstat", path);
+  if (st.st_size < 0 ||
+      static_cast<std::uint64_t>(st.st_size) > max_bytes) {
+    throw FsError("robusthd: " + path + " exceeds the read bound (" +
+                  std::to_string(st.st_size) + " > " +
+                  std::to_string(max_bytes) + " bytes)");
+  }
+  std::vector<std::byte> out(static_cast<std::size_t>(st.st_size));
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::read(g.fd, reinterpret_cast<char*>(out.data()) + off,
+               out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("read", path);
+    }
+    if (n == 0) break;  // concurrent truncation: return what exists
+    off += static_cast<std::size_t>(n);
+  }
+  out.resize(off);
+  return out;
+}
+
+bool path_exists(const std::string& path) noexcept {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::vector<std::string> list_dir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+void remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) fail("unlink", path);
+}
+
+}  // namespace robusthd::util

@@ -64,6 +64,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -125,9 +126,11 @@ const std::vector<CommandSpec>& command_specs() {
        "  --rounds R                    passes over the test queries\n"
        "  --rate R --mode M             optional fault injection\n"
        "  --dimension D                 trained-model dimension (default 4000)\n"
-       "  --layout rowmajor|arena       plane-memory scoring layout (default arena)\n",
+       "  --layout rowmajor|arena       plane-memory scoring layout (default arena)\n"
+       "  --persist-dir DIR             journal publications into a WAL dir\n"
+       "                                (recovers from it when state exists)\n",
        {"model", "workers", "rounds", "rate", "mode", "batch", "dimension",
-        "layout", ROBUSTHD_SPLIT_FLAGS}},
+        "layout", "persist-dir", ROBUSTHD_SPLIT_FLAGS}},
       {"chaos", "live-fire soak with in-service chaos + recovery",
        "  --dataset NAME | --csv FILE   traffic source\n"
        "  --model FILE                  serve a stored model (else train one)\n"
@@ -144,9 +147,10 @@ const std::vector<CommandSpec>& command_specs() {
        "  --port P                      first port; shard i on P+i (default\n"
        "                                ephemeral — the actual ports are printed)\n"
        "  --seconds S                   serve duration, 0 = forever (default 5)\n"
-       "  --dimension D                 trained-model dimension (default 4000)\n",
+       "  --dimension D                 trained-model dimension (default 4000)\n"
+       "  --persist-dir DIR             per-shard WAL dirs under DIR/shard-<i>\n",
        {"model", "shards", "workers", "port", "seconds", "dimension",
-        ROBUSTHD_SPLIT_FLAGS}},
+        "persist-dir", ROBUSTHD_SPLIT_FLAGS}},
       {"fleet-bench", "closed-loop fleet throughput over loopback",
        "  --shards N                    shard count to compare vs 1 (default 2)\n"
        "  --clients N                   client threads per shard (default 2)\n"
@@ -161,6 +165,10 @@ const std::vector<CommandSpec>& command_specs() {
       {"info", "print a stored model's shape and format",
        "  --model FILE                  stored model (required)\n",
        {"model"}},
+      {"wal-recover", "replay a persist directory (kill-9 recovery)",
+       "  --dir DIR                     persist directory (required)\n"
+       "  --out FILE                    save the recovered model as RHD2\n",
+       {"dir", "out"}},
       {"integrity", "corrupt stored blobs, verify detection",
        "  --model FILE                  stored model (required)\n"
        "  --trials N                    corrupted copies per cell (default 200)\n"
@@ -404,7 +412,26 @@ int cmd_serve_bench(const Args& args) {
                 model.precision_bits());
     config.enable_recovery = false;
   }
-  serve::Server server(std::move(model), config);
+  const auto persist_dir = args.get("persist-dir", "");
+  config.persist.dir = persist_dir;
+  std::unique_ptr<serve::Server> server_holder;
+  if (!persist_dir.empty() && persist::has_state(persist_dir)) {
+    // A previous run left durable state: resume it (the trained/loaded
+    // model above only seeds a first run).
+    server_holder = serve::Server::recover(persist_dir, config);
+    const auto& rs = server_holder->replay_stats();
+    std::printf("recovered from %s: %zu segments, %zu records, %zu epochs"
+                "%s, state crc %s\n",
+                persist_dir.c_str(), static_cast<std::size_t>(rs.segments),
+                static_cast<std::size_t>(rs.replay_records),
+                static_cast<std::size_t>(rs.epochs_applied),
+                rs.torn_tail ? ", torn tail discarded" : "",
+                rs.state_crc_ok ? "OK" : "MISMATCH");
+  } else {
+    server_holder =
+        std::make_unique<serve::Server>(std::move(model), config);
+  }
+  serve::Server& server = *server_holder;
 
   const double rate = args.real("rate", 0.0);
   if (rate > 0.0) {
@@ -424,6 +451,7 @@ int cmd_serve_bench(const Args& args) {
   }
   const double elapsed = timer.seconds();
   server.drain();
+  if (!persist_dir.empty()) server.persist_barrier();
   const auto stats = server.stats();
   server.shutdown();
 
@@ -460,6 +488,15 @@ int cmd_serve_bench(const Args& args) {
   if (rate > 0.0) {
     std::printf("faults injected: %zu\n",
                 static_cast<std::size_t>(stats.faults_injected));
+  }
+  if (!persist_dir.empty()) {
+    std::printf("durability: epochs closed %zu, wal bytes %zu, "
+                "rotations %zu, compactions %zu, io errors %zu\n",
+                static_cast<std::size_t>(stats.epochs_closed),
+                static_cast<std::size_t>(stats.wal_bytes),
+                static_cast<std::size_t>(stats.wal_rotations),
+                static_cast<std::size_t>(stats.wal_compactions),
+                static_cast<std::size_t>(stats.persist_io_errors));
   }
   return 0;
 }
@@ -646,6 +683,42 @@ int cmd_integrity(const Args& args) {
   return 0;
 }
 
+int cmd_wal_recover(const Args& args) {
+  const auto dir = args.require("dir");
+  const auto rec = persist::recover_dir(dir);
+  if (!rec) {
+    std::fprintf(stderr, "no usable persisted state in %s\n", dir.c_str());
+    return 1;
+  }
+  const auto& rs = rec->stats;
+  std::printf("recovered generation %zu: D=%zu, %u classes, %u-bit\n",
+              static_cast<std::size_t>(rec->generation),
+              rec->base_info.dimension, rec->base_info.num_classes,
+              rec->base_info.precision_bits);
+  std::printf("replay: %zu segments (%zu bytes), %zu records committed "
+              "across %zu epochs, %zu discarded%s\n",
+              static_cast<std::size_t>(rs.segments),
+              static_cast<std::size_t>(rs.wal_bytes),
+              static_cast<std::size_t>(rs.replay_records),
+              static_cast<std::size_t>(rs.epochs_applied),
+              static_cast<std::size_t>(rs.discarded_records),
+              rs.torn_tail ? " (torn tail)" : "");
+  std::printf("state crc: %s\n", rs.state_crc_ok ? "OK" : "MISMATCH");
+  if (rec->engine_state) {
+    std::printf("engine state: %zu updates, %zu substituted bits%s\n",
+                static_cast<std::size_t>(rec->engine_state->total_updates),
+                static_cast<std::size_t>(
+                    rec->engine_state->total_substituted_bits),
+                rec->engine_state->frozen ? " (frozen)" : "");
+  }
+  const auto out = args.get("out", "");
+  if (!out.empty()) {
+    core::save_model(rec->model, out);
+    std::printf("saved recovered model to %s\n", out.c_str());
+  }
+  return rs.state_crc_ok ? 0 : 1;
+}
+
 /// Trained model + encoded queries for the fleet commands (same
 /// load-or-train convention as serve-bench/chaos).
 struct FleetWorld {
@@ -675,9 +748,11 @@ FleetWorld fleet_world(const Args& args) {
 }
 
 fleet::Fleet make_fleet(const model::HdcModel& model, std::size_t shards,
-                        std::size_t workers) {
+                        std::size_t workers,
+                        const std::string& persist_dir = "") {
   std::vector<model::HdcModel> models;
   fleet::FleetConfig config;
+  config.persist_dir = persist_dir;
   for (std::size_t s = 0; s < shards; ++s) {
     models.push_back(model);
     fleet::ShardConfig shard;
@@ -716,7 +791,8 @@ int cmd_fleet_serve(const Args& args) {
       static_cast<std::size_t>(std::max(1L, args.number("shards", 2)));
   const auto workers =
       static_cast<std::size_t>(std::max(1L, args.number("workers", 1)));
-  auto fleet = make_fleet(w.model, shards, workers);
+  auto fleet = make_fleet(w.model, shards, workers,
+                          args.get("persist-dir", ""));
 
   fleet::FrontendConfig frontend_config;
   frontend_config.base_port =
@@ -952,6 +1028,7 @@ int main(int argc, char** argv) {
     if (command == "fleet-bench") return cmd_fleet_bench(args);
     if (command == "info") return cmd_info(args);
     if (command == "integrity") return cmd_integrity(args);
+    if (command == "wal-recover") return cmd_wal_recover(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
