@@ -1,0 +1,133 @@
+#pragma once
+// Gradient-free adversarial example generation against HdcModel.
+//
+// HDC classifiers expose no gradients, but they are linear enough in the
+// Hamming domain that an attacker does not need any (Yang & Ren,
+// "Adversarial Attacks on Brain-Inspired Hyperdimensional Computing-Based
+// Classifiers"). Two attack surfaces:
+//
+//  * Encoded queries (white-box): flipping query bit i moves the
+//    winner-vs-rival margin by exactly -2/D, 0 or +2/D depending on how
+//    the bit relates to the two class planes, so the highest-leverage
+//    dimensions can be ranked in closed form and flipped greedily under a
+//    Hamming perturbation budget. No search at all — the score leverage
+//    *is* the gradient.
+//
+//  * Raw feature vectors (black-box through the encoder): a genetic
+//    search over L-infinity-bounded feature perturbations, scored by the
+//    rival-minus-winner margin after encoding, followed by a boundary
+//    bisection that shrinks a successful perturbation back toward the
+//    original sample.
+//
+// Both attackers are deterministic in their seeds and leave the model
+// untouched — they produce queries, which is exactly what makes them
+// dangerous to the self-healing loop: a high-confidence adversarial query
+// is indistinguishable from a trusted repair hint until the trust gate
+// looks at *where* the query disagrees with the class it claims to be
+// (serve::TrustGate, docs/resilience.md "Threat model: input-space
+// attacks").
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "robusthd/hv/binvec.hpp"
+#include "robusthd/hv/encoder_base.hpp"
+#include "robusthd/model/confidence.hpp"
+#include "robusthd/model/hdc_model.hpp"
+
+namespace robusthd::adversary {
+
+/// Greedy bit-flip attack tuning.
+struct BitFlipConfig {
+  /// Hamming perturbation budget: at most this many query bits flipped.
+  std::size_t max_flips = 64;
+  /// Adversarial target class; -1 picks the easiest rival (the runner-up
+  /// of the clean prediction).
+  int target = -1;
+  /// Re-score cadence during the greedy walk: the attack checks for
+  /// success every `step` flips, so the reported flips_used overshoots
+  /// the minimal budget by at most step - 1.
+  std::size_t step = 8;
+};
+
+/// Outcome of one bit-flip attack.
+struct BitFlipResult {
+  hv::BinVec adversarial;        ///< the perturbed query
+  bool success = false;          ///< prediction left the original class
+  bool hit_target = false;       ///< prediction landed on the target class
+  std::size_t flips_used = 0;    ///< Hamming distance to the clean query
+  int original_prediction = -1;
+  int final_prediction = -1;
+  /// Confidence of the *final* prediction — what the serving trust gate
+  /// would see. An attack that flips the label but craters the confidence
+  /// is caught by plain abstention; the dangerous ones keep this high.
+  double final_confidence = 0.0;
+  double final_margin = 0.0;
+};
+
+/// Greedy bit-flip search on an encoded query: ranks dimensions by their
+/// exact per-class score leverage (bits where the original winner's plane
+/// and the target's plane disagree, and the query currently sides with
+/// the winner — each flip moves the margin by 2/D) and flips them in
+/// order under the budget. 1-bit models only (throws otherwise).
+BitFlipResult greedy_bit_flip(const model::HdcModel& model,
+                              const hv::BinVec& query,
+                              const BitFlipConfig& config = {},
+                              const model::ConfidenceConfig& confidence = {});
+
+/// Attack success over a query set at one budget: `any` counts flipped
+/// predictions; `confident` counts only flips whose final confidence
+/// clears `trust_threshold` — the success rate against a service that
+/// abstains on (or at least refuses to *trust*) low-confidence answers.
+struct SuccessRates {
+  double any = 0.0;
+  double confident = 0.0;
+  double mean_flips = 0.0;  ///< mean flips used over successful attacks
+};
+SuccessRates bit_flip_success(const model::HdcModel& model,
+                              std::span<const hv::BinVec> queries,
+                              std::size_t budget, double trust_threshold,
+                              const model::ConfidenceConfig& confidence = {});
+
+/// Genetic / boundary feature-space attack tuning.
+struct GeneticConfig {
+  std::size_t population = 16;
+  std::size_t generations = 30;
+  std::size_t elite = 4;      ///< survivors cloned into the next generation
+  /// L-infinity budget per (normalised, [0,1]) feature.
+  double epsilon = 0.10;
+  double mutation_rate = 0.20;   ///< per-feature mutation probability
+  double mutation_scale = 0.5;   ///< mutation step, in units of epsilon
+  int target = -1;               ///< -1 = untargeted
+  /// Bisection steps of the post-success boundary walk back toward the
+  /// original sample (0 keeps the first success as-is).
+  std::size_t boundary_steps = 8;
+  std::uint64_t seed = 0xa77acc;
+};
+
+/// Outcome of one feature-space attack.
+struct GeneticResult {
+  std::vector<float> adversarial;  ///< perturbed feature vector
+  bool success = false;
+  double linf = 0.0;  ///< max |adversarial - original| over features
+  int original_prediction = -1;
+  int final_prediction = -1;
+  double final_confidence = 0.0;
+  std::size_t generations_used = 0;
+};
+
+/// Gradient-free genetic search on the raw feature vector, scored through
+/// the encoder: perturbations live in the epsilon-ball around `features`
+/// (clamped to [0,1]); fitness is the rival-minus-winner similarity margin
+/// of the encoded candidate. On success, a boundary bisection blends the
+/// winner back toward the original to minimise the L-infinity distance.
+GeneticResult genetic_feature_attack(const model::HdcModel& model,
+                                     const hv::Encoder& encoder,
+                                     std::span<const float> features,
+                                     const GeneticConfig& config = {},
+                                     const model::ConfidenceConfig&
+                                         confidence = {});
+
+}  // namespace robusthd::adversary

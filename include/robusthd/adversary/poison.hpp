@@ -1,0 +1,99 @@
+#pragma once
+// PoisonCampaign — the attack on the self-healing loop itself.
+//
+// The scrubber's premise is that high-confidence traffic is trustworthy
+// repair evidence. A white-box attacker inverts that premise: start from a
+// class's own blessed plane (so the query is maximally similar to the
+// class — confidence saturates and the margin gate passes), then overwrite
+// a few chunks with a *rival* class's plane bits. The recovery engine's
+// chunk sweep sees exactly what a real fault looks like — one chunk where
+// the local winner contradicts the global winner — and "repairs" the
+// victim's plane toward the rival's bits. Every substituted bit is wrong.
+//
+// The campaign streams such queries at a live serve::Server, rotating the
+// victim class (so the engine's per-class repair balance never throttles
+// the attack) and keeping the dirty-chunk payload bit-exact across the
+// wave (so the engine's consensus majority *is* the rival's plane).
+// wrong_bits() then measures the damage: the Hamming distance between the
+// blessed reference and the served model, which for a quiet (fault-free)
+// server is entirely attack-induced substitution.
+//
+// The defense is serve::TrustGate (per-chunk canary agreement + fair-share
+// rate limiting); docs/resilience.md, "Threat model: input-space attacks".
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "robusthd/hv/binvec.hpp"
+#include "robusthd/model/hdc_model.hpp"
+#include "robusthd/serve/server.hpp"
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::adversary {
+
+/// Campaign shape.
+struct PoisonConfig {
+  /// Chunking of the crafted payloads. Must match the victim's
+  /// RecoveryConfig::chunks for the contradiction signal to line up with
+  /// the engine's own sweep ranges.
+  std::size_t chunks = 20;
+  /// Poisoned chunks per query (contiguous, starting at the wave's chunk).
+  std::size_t dirty_chunks = 1;
+  /// Always poison this chunk; SIZE_MAX rotates one chunk per wave.
+  std::size_t fixed_chunk = static_cast<std::size_t>(-1);
+  /// Waves submitted by run(); the server is drained between waves so the
+  /// scrubber consumes each wave before the next lands.
+  std::size_t waves = 24;
+  /// Queries per attacked class per wave. Keep >= the engine's consensus
+  /// requirement (3) so a single wave can fill a chunk's vote window.
+  std::size_t queries_per_class = 4;
+  /// Rotate the victim over every class (rival = next class). With false,
+  /// only target_class is attacked — the engine's repair-balance slack
+  /// then caps the damage, which is itself worth measuring.
+  bool all_classes = true;
+  std::size_t target_class = 0;
+  /// Bit-flip probability outside the dirty chunks: decorrelates the
+  /// waves' clean regions without disturbing the payload.
+  double query_noise = 0.005;
+  std::uint64_t seed = 0x90150;
+};
+
+/// What the campaign observed from the outside.
+struct PoisonReport {
+  std::size_t sent = 0;      ///< queries submitted
+  std::size_t answered = 0;  ///< responses received
+  std::size_t trusted = 0;   ///< responses the worker marked trusted
+  std::size_t failed = 0;    ///< submissions that never completed
+};
+
+/// Crafts and streams recovery-poisoning queries at a serve::Server.
+class PoisonCampaign {
+ public:
+  /// `reference` is the attacker's copy of the blessed model (white-box
+  /// assumption: the attacker knows the planes it is poisoning toward).
+  /// Throws std::invalid_argument for non-1-bit models or bad config.
+  PoisonCampaign(model::HdcModel reference, const PoisonConfig& config = {});
+
+  /// The next wave of adversarial queries (advances the rotation state).
+  std::vector<hv::BinVec> craft_wave();
+
+  /// Runs the full campaign: waves() x craft_wave() -> submit -> drain.
+  PoisonReport run(serve::Server& server);
+
+  /// Total Hamming distance between two models' stored planes — on a
+  /// fault-free server, the attack's wrong-bit substitution count.
+  static std::size_t wrong_bits(const model::HdcModel& blessed,
+                                const model::HdcModel& current);
+
+  const model::HdcModel& reference() const noexcept { return reference_; }
+  const PoisonConfig& config() const noexcept { return config_; }
+
+ private:
+  model::HdcModel reference_;
+  PoisonConfig config_;
+  util::Xoshiro256 rng_;
+  std::size_t wave_ = 0;
+};
+
+}  // namespace robusthd::adversary

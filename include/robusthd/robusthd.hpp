@@ -7,6 +7,8 @@
 // at runtime, plus the substrates its evaluation needs (fault injection,
 // fixed-point baselines, a digital PIM simulator, DRAM/ECC models).
 
+#include "robusthd/adversary/attacks.hpp"
+#include "robusthd/adversary/poison.hpp"
 #include "robusthd/baseline/adaboost.hpp"
 #include "robusthd/baseline/classifier.hpp"
 #include "robusthd/baseline/fixedpoint.hpp"
@@ -65,6 +67,7 @@
 #include "robusthd/serve/scrubber.hpp"
 #include "robusthd/serve/server.hpp"
 #include "robusthd/serve/stats.hpp"
+#include "robusthd/serve/trust_gate.hpp"
 #include "robusthd/serve/worker_pool.hpp"
 #include "robusthd/util/crc32c.hpp"
 #include "robusthd/util/parallel.hpp"

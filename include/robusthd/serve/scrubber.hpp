@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -44,8 +45,18 @@
 #include "robusthd/hv/binvec.hpp"
 #include "robusthd/model/recovery.hpp"
 #include "robusthd/serve/model_snapshot.hpp"
+#include "robusthd/serve/trust_gate.hpp"
 
 namespace robusthd::serve {
+
+/// A ring entry: the trusted query plus the trust gate's taint tag.
+/// `suspect` rides along in shadow mode (TrustGateConfig::enforce off), so
+/// the scrubber can attribute any substitutions the query causes to
+/// suspect_substitutions — the poisoning measurement channel.
+struct TrustedQuery {
+  hv::BinVec query;
+  bool suspect = false;
+};
 
 /// Bounded lock-free MPMC ring (Vyukov sequence-number scheme). Producers
 /// are the serving workers; the consumer is the scrubber thread. push()
@@ -65,7 +76,7 @@ class TrustRing {
 
   std::size_t capacity() const noexcept { return cells_.size(); }
 
-  bool push(hv::BinVec&& value) noexcept {
+  bool push(TrustedQuery&& value) noexcept {
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];
@@ -87,7 +98,7 @@ class TrustRing {
     }
   }
 
-  bool pop(hv::BinVec& out) noexcept {
+  bool pop(TrustedQuery& out) noexcept {
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];
@@ -118,7 +129,7 @@ class TrustRing {
  private:
   struct Cell {
     std::atomic<std::size_t> sequence{0};
-    hv::BinVec value;
+    TrustedQuery value;
   };
 
   static std::size_t round_up_pow2(std::size_t n) noexcept {
@@ -139,6 +150,10 @@ struct ScrubberConfig {
   std::size_t ring_capacity = 1024;
   /// Consumer poll interval when the ring is idle.
   std::chrono::microseconds idle_wait{500};
+  /// Admission control for repair evidence (inert unless gate.enabled).
+  /// Server builds the TrustGate from this — including the per-class
+  /// canary centroids — and installs it before the scrubber starts.
+  TrustGateConfig gate{};
 };
 
 /// Counters exported into ServerStats.
@@ -155,6 +170,12 @@ struct ScrubberCounters {
   std::uint64_t resyncs = 0;
   /// Repair-priority changes applied to the engine (sentinel escalations).
   std::uint64_t priority_marks = 0;
+  /// Trust-gate telemetry (zero when no gate is installed).
+  std::uint64_t poisoned_offers = 0;  ///< offers flagged suspect by the gate
+  std::uint64_t gate_rejects = 0;     ///< offers rejected by the gate
+  /// Bits substituted by queries the gate had flagged suspect — in shadow
+  /// mode, the measured wrong-bit poisoning of the recovery engine.
+  std::uint64_t suspect_substitutions = 0;
 };
 
 /// One contiguous span of plane words rewritten since the last snapshot
@@ -204,10 +225,33 @@ class Scrubber {
   /// match the live model is dropped.
   void restore_engine_state(model::RecoveryEngineState state);
 
+  /// Installs the trust gate the gated offer path consults. Must be
+  /// called before start() — the pointer is read from worker threads
+  /// without synchronisation after that. Null (the default) means
+  /// offer_trusted admits everything, exactly like offer().
+  void install_trust_gate(std::unique_ptr<TrustGate> gate);
+  /// The installed gate, or nullptr.
+  const TrustGate* trust_gate() const noexcept { return gate_.get(); }
+
   /// Hands a trusted query to the recovery loop. Returns false when the
   /// ring is full — the hint is dropped, recorded in trust_drops, and
   /// callers must never retry (recovery pressure is advisory).
   bool offer(const hv::BinVec& query);
+
+  /// Why a gated offer did not enter the ring.
+  enum class OfferOutcome {
+    kAccepted,
+    kGateRejected,  ///< trust gate refused the query (enforce mode)
+    kRingFull,      ///< admission passed but the ring was full
+  };
+
+  /// The gated offer path: consults the installed TrustGate with the
+  /// worker's confidence verdict before pushing. Gate rejections are NOT
+  /// ring-full drops — callers should only count kRingFull into their
+  /// drop telemetry. Without an installed gate this is offer() with a
+  /// three-way result.
+  OfferOutcome offer_trusted(const hv::BinVec& query, int predicted,
+                             double margin);
 
   /// Schedules a bit-flip attack on the live model, executed *on the
   /// scrubber thread* (mutation stays single-writer) and followed by a
@@ -317,7 +361,12 @@ class Scrubber {
   std::atomic<std::uint64_t> drops_{0};    ///< offer() ring-full rejections
   std::atomic<std::uint64_t> resyncs_{0};  ///< reloads adopted by the thread
   std::atomic<std::uint64_t> priority_marks_{0};
+  /// Bits substituted by gate-flagged suspect queries (scrub thread).
+  std::atomic<std::uint64_t> suspect_substitutions_{0};
   std::uint64_t dirty_bits_ = 0;  ///< scrubber-thread-local
+
+  /// Installed before start(); read lock-free from worker threads.
+  std::unique_ptr<TrustGate> gate_;
 
   /// Set before start(), read on the scrub thread only.
   PersistHook persist_hook_;

@@ -160,6 +160,17 @@ struct ServerStats {
   std::uint64_t snapshots_published = 0;
   std::uint64_t model_version = 0;
 
+  // Trust gate (serve::TrustGate; all zero when the gate is disabled).
+  /// Offers the gate's canary-agreement check flagged as likely
+  /// adversarial (counted in shadow mode too).
+  std::uint64_t poisoned_offers = 0;
+  /// Offers the gate rejected outright (enforce mode: margin floor,
+  /// fair-share rate limit or canary disagreement).
+  std::uint64_t gate_rejects = 0;
+  /// Bits the recovery engine substituted on behalf of gate-flagged
+  /// suspect queries — the measured poisoning of the self-healing loop.
+  std::uint64_t suspect_substitutions = 0;
+
   // Hot reload (RHD2 model store integration).
   std::uint64_t reloads = 0;  ///< models published via reload()/load_model()
   /// load_model() calls rejected by blob validation (CRC mismatch,

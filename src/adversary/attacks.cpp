@@ -1,0 +1,313 @@
+#include "robusthd/adversary/attacks.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "robusthd/util/rng.hpp"
+
+namespace robusthd::adversary {
+namespace {
+
+int runner_up(std::span<const double> scores, int winner) {
+  int best = -1;
+  for (std::size_t c = 0; c < scores.size(); ++c) {
+    if (static_cast<int>(c) == winner) continue;
+    if (best < 0 || scores[c] > scores[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+BitFlipResult greedy_bit_flip(const model::HdcModel& model,
+                              const hv::BinVec& query,
+                              const BitFlipConfig& config,
+                              const model::ConfidenceConfig& confidence) {
+  if (model.precision_bits() != 1) {
+    throw std::invalid_argument("greedy_bit_flip: 1-bit models only");
+  }
+  if (model.num_classes() < 2) {
+    throw std::invalid_argument("greedy_bit_flip: need at least two classes");
+  }
+  if (query.dimension() != model.dimension()) {
+    throw std::invalid_argument("greedy_bit_flip: query dimension mismatch");
+  }
+
+  BitFlipResult result;
+  result.adversarial = query;
+
+  const auto clean = model.scores(query);
+  const auto conf0 = model::assess(clean, confidence, model.dimension());
+  result.original_prediction = conf0.predicted;
+  result.final_prediction = conf0.predicted;
+  result.final_confidence = conf0.top_probability;
+  result.final_margin = conf0.margin;
+
+  const int origin = conf0.predicted;
+  const int target =
+      config.target >= 0 ? config.target : runner_up(clean, origin);
+  if (target < 0 || static_cast<std::size_t>(target) >= model.num_classes() ||
+      target == origin) {
+    throw std::invalid_argument("greedy_bit_flip: bad target class");
+  }
+
+  // The leverage set: bits where the query sides with the origin plane and
+  // against the target plane. Flipping one moves the origin similarity
+  // down by 1/D and the target similarity up by 1/D — the maximum
+  // possible +2/D swing on the margin; every other bit moves it by 0.
+  // Word-parallel: (q ^ target) & ~(q ^ origin). Tail words are masked on
+  // all three vectors, so no out-of-range bit can appear.
+  const auto o_words = model.plane_words(static_cast<std::size_t>(origin), 0);
+  const auto t_words = model.plane_words(static_cast<std::size_t>(target), 0);
+  const auto q_words = query.words();
+  std::vector<std::size_t> lever;
+  lever.reserve(std::min(config.max_flips, model.dimension()));
+  for (std::size_t w = 0;
+       w < q_words.size() && lever.size() < config.max_flips; ++w) {
+    std::uint64_t bits = (q_words[w] ^ t_words[w]) & ~(q_words[w] ^ o_words[w]);
+    while (bits != 0 && lever.size() < config.max_flips) {
+      lever.push_back(w * 64 +
+                      static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+
+  const std::size_t step = std::max<std::size_t>(1, config.step);
+  auto rescore = [&]() {
+    const auto s = model.scores(result.adversarial);
+    const auto conf = model::assess(s, confidence, model.dimension());
+    result.final_prediction = conf.predicted;
+    result.final_confidence = conf.top_probability;
+    result.final_margin = conf.margin;
+    return conf.predicted != origin;
+  };
+
+  std::size_t flipped = 0;
+  bool flipped_prediction = false;
+  bool checked_at = false;  // rescore ran exactly at the current flip count
+  for (const std::size_t i : lever) {
+    result.adversarial.flip(i);
+    ++flipped;
+    checked_at = false;
+    if (flipped % step == 0) {
+      flipped_prediction = rescore();
+      checked_at = true;
+      if (flipped_prediction) break;
+    }
+  }
+  if (!flipped_prediction && !checked_at && flipped > 0) {
+    flipped_prediction = rescore();
+  }
+
+  result.success = flipped_prediction;
+  result.hit_target = result.final_prediction == target;
+  result.flips_used = flipped;
+  return result;
+}
+
+SuccessRates bit_flip_success(const model::HdcModel& model,
+                              std::span<const hv::BinVec> queries,
+                              std::size_t budget, double trust_threshold,
+                              const model::ConfidenceConfig& confidence) {
+  SuccessRates rates;
+  if (queries.empty()) return rates;
+  BitFlipConfig config;
+  config.max_flips = budget;
+  std::size_t any = 0;
+  std::size_t confident = 0;
+  std::size_t flips = 0;
+  for (const auto& query : queries) {
+    const auto r = greedy_bit_flip(model, query, config, confidence);
+    if (!r.success) continue;
+    ++any;
+    flips += r.flips_used;
+    if (r.final_confidence >= trust_threshold) ++confident;
+  }
+  rates.any = static_cast<double>(any) / static_cast<double>(queries.size());
+  rates.confident =
+      static_cast<double>(confident) / static_cast<double>(queries.size());
+  rates.mean_flips =
+      any == 0 ? 0.0 : static_cast<double>(flips) / static_cast<double>(any);
+  return rates;
+}
+
+GeneticResult genetic_feature_attack(const model::HdcModel& model,
+                                     const hv::Encoder& encoder,
+                                     std::span<const float> features,
+                                     const GeneticConfig& config,
+                                     const model::ConfidenceConfig&
+                                         confidence) {
+  if (encoder.feature_count() != features.size()) {
+    throw std::invalid_argument(
+        "genetic_feature_attack: feature count mismatch");
+  }
+  if (encoder.dimension() != model.dimension()) {
+    throw std::invalid_argument("genetic_feature_attack: dimension mismatch");
+  }
+  if (model.num_classes() < 2) {
+    throw std::invalid_argument(
+        "genetic_feature_attack: need at least two classes");
+  }
+
+  util::Xoshiro256 rng(config.seed);
+  GeneticResult result;
+  result.adversarial.assign(features.begin(), features.end());
+
+  const auto clean = model.scores(encoder.encode(features));
+  const auto conf0 = model::assess(clean, confidence, model.dimension());
+  result.original_prediction = conf0.predicted;
+  result.final_prediction = conf0.predicted;
+  result.final_confidence = conf0.top_probability;
+  const int origin = conf0.predicted;
+  const int target = config.target;
+  if (target >= 0 &&
+      (static_cast<std::size_t>(target) >= model.num_classes() ||
+       target == origin)) {
+    throw std::invalid_argument("genetic_feature_attack: bad target class");
+  }
+
+  const std::size_t n = features.size();
+  const double eps = config.epsilon;
+
+  struct Candidate {
+    std::vector<float> x;
+    double fitness = 0.0;
+    int predicted = -1;
+    double confidence = 0.0;
+    bool success = false;
+  };
+
+  auto evaluate = [&](std::vector<float> x) {
+    Candidate cand;
+    cand.x = std::move(x);
+    const auto s = model.scores(encoder.encode(cand.x));
+    const auto conf = model::assess(s, confidence, model.dimension());
+    cand.predicted = conf.predicted;
+    cand.confidence = conf.top_probability;
+    const double own = s[static_cast<std::size_t>(origin)];
+    if (target >= 0) {
+      cand.fitness = s[static_cast<std::size_t>(target)] - own;
+      cand.success = conf.predicted == target;
+    } else {
+      const int rival = runner_up(s, origin);
+      cand.fitness = s[static_cast<std::size_t>(rival)] - own;
+      cand.success = conf.predicted != origin;
+    }
+    return cand;
+  };
+
+  // Perturbations are expressed relative to the original sample and kept
+  // inside both the epsilon-ball and the normalised [0, 1] feature range.
+  auto project = [&](double value, std::size_t i) {
+    const double lo = std::max(0.0, static_cast<double>(features[i]) - eps);
+    const double hi = std::min(1.0, static_cast<double>(features[i]) + eps);
+    return static_cast<float>(std::clamp(value, lo, hi));
+  };
+
+  const std::size_t population = std::max<std::size_t>(2, config.population);
+  const std::size_t elite =
+      std::clamp<std::size_t>(config.elite, 1, population - 1);
+  std::vector<Candidate> pool;
+  pool.reserve(population);
+  for (std::size_t p = 0; p < population; ++p) {
+    std::vector<float> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = project(features[i] + rng.uniform(-eps, eps), i);
+    }
+    pool.push_back(evaluate(std::move(x)));
+  }
+
+  auto by_fitness = [](const Candidate& a, const Candidate& b) {
+    return a.fitness > b.fitness;
+  };
+
+  const Candidate* best_success = nullptr;
+  Candidate winner;
+  for (std::size_t g = 0; g < config.generations; ++g) {
+    std::sort(pool.begin(), pool.end(), by_fitness);
+    const auto hit = std::find_if(pool.begin(), pool.end(),
+                                  [](const Candidate& c) { return c.success; });
+    if (hit != pool.end()) {
+      winner = *hit;
+      best_success = &winner;
+      result.generations_used = g + 1;
+      break;
+    }
+    std::vector<Candidate> next;
+    next.reserve(population);
+    for (std::size_t e = 0; e < elite; ++e) next.push_back(pool[e]);
+    while (next.size() < population) {
+      const auto& a = pool[rng.below(elite)];
+      const auto& b = pool[rng.below(elite)];
+      std::vector<float> x(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        double v = rng.bernoulli(0.5) ? a.x[i] : b.x[i];
+        if (rng.bernoulli(config.mutation_rate)) {
+          v += rng.uniform(-config.mutation_scale * eps,
+                           config.mutation_scale * eps);
+        }
+        x[i] = project(v, i);
+      }
+      next.push_back(evaluate(std::move(x)));
+    }
+    pool = std::move(next);
+    result.generations_used = g + 1;
+  }
+  if (best_success == nullptr) {
+    // One last look: the final generation was produced but never scanned.
+    const auto hit = std::find_if(pool.begin(), pool.end(),
+                                  [](const Candidate& c) { return c.success; });
+    if (hit != pool.end()) {
+      winner = *hit;
+      best_success = &winner;
+    }
+  }
+
+  if (best_success == nullptr) {
+    std::sort(pool.begin(), pool.end(), by_fitness);
+    result.adversarial = pool.front().x;
+    result.final_prediction = pool.front().predicted;
+    result.final_confidence = pool.front().confidence;
+  } else {
+    // Boundary walk: bisect the blend factor toward the original sample,
+    // keeping the smallest perturbation that still flips the prediction.
+    Candidate kept = *best_success;
+    double lo = 0.0;  // original side — does not flip
+    double hi = 1.0;  // adversarial side — flips
+    for (std::size_t s = 0; s < config.boundary_steps; ++s) {
+      const double mid = 0.5 * (lo + hi);
+      std::vector<float> x(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double blended =
+            features[i] + mid * (best_success->x[i] - features[i]);
+        x[i] = project(blended, i);
+      }
+      auto cand = evaluate(std::move(x));
+      if (cand.success) {
+        hi = mid;
+        kept = std::move(cand);
+      } else {
+        lo = mid;
+      }
+    }
+    result.success = true;
+    result.adversarial = kept.x;
+    result.final_prediction = kept.predicted;
+    result.final_confidence = kept.confidence;
+  }
+
+  double linf = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    linf = std::max(linf, std::abs(static_cast<double>(result.adversarial[i]) -
+                                   static_cast<double>(features[i])));
+  }
+  result.linf = linf;
+  return result;
+}
+
+}  // namespace robusthd::adversary

@@ -48,15 +48,35 @@ void Scrubber::stop() {
   started_ = false;
 }
 
+void Scrubber::install_trust_gate(std::unique_ptr<TrustGate> gate) {
+  assert(!started_ && "trust gate must be installed before start()");
+  gate_ = std::move(gate);
+}
+
 bool Scrubber::offer(const hv::BinVec& query) {
-  hv::BinVec copy = query;
-  if (!ring_.push(std::move(copy))) {
+  TrustedQuery entry{query, false};
+  if (!ring_.push(std::move(entry))) {
     drops_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   offered_.fetch_add(1, std::memory_order_release);
   wake_cv_.notify_one();
   return true;
+}
+
+Scrubber::OfferOutcome Scrubber::offer_trusted(const hv::BinVec& query,
+                                               int predicted, double margin) {
+  TrustGate::Verdict verdict;
+  if (gate_) verdict = gate_->check(query, predicted, margin);
+  if (!verdict.accept) return OfferOutcome::kGateRejected;
+  TrustedQuery entry{query, verdict.suspect};
+  if (!ring_.push(std::move(entry))) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    return OfferOutcome::kRingFull;
+  }
+  offered_.fetch_add(1, std::memory_order_release);
+  wake_cv_.notify_one();
+  return OfferOutcome::kAccepted;
 }
 
 void Scrubber::enqueue_command(Command cmd) {
@@ -121,6 +141,13 @@ ScrubberCounters Scrubber::counters() const noexcept {
   c.snapshots_published = published_.load(std::memory_order_relaxed);
   c.resyncs = resyncs_.load(std::memory_order_relaxed);
   c.priority_marks = priority_marks_.load(std::memory_order_relaxed);
+  c.suspect_substitutions =
+      suspect_substitutions_.load(std::memory_order_relaxed);
+  if (gate_) {
+    const auto gate = gate_->counters();
+    c.poisoned_offers = gate.poisoned_offers;
+    c.gate_rejects = gate.gate_rejects;
+  }
   return c;
 }
 
@@ -261,24 +288,31 @@ void Scrubber::publish_if_dirty() {
 }
 
 void Scrubber::thread_main() {
-  hv::BinVec query;
+  TrustedQuery entry;
   for (;;) {
     resync_if_stale();
     run_commands();
 
     bool worked = false;
-    while (ring_.pop(query)) {
+    while (ring_.pop(entry)) {
       worked = true;
       // The full paper pipeline per trusted query: predict, re-gate the
       // confidence, chunk-level fault detection, probabilistic
       // substitution. The worker's trust decision was only a pre-filter;
       // the engine's own gates remain authoritative.
-      const auto result = engine_->observe(query);
+      const auto result = engine_->observe(entry.query);
       if (result.substituted_bits > 0) {
         repairs_.fetch_add(1, std::memory_order_relaxed);
         substituted_bits_.fetch_add(result.substituted_bits,
                                     std::memory_order_relaxed);
         dirty_bits_ += result.substituted_bits;
+        if (entry.suspect) {
+          // A gate-flagged query made it past the engine's own gates and
+          // rewrote bits — in shadow mode, this is the measured damage of
+          // a poisoning campaign.
+          suspect_substitutions_.fetch_add(result.substituted_bits,
+                                           std::memory_order_relaxed);
+        }
       }
       note_repair(result);
       done_.fetch_add(1, std::memory_order_release);
@@ -295,13 +329,17 @@ void Scrubber::thread_main() {
       // in the ring so stop() == "process everything offered, then halt".
       resync_if_stale();
       run_commands();
-      while (ring_.pop(query)) {
-        const auto result = engine_->observe(query);
+      while (ring_.pop(entry)) {
+        const auto result = engine_->observe(entry.query);
         if (result.substituted_bits > 0) {
           repairs_.fetch_add(1, std::memory_order_relaxed);
           substituted_bits_.fetch_add(result.substituted_bits,
                                       std::memory_order_relaxed);
           dirty_bits_ += result.substituted_bits;
+          if (entry.suspect) {
+            suspect_substitutions_.fetch_add(result.substituted_bits,
+                                             std::memory_order_relaxed);
+          }
         }
         note_repair(result);
         done_.fetch_add(1, std::memory_order_release);

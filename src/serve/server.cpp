@@ -62,6 +62,20 @@ Server::Server(model::HdcModel model, const ServerConfig& config)
           "set ServerConfig::enable_recovery = false for multi-bit models");
     }
     scrubber_ = std::make_unique<Scrubber>(snapshot_, config_.scrubber);
+    if (config_.scrubber.gate.enabled) {
+      // Build the trust gate against the blessed (version-0) model and
+      // the configured canary set; a zero chunk count inherits the
+      // recovery engine's chunking so the agreement sweep lines up with
+      // the repair sweep it protects.
+      auto gate_config = config_.scrubber.gate;
+      if (gate_config.chunks == 0) {
+        gate_config.chunks = config_.scrubber.recovery.chunks;
+      }
+      const auto blessed = snapshot_.acquire();
+      scrubber_->install_trust_gate(std::make_unique<TrustGate>(
+          gate_config, blessed->num_classes(), blessed->dimension(),
+          config_.canaries, config_.canary_labels));
+    }
   }
 
   if (!config_.persist.dir.empty()) {
@@ -362,6 +376,10 @@ ServerStats Server::stats() const {
     s.snapshots_published = c.snapshots_published - b.snapshots_published;
     s.scrub_resyncs = c.resyncs - b.resyncs;
     s.priority_marks = c.priority_marks - b.priority_marks;
+    s.poisoned_offers = c.poisoned_offers - b.poisoned_offers;
+    s.gate_rejects = c.gate_rejects - b.gate_rejects;
+    s.suspect_substitutions =
+        c.suspect_substitutions - b.suspect_substitutions;
   }
   if (chaos_) {
     const auto c = chaos_->counters();
@@ -566,12 +584,16 @@ void Server::worker_main(std::size_t worker_index) {
       response.degraded = degraded;
       if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
       if (scrubber_ && conf.top_probability >= trust_threshold) {
-        // Pre-filter only: the engine re-runs its own (stricter) gates on
-        // the scrub thread. A full ring drops the hint — serving latency
-        // must not wait on recovery.
+        // Pre-filter only: the trust gate (margin floor, fair-share rate
+        // limit, canary agreement) decides admission, and the engine
+        // re-runs its own gates on the scrub thread. A full ring drops
+        // the hint — serving latency must not wait on recovery. Gate
+        // rejections are counted by the gate itself, not as ring drops.
         response.trusted = true;
         trusted_.fetch_add(1, std::memory_order_relaxed);
-        if (!scrubber_->offer(request.query)) {
+        const auto outcome = scrubber_->offer_trusted(
+            request.query, conf.predicted, conf.margin);
+        if (outcome == Scrubber::OfferOutcome::kRingFull) {
           scrub_dropped_.fetch_add(1, std::memory_order_relaxed);
         }
       }

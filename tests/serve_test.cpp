@@ -139,15 +139,14 @@ TEST(TrustRing, FifoSingleThread) {
   std::vector<hv::BinVec> sent;
   for (int i = 0; i < 8; ++i) {
     sent.push_back(hv::BinVec::random(64, rng));
-    auto copy = sent.back();
-    ASSERT_TRUE(ring.push(std::move(copy)));
+    ASSERT_TRUE(ring.push(TrustedQuery{sent.back(), (i % 2) == 0}));
   }
-  auto extra = sent.front();
-  EXPECT_FALSE(ring.push(std::move(extra)));  // full
-  hv::BinVec out;
+  EXPECT_FALSE(ring.push(TrustedQuery{sent.front(), false}));  // full
+  TrustedQuery out;
   for (int i = 0; i < 8; ++i) {
     ASSERT_TRUE(ring.pop(out));
-    EXPECT_EQ(out, sent[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(out.query, sent[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(out.suspect, (i % 2) == 0);  // the taint tag rides along
   }
   EXPECT_FALSE(ring.pop(out));  // empty
 }
@@ -165,9 +164,7 @@ TEST(TrustRing, MultiProducerNoLossNoDuplication) {
         hv::BinVec v(64);
         const auto id = static_cast<std::size_t>(p * kPerProducer + i);
         for (std::size_t b = 0; b < 32; ++b) v.set(b, (id >> b) & 1);
-        while (!ring.push(std::move(v))) {
-          v = hv::BinVec(64);
-          for (std::size_t b = 0; b < 32; ++b) v.set(b, (id >> b) & 1);
+        while (!ring.push(TrustedQuery{v, false})) {
           std::this_thread::yield();
         }
       }
@@ -176,13 +173,13 @@ TEST(TrustRing, MultiProducerNoLossNoDuplication) {
   std::vector<int> seen(kProducers * kPerProducer, 0);
   std::atomic<bool> done{false};
   std::thread consumer([&] {
-    hv::BinVec out;
+    TrustedQuery out;
     int drained = 0;
     while (drained < kProducers * kPerProducer) {
       if (ring.pop(out)) {
         std::size_t id = 0;
         for (std::size_t b = 0; b < 32; ++b) {
-          id |= static_cast<std::size_t>(out.get(b)) << b;
+          id |= static_cast<std::size_t>(out.query.get(b)) << b;
         }
         ++seen[id];
         ++drained;

@@ -29,6 +29,19 @@
 //       test queries, optionally injecting faults so the background
 //       scrubber repairs the model while it serves; prints a throughput/
 //       latency table (see also bench/serve_throughput.cpp).
+//   adversary --dataset NAME [--model FILE] [--budget N] [--queries N]
+//           [--epsilon E] [--waves W] [--defend 0|1] [--workers N]
+//           [--floor A] [--dimension D]
+//       Run the input-space attack suite (robusthd::adversary) against a
+//       live server: greedy bit-flip attacks on encoded queries at
+//       --budget flips, genetic feature-space attacks through the
+//       encoder inside an L-inf --epsilon ball, then a PoisonCampaign of
+//       --waves waves of high-confidence poison queries against the
+//       scrubber's trust ring. --defend 1 (default) arms the enforcing
+//       TrustGate; --defend 0 runs it in shadow mode to measure the
+//       undefended damage. With --floor, exits nonzero when the final
+//       canary accuracy is below it (see bench/adversarial_attacks.cpp
+//       and docs/resilience.md).
 //   chaos   --dataset NAME [--model FILE] [--workers N] [--seconds S]
 //           [--rate R] [--mode random|targeted|clustered] [--steps N]
 //           [--floor A] [--dimension D]
@@ -140,6 +153,20 @@ const std::vector<CommandSpec>& command_specs() {
        "  --dimension D                 trained-model dimension (default 4000)\n",
        {"model", "workers", "seconds", "rate", "mode", "steps", "floor",
         "dimension", ROBUSTHD_SPLIT_FLAGS}},
+      {"adversary", "input-space attacks + poison campaign vs a live server",
+       "  --dataset NAME | --csv FILE   data source\n"
+       "  --model FILE                  attack a stored model (else train one)\n"
+       "  --budget N                    bit-flip Hamming budget (default 128)\n"
+       "  --queries N                   bit-flip sample size (default 40)\n"
+       "  --epsilon E                   genetic L-inf ball (default 0.10)\n"
+       "  --waves W                     poison campaign waves (default 12)\n"
+       "  --defend 0|1                  1 = enforcing trust gate (default),\n"
+       "                                0 = shadow mode (measure the damage)\n"
+       "  --workers N                   server worker threads (default 4)\n"
+       "  --floor A                     exit nonzero below this canary accuracy\n"
+       "  --dimension D                 trained-model dimension (default 4000)\n",
+       {"model", "budget", "queries", "epsilon", "waves", "defend", "workers",
+        "floor", "dimension", ROBUSTHD_SPLIT_FLAGS}},
       {"fleet-serve", "serve a sharded fleet over TCP",
        "  --dataset NAME | --csv FILE   model/training source\n"
        "  --model FILE                  serve a stored model (else train one)\n"
@@ -606,6 +633,118 @@ int cmd_chaos(const Args& args) {
   return 0;
 }
 
+int cmd_adversary(const Args& args) {
+  const auto split = load_split(args);
+
+  auto clf = [&] {
+    const auto model_file = args.get("model", "");
+    if (!model_file.empty()) return core::load_model(model_file);
+    core::HdcClassifierConfig config;
+    config.encoder.dimension =
+        static_cast<std::size_t>(args.number("dimension", 4000));
+    return core::HdcClassifier::train(split.train, config);
+  }();
+  const auto& model = clf.model();
+  const auto& encoder = clf.encoder();
+  const auto queries = encoder.encode_all(split.test);
+  if (model.precision_bits() != 1) {
+    std::fprintf(stderr,
+                 "adversary requires a binary (1-bit) model: the poison "
+                 "campaign forges substitution evidence\n");
+    return 2;
+  }
+
+  // Bit-flip attack on encoded queries.
+  const auto budget = static_cast<std::size_t>(args.number("budget", 128));
+  const std::size_t sample_count = std::min<std::size_t>(
+      static_cast<std::size_t>(args.number("queries", 40)), queries.size());
+  const std::vector<hv::BinVec> sample(queries.begin(),
+                                       queries.begin() + sample_count);
+  const auto rates = adversary::bit_flip_success(model, sample, budget, 0.88);
+  std::printf("bit-flip @ %zu flips over %zu queries: %.1f%% flipped, "
+              "%.1f%% still trusted, mean %.1f flips\n",
+              budget, sample_count, 100.0 * rates.any, 100.0 * rates.confident,
+              rates.mean_flips);
+
+  // Genetic feature-space attack through the encoder.
+  const double epsilon = args.real("epsilon", 0.10);
+  const std::size_t genetic_count =
+      std::min<std::size_t>(8, split.test.features.rows());
+  std::size_t genetic_wins = 0;
+  for (std::size_t i = 0; i < genetic_count; ++i) {
+    adversary::GeneticConfig config;
+    config.epsilon = epsilon;
+    config.seed = 0xadf00d + i;
+    const auto result = adversary::genetic_feature_attack(
+        model, encoder, split.test.features.row(i), config);
+    if (result.success) ++genetic_wins;
+  }
+  std::printf("genetic @ epsilon %.2f over %zu queries: %.1f%% flipped\n",
+              epsilon, genetic_count,
+              100.0 * static_cast<double>(genetic_wins) /
+                  static_cast<double>(genetic_count));
+
+  // Poison campaign against a live server.
+  const bool defend = args.number("defend", 1) != 0;
+  const std::size_t canary_count =
+      std::min<std::size_t>(150, queries.size() / 3);
+  serve::ServerConfig config;
+  config.worker_threads = static_cast<std::size_t>(args.number("workers", 4));
+  config.max_batch = 16;
+  config.scrubber.gate.enabled = true;
+  config.scrubber.gate.enforce = defend;
+  config.canaries.assign(queries.begin(), queries.begin() + canary_count);
+  config.canary_labels.assign(split.test.labels.begin(),
+                              split.test.labels.begin() + canary_count);
+  config.sentinel.enabled = true;
+  config.sentinel.period = std::chrono::milliseconds(10);
+  config.sentinel.chunks = config.scrubber.recovery.chunks;
+
+  std::vector<hv::BinVec> traffic(queries.begin() + canary_count,
+                                  queries.end());
+  adversary::PoisonConfig poison;
+  poison.chunks = config.scrubber.recovery.chunks;
+  poison.waves = static_cast<std::size_t>(args.number("waves", 12));
+
+  const model::HdcModel blessed = model;
+  serve::Server server(model, config);
+  std::ignore = server.predict_all(traffic);  // natural traffic warms the
+  server.drain();                             // engine's per-class gates
+  server.reset_stats();
+
+  adversary::PoisonCampaign campaign(blessed, poison);
+  const auto report = campaign.run(server);
+  server.drain();
+  const auto stats = server.stats();
+  const auto wrong =
+      adversary::PoisonCampaign::wrong_bits(blessed, *server.current_model());
+  server.shutdown();
+
+  std::printf("poison campaign (%s): %zu sent, %zu answered, %zu trusted\n",
+              defend ? "defended" : "shadow",
+              static_cast<std::size_t>(report.sent),
+              static_cast<std::size_t>(report.answered),
+              static_cast<std::size_t>(report.trusted));
+  std::printf("gate: %zu poisoned offers flagged, %zu rejected; "
+              "%zu suspect substitutions, %zu wrong bits vs blessed\n",
+              static_cast<std::size_t>(stats.poisoned_offers),
+              static_cast<std::size_t>(stats.gate_rejects),
+              static_cast<std::size_t>(stats.suspect_substitutions),
+              static_cast<std::size_t>(wrong));
+  std::printf("sentinel: %zu canary runs, effective canary accuracy %.2f%%, "
+              "%zu chunks quarantined\n",
+              static_cast<std::size_t>(stats.canary_runs),
+              100.0 * stats.canary_accuracy, stats.quarantined_chunks);
+
+  const double floor = args.real("floor", 0.0);
+  if (floor > 0.0 && stats.canary_accuracy < floor) {
+    std::printf("FAIL: canary accuracy %.4f below floor %.4f\n",
+                stats.canary_accuracy, floor);
+    return 1;
+  }
+  return 0;
+}
+
 std::vector<std::byte> read_blob(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("cannot open model file: " + path);
@@ -1024,6 +1163,7 @@ int main(int argc, char** argv) {
     if (command == "recover") return cmd_recover(args);
     if (command == "serve-bench") return cmd_serve_bench(args);
     if (command == "chaos") return cmd_chaos(args);
+    if (command == "adversary") return cmd_adversary(args);
     if (command == "fleet-serve") return cmd_fleet_serve(args);
     if (command == "fleet-bench") return cmd_fleet_bench(args);
     if (command == "info") return cmd_info(args);
