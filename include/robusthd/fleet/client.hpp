@@ -29,6 +29,8 @@
 #include "robusthd/fleet/router.hpp"
 #include "robusthd/fleet/wire.hpp"
 #include "robusthd/hv/binvec.hpp"
+#include "robusthd/serve/stats.hpp"
+#include "robusthd/util/rng.hpp"
 
 namespace robusthd::fleet {
 
@@ -37,12 +39,63 @@ struct Endpoint {
   std::uint16_t port = 0;
 };
 
+/// Capped exponential backoff with full jitter, metered by a token
+/// bucket so retries cannot amplify an outage: every predict() earns
+/// `budget_per_request` tokens (capped), every retry spends one. At 0.1
+/// per request the fleet absorbs at most ~10% retry amplification in
+/// steady state — when more than one request in ten needs a retry, the
+/// bucket empties and the client sheds instead of hammering.
+struct RetryPolicy {
+  /// Total tries per predict() (1 = no retries).
+  std::size_t max_attempts = 3;
+  /// Backoff before retry k is uniform(0, min(max_backoff,
+  /// initial_backoff << (k-1))) — "full jitter", so synchronized client
+  /// herds decorrelate instead of retrying in lockstep.
+  std::chrono::milliseconds initial_backoff{2};
+  std::chrono::milliseconds max_backoff{50};
+  double budget_per_request = 0.1;
+  double budget_cap = 10.0;
+  /// Per-attempt response wait; 0 = the remaining overall budget. With
+  /// retries enabled, a stalled shard should burn one attempt's slice
+  /// and fail over — not the whole predict budget.
+  std::chrono::milliseconds attempt_timeout{0};
+};
+
+/// Hedged requests: when the primary's answer has not arrived after the
+/// hedge delay, fire the same query at a different healthy shard of the
+/// same model group and take whichever answers first. The loser is
+/// abandoned client-side (its late answer is recognised by request id
+/// and skipped). Hedging spends no retry budget — it bounds tail
+/// latency rather than recovering from failure.
+struct HedgeConfig {
+  bool enabled = false;
+  /// Fixed hedge delay; 0 derives it from the client's own observed
+  /// latency (fires at ~p99, the classic tail-at-scale setting).
+  std::chrono::milliseconds delay{0};
+  /// With a derived delay, hedge only after this many completed
+  /// requests have been observed (a cold histogram would hedge wildly).
+  std::uint64_t min_samples = 32;
+};
+
 struct ClientConfig {
   RouterConfig router;
-  /// Wait bound for one response on a connection.
+  /// Wait bound for one response on a connection. Doubles as the total
+  /// per-predict budget: retries and hedges all fit inside it, and it is
+  /// the deadline stamped on the wire (see send_deadline).
   std::chrono::milliseconds response_timeout{5000};
   /// How long a shard stays marked unhealthy before it is probed again.
   std::chrono::milliseconds unhealthy_cooldown{250};
+  /// Bound on a blocking connect. A blackholed endpoint costs this much
+  /// once, then the cooldown/failover machinery routes around it.
+  std::chrono::milliseconds connect_timeout{1000};
+  RetryPolicy retry;
+  HedgeConfig hedge;
+  /// Stamp the remaining budget into each request frame (version-1
+  /// header) so the server can shed work nobody is waiting for. False
+  /// emits legacy version-0 frames, byte-identical to older clients.
+  bool send_deadline = true;
+  /// Seed for the backoff jitter (deterministic tests).
+  std::uint64_t seed = 0x5eedc11e;
 };
 
 /// Outcome of one Client::predict round trip.
@@ -61,6 +114,9 @@ struct FleetResponse {
   std::uint64_t model_version = 0;
   std::size_t shard = 0;      ///< endpoint the answer came from
   bool failover = false;      ///< routed around the tenant's primary
+  std::size_t attempts = 1;   ///< tries this answer took (1 = first shot)
+  bool hedged = false;        ///< a hedge was fired for this request
+  bool hedge_won = false;     ///< ...and the hedge's answer came first
 };
 
 class Client {
@@ -91,8 +147,21 @@ class Client {
     std::uint64_t transport_errors = 0;  ///< connect/send/recv/timeouts
     std::uint64_t failovers = 0;
     std::uint64_t reconnects = 0;
+    std::uint64_t retries = 0;           ///< extra attempts beyond the first
+    /// Retries the token bucket refused — the backstop against retry
+    /// storms amplifying an outage.
+    std::uint64_t retry_budget_exhausted = 0;
+    std::uint64_t hedged_requests = 0;   ///< hedges actually fired
+    std::uint64_t hedge_wins = 0;        ///< hedge answered first
+    std::uint64_t connect_timeouts = 0;  ///< non-blocking connects expired
   };
   const Counters& counters() const noexcept { return counters_; }
+
+  /// Client-observed end-to-end latency (successful predicts only) —
+  /// the distribution the derived hedge delay reads its p99 from.
+  const serve::LatencyHistogram& latency() const noexcept {
+    return latency_;
+  }
 
  private:
   struct Conn;
@@ -102,13 +171,35 @@ class Client {
   void mark_unhealthy(std::size_t shard);
   /// Re-arms shards whose cooldown expired, then routes.
   Router::Decision route(std::uint64_t tenant_id);
-  /// Sends `bytes` fully on shard's socket. False on failure.
+  /// Sends `bytes` fully on shard's (non-blocking) socket, waiting for
+  /// writability as needed. False on failure.
   bool send_all(std::size_t shard, const std::vector<std::byte>& bytes);
   /// Reads until a frame for `request_id` (predict response or error)
-  /// arrives on shard's connection, or the timeout/transport fails.
-  std::optional<wire::Frame> await_frame(std::size_t shard,
-                                         std::uint64_t request_id,
-                                         std::vector<std::byte>& storage);
+  /// arrives on shard's connection, the absolute `deadline` passes, or
+  /// transport fails.
+  std::optional<wire::Frame> await_frame(
+      std::size_t shard, std::uint64_t request_id,
+      std::vector<std::byte>& storage,
+      std::chrono::steady_clock::time_point deadline);
+  /// Hedged wait: polls two shards' connections for two request ids;
+  /// the first matching frame wins. Returns the winning shard index via
+  /// `winner`. nullopt when both legs fail or the deadline passes.
+  std::optional<wire::Frame> await_either(
+      std::size_t shard_a, std::uint64_t id_a, std::size_t shard_b,
+      std::uint64_t id_b, std::vector<std::byte>& storage,
+      std::chrono::steady_clock::time_point deadline, std::size_t& winner);
+  /// One routed send + (possibly hedged) wait. Fills `out`.
+  void attempt_once(std::uint64_t tenant_id, const hv::BinVec& query,
+                    std::chrono::steady_clock::time_point overall_deadline,
+                    FleetResponse& out);
+  /// Picks a healthy same-group shard != `primary` for a hedge.
+  std::optional<std::size_t> hedge_target(std::size_t primary) const;
+  /// The effective hedge delay, or nullopt when hedging should not fire
+  /// (disabled, or the derived distribution is still cold).
+  std::optional<std::chrono::nanoseconds> hedge_delay() const;
+  /// Consumes a frame into `out` (error frame or predict response).
+  void fill_response(const wire::Frame& frame, std::size_t shard,
+                     FleetResponse& out);
 
   std::vector<Endpoint> endpoints_;
   std::unique_ptr<Router> router_;
@@ -117,6 +208,9 @@ class Client {
   std::vector<std::chrono::steady_clock::time_point> unhealthy_until_;
   std::uint64_t next_request_id_ = 1;
   Counters counters_;
+  double retry_budget_ = 0.0;  ///< token bucket, starts full (see ctor)
+  util::Xoshiro256 jitter_rng_;
+  serve::LatencyHistogram latency_;
 };
 
 }  // namespace robusthd::fleet

@@ -19,6 +19,7 @@
 //    whose breaker answers `abstained` (rung (c)) — load-shedding stays
 //    visible to the client rather than silently dropping traffic.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <future>
@@ -59,7 +60,20 @@ struct FleetStats {
   std::uint64_t breaker_trips = 0;
   std::uint64_t failovers = 0;      ///< requests routed around a shard
   std::uint64_t shed_unrouteable = 0;  ///< whole model group unhealthy
+  /// Deadline-driven sheds: admission-time (the budget was already spent
+  /// or the estimated queue wait exceeded it) plus in-queue expiries
+  /// counted by the shards' servers.
+  std::uint64_t deadline_sheds = 0;
   std::vector<ShardStats> shards;
+};
+
+/// Why try_submit returned nullopt (out-parameter; callers that don't
+/// care pass nothing).
+enum class SubmitReject : std::uint8_t {
+  kNone = 0,
+  kQueueFull,      ///< target shard's queue rejected the push
+  kDeadline,       ///< the propagated deadline had already passed
+  kPredictedLate,  ///< estimated queue wait exceeds the remaining budget
 };
 
 class Fleet {
@@ -100,9 +114,16 @@ class Fleet {
   };
 
   /// Non-blocking admission; nullopt when the target shard's queue is
-  /// full (counted into FleetStats::rejected via the shard).
-  std::optional<TrySubmitResult> try_submit(std::uint64_t tenant_id,
-                                            hv::BinVec query);
+  /// full (counted into FleetStats::rejected via the shard) or — with a
+  /// finite `deadline` — when the request cannot make it: the deadline
+  /// has passed, or the routed shard's estimated queue wait exceeds the
+  /// remaining budget (queue-aware admission; both counted as
+  /// deadline_sheds). `reject`, when non-null, reports which.
+  std::optional<TrySubmitResult> try_submit(
+      std::uint64_t tenant_id, hv::BinVec query,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max(),
+      SubmitReject* reject = nullptr);
 
   /// The health-aware routing decision for a tenant (no submission).
   Router::Decision route(std::uint64_t tenant_id) noexcept;
@@ -118,6 +139,7 @@ class Fleet {
   std::size_t dimension_ = 0;
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> shed_unrouteable_{0};
+  std::atomic<std::uint64_t> deadline_sheds_{0};  ///< admission-time sheds
 };
 
 }  // namespace robusthd::fleet

@@ -48,6 +48,18 @@ struct FrontendConfig {
   /// poll() timeout while responses are pending (the future-sweep
   /// cadence); idle loops wait 20x longer.
   std::chrono::milliseconds poll_interval{1};
+  /// Slowloris defense: a connection holding a *partial* frame (header
+  /// or payload bytes buffered, frame incomplete) longer than this is
+  /// reaped. A peer trickling one byte per poll tick cannot pin a
+  /// connection slot indefinitely. 0 disables.
+  std::chrono::milliseconds read_deadline{2000};
+  /// Reap connections with no traffic and nothing in flight for this
+  /// long. 0 (default) disables — benches hold idle connections open.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Queue-aware admission: consult the routed shard's estimated queue
+  /// wait against a request's propagated deadline and refuse early
+  /// (kBusy) instead of enqueueing work that will expire in the queue.
+  bool admission_control = true;
 };
 
 struct FrontendCounters {
@@ -59,6 +71,11 @@ struct FrontendCounters {
   std::uint64_t busy_rejections = 0;       ///< kBusy error frames
   std::uint64_t dimension_rejections = 0;  ///< kDimensionMismatch frames
   std::uint64_t bad_requests = 0;          ///< kBadRequest frames
+  /// Requests shed over deadlines (admission refusals + in-queue
+  /// expiries surfaced to this frontend's clients).
+  std::uint64_t deadline_sheds = 0;
+  /// Connections closed by the read-deadline / idle reaper.
+  std::uint64_t reaped_connections = 0;
 };
 
 class Frontend {
@@ -102,6 +119,8 @@ class Frontend {
   std::atomic<std::uint64_t> busy_rejections_{0};
   std::atomic<std::uint64_t> dimension_rejections_{0};
   std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> deadline_sheds_{0};
+  std::atomic<std::uint64_t> reaped_connections_{0};
 
   void loop_main(Loop& loop);
   friend struct Loop;

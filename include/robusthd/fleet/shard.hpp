@@ -43,6 +43,7 @@ struct ShardStats {
   std::size_t quarantined_chunks = 0;
   std::uint64_t degraded_responses = 0;
   std::uint64_t abstained_responses = 0;
+  std::uint64_t deadline_sheds = 0;  ///< expired in-queue, shed unscored
   std::uint64_t breaker_trips = 0;
   bool breaker_open = false;
   double canary_accuracy = 0.0;

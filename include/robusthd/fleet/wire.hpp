@@ -6,21 +6,32 @@
 // and CRC-checked *before* it is trusted, and in particular before any
 // allocation it implies. A frame is:
 //
-//   [32-byte header][payload_len payload bytes][u32 payload CRC32C]
+//   [header][payload_len payload bytes][u32 payload CRC32C]
 //
 //   header (little-endian):
 //     u32 magic        'RHF1' (0x31464852)
 //     u8  type         FrameType
 //     u8  flags        response bits: trusted/degraded/abstained
-//     u16 reserved     must be zero
+//     u16 version      0 = legacy 32-byte header, 1 = 40-byte header
 //     u64 tenant_id
 //     u64 request_id   echoed verbatim in the matching response
 //     u32 payload_len  <= kMaxPayload, exact length checked per type
-//     u32 header_crc   CRC32C of the 28 bytes above
+//     u64 deadline_ms  version >= 1 only: relative time budget, 0 = none
+//     u32 header_crc   CRC32C of every header byte above it
+//
+// The version field occupies the bytes that were "reserved, must be
+// zero" before deadlines existed, so every legacy frame is a valid
+// version-0 frame bit for bit — old peers' frames are still accepted,
+// and a frame encoded without a deadline is byte-identical to what the
+// legacy encoder produced. Version 1 widens the header by a u64
+// relative deadline (milliseconds of budget remaining at send time;
+// relative, so peers need no clock sync). Versions above
+// kMaxWireVersion are a protocol error, not a skip: a reader that
+// cannot parse a header cannot find the next frame boundary.
 //
 // The payload CRC is always present (CRC of zero bytes for an empty
-// payload), so the total frame size is 36 + payload_len and a reader
-// never special-cases. A frame that fails any check is a protocol error:
+// payload), so the total frame size is header + payload_len + 4 and a
+// reader never special-cases. A frame that fails any check is a protocol error:
 // the connection is poisoned and must be closed — there is no resync
 // scan, because a peer that framed one message wrong cannot be trusted
 // to frame the next one right.
@@ -41,7 +52,12 @@
 namespace robusthd::fleet::wire {
 
 inline constexpr std::uint32_t kMagic = 0x31464852u;  // "RHF1"
+/// Legacy (version 0) header — the pre-deadline layout.
 inline constexpr std::size_t kHeaderSize = 32;
+/// Version 1 header: legacy layout + u64 deadline_ms before the CRC.
+inline constexpr std::size_t kHeaderSizeV1 = 40;
+/// Highest header version this build parses.
+inline constexpr std::uint16_t kMaxWireVersion = 1;
 inline constexpr std::size_t kTrailerSize = 4;  // payload CRC32C
 /// Hard bound on payload_len — checked before any allocation. Generous
 /// for hypervectors (a D=1M query is ~125 KiB) yet small enough that a
@@ -70,6 +86,10 @@ enum class ErrorCode : std::uint16_t {
   kDimensionMismatch = 2,  ///< query dimension != serving model dimension
   kBadRequest = 3,         ///< semantically invalid payload
   kShuttingDown = 4,
+  /// The request's deadline cannot be met (already past, or the queue's
+  /// estimated wait exceeds the remaining budget). Retrying immediately
+  /// is futile — the budget is spent.
+  kDeadlineExceeded = 5,
 };
 
 /// A decoded frame. `payload` views the reader's buffer — copy out what
@@ -79,6 +99,9 @@ struct Frame {
   std::uint8_t flags = 0;
   std::uint64_t tenant_id = 0;
   std::uint64_t request_id = 0;
+  /// Relative deadline carried by a version-1 header; 0 = none (every
+  /// version-0 frame reads as 0).
+  std::uint64_t deadline_ms = 0;
   std::span<const std::byte> payload;
 };
 
@@ -87,7 +110,7 @@ enum class WireError : std::uint8_t {
   kNone = 0,
   kBadMagic,
   kBadType,
-  kReservedNotZero,
+  kBadVersion,  ///< header version above kMaxWireVersion
   kOversizedPayload,
   kHeaderCrcMismatch,
   kPayloadCrcMismatch,
@@ -99,15 +122,19 @@ const char* wire_error_name(WireError e) noexcept;
 // ------------------------------------------------------------ encoding --
 
 /// Appends a complete frame (header + payload + payload CRC) to `out`.
+/// deadline_ms == 0 emits a version-0 header byte-identical to the
+/// legacy encoder; a nonzero deadline emits a version-1 header.
 void append_frame(std::vector<std::byte>& out, FrameType type,
                   std::uint8_t flags, std::uint64_t tenant_id,
                   std::uint64_t request_id,
-                  std::span<const std::byte> payload);
+                  std::span<const std::byte> payload,
+                  std::uint64_t deadline_ms = 0);
 
 /// Predict request payload: u32 dimension + packed query words.
 void append_predict_request(std::vector<std::byte>& out,
                             std::uint64_t tenant_id, std::uint64_t request_id,
-                            const hv::BinVec& query);
+                            const hv::BinVec& query,
+                            std::uint64_t deadline_ms = 0);
 
 /// Predict response payload: i32 predicted, u64 confidence bits,
 /// u64 model_version. Flags carry trusted/degraded/abstained.
@@ -151,9 +178,9 @@ std::optional<ErrorInfo> parse_error(std::span<const std::byte> payload);
 
 /// Incremental frame parser for one connection. Feed bytes as they
 /// arrive; poll next() for complete frames. The reader validates the
-/// header (magic, type, reserved, length bound, header CRC) before it
+/// header (magic, type, version, length bound, header CRC) before it
 /// waits for — let alone allocates for — the payload, so a hostile
-/// length prefix costs at most kHeaderSize buffered bytes.
+/// length prefix costs at most kHeaderSizeV1 buffered bytes.
 ///
 /// After any error the reader is poisoned: next() keeps returning
 /// nullopt and error() reports the reason; the owner must close the

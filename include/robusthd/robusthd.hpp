@@ -28,6 +28,7 @@
 #include "robusthd/fleet/client.hpp"
 #include "robusthd/fleet/fleet.hpp"
 #include "robusthd/fleet/frontend.hpp"
+#include "robusthd/fleet/netchaos.hpp"
 #include "robusthd/fleet/router.hpp"
 #include "robusthd/fleet/shard.hpp"
 #include "robusthd/fleet/wire.hpp"

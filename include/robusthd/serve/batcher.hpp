@@ -17,6 +17,8 @@
 
 #include <chrono>
 #include <cstddef>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "robusthd/serve/request_queue.hpp"
@@ -26,22 +28,36 @@ namespace robusthd::serve {
 template <typename T>
 class Batcher {
  public:
+  /// Inspects a popped request before it joins a batch; returning true
+  /// drops it (the predicate owns its disposal — fulfilling the promise,
+  /// counting the shed). The deadline-propagation path uses this to skip
+  /// work whose client has already given up, without the batcher knowing
+  /// what a deadline is.
+  using DropPredicate = std::function<bool(T&)>;
+
   Batcher(RequestQueue<T>& queue, std::size_t max_batch,
-          std::chrono::nanoseconds linger = std::chrono::nanoseconds::zero())
+          std::chrono::nanoseconds linger = std::chrono::nanoseconds::zero(),
+          DropPredicate drop = nullptr)
       : queue_(queue),
         max_batch_(max_batch == 0 ? 1 : max_batch),
-        linger_(linger) {}
+        linger_(linger),
+        drop_(std::move(drop)) {}
 
   std::size_t max_batch() const noexcept { return max_batch_; }
 
   /// Fills `out` with 1..max_batch requests. Blocks until at least one
   /// request is available. Returns false — with `out` empty — only when
   /// the queue is closed and fully drained (the worker's exit signal).
+  /// Dropped requests never occupy a batch slot: an expired backlog is
+  /// burned through at pop speed, not at scoring speed.
   bool next_batch(std::vector<T>& out) {
     out.clear();
-    auto first = queue_.pop();
-    if (!first) return false;
-    out.push_back(std::move(*first));
+    while (out.empty()) {
+      auto first = queue_.pop();
+      if (!first) return false;
+      if (drop_ && drop_(*first)) continue;
+      out.push_back(std::move(*first));
+    }
 
     const auto deadline = std::chrono::steady_clock::now() + linger_;
     while (out.size() < max_batch_) {
@@ -51,6 +67,7 @@ class Batcher {
         if (now < deadline) next = queue_.pop_for(deadline - now);
       }
       if (!next) break;
+      if (drop_ && drop_(*next)) continue;
       out.push_back(std::move(*next));
     }
     return true;
@@ -60,6 +77,7 @@ class Batcher {
   RequestQueue<T>& queue_;
   const std::size_t max_batch_;
   const std::chrono::nanoseconds linger_;
+  const DropPredicate drop_;
 };
 
 }  // namespace robusthd::serve

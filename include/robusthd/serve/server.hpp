@@ -111,6 +111,10 @@ struct Response {
   /// The circuit breaker was open (rung (c)): no scoring happened and
   /// `predicted` is -1 — the client should retry or fail over.
   bool abstained = false;
+  /// The request's propagated deadline expired before a worker reached
+  /// it: no scoring happened, `predicted` is -1, and retrying is futile —
+  /// the budget is spent (the caller should surface kDeadlineExceeded).
+  bool expired = false;
 };
 
 class Server {
@@ -140,8 +144,14 @@ class Server {
   std::future<Response> submit(hv::BinVec query);
 
   /// Non-blocking admission; returns nullopt when the queue is full or
-  /// the server is shutting down (the rejection is counted).
-  std::optional<std::future<Response>> try_submit(hv::BinVec query);
+  /// the server is shutting down (the rejection is counted). A finite
+  /// `deadline` travels with the request: a worker that dequeues it past
+  /// the deadline sheds it with Response::expired instead of scoring
+  /// (counted as ServerStats::deadline_sheds).
+  std::optional<std::future<Response>> try_submit(
+      hv::BinVec query,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max());
 
   /// Enqueues a raw (normalised) feature vector; a worker encodes it with
   /// ServerConfig::encoder before scoring. Throws std::logic_error when no
@@ -208,6 +218,13 @@ class Server {
     return breaker_open_.load(std::memory_order_relaxed);
   }
 
+  /// Rough estimate of how long a request admitted now would wait before
+  /// scoring: queued depth × mean batch service time ÷ mean batch size.
+  /// Cheap (a queue-depth read plus a few relaxed loads) so the frontend
+  /// can consult it per request for queue-aware admission; returns 0 with
+  /// an empty queue or before any batch has been measured.
+  std::uint64_t estimated_wait_ns() const;
+
   /// Re-zeroes the cumulative counters and latency histograms so a bench
   /// can measure phases (baseline vs chaos) independently. Call while the
   /// server is quiesced (drain() first): resetting races in-flight
@@ -243,6 +260,10 @@ class Server {
     bool from_features = false;
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Absolute shed deadline; max() = none (the overwhelmingly common
+    /// case pays one comparison per dequeue).
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   void worker_main(std::size_t worker_index);
@@ -303,6 +324,7 @@ class Server {
   std::atomic<std::uint64_t> integrity_failures_{0};  ///< rejected blobs
   std::atomic<std::uint64_t> degraded_{0};   ///< masked-scoring responses
   std::atomic<std::uint64_t> abstained_{0};  ///< breaker-shed responses
+  std::atomic<std::uint64_t> deadline_sheds_{0};  ///< expired before scoring
   LatencyHistogram queue_wait_;
   LatencyHistogram service_;
   LatencyHistogram end_to_end_;

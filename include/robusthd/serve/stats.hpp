@@ -39,6 +39,16 @@ class LatencyHistogram {
     double p99_ns = 0.0;
   };
 
+  /// Running mean in nanoseconds — two relaxed loads, cheap enough for a
+  /// per-request admission estimate (Server::estimated_wait_ns).
+  double mean_ns() const noexcept {
+    const auto c = count_.load(std::memory_order_relaxed);
+    return c == 0 ? 0.0
+                  : static_cast<double>(
+                        sum_ns_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(c);
+  }
+
   Summary summarize() const noexcept {
     Summary s;
     std::array<std::uint64_t, kBuckets> counts{};
@@ -135,6 +145,10 @@ struct ServerStats {
   std::uint64_t submitted = 0;   ///< requests accepted into the queue
   std::uint64_t rejected = 0;    ///< try_submit failures (queue full/closed)
   std::uint64_t completed = 0;   ///< promises fulfilled
+  /// Requests dropped because their propagated deadline expired before a
+  /// worker reached them (the client already gave up — scoring would be
+  /// wasted work). Fulfilled with Response::expired, counted here.
+  std::uint64_t deadline_sheds = 0;
   std::size_t queue_depth = 0;   ///< instantaneous
 
   // Batching.

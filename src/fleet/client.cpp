@@ -7,12 +7,29 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace robusthd::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) noexcept {
+  const auto now = Clock::now();
+  if (now >= deadline) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+          .count();
+  return static_cast<int>(std::min<long long>(ms, 1u << 30)) + 1;
+}
+
+}  // namespace
 
 struct Client::Conn {
   int fd = -1;
@@ -21,7 +38,9 @@ struct Client::Conn {
 
 Client::Client(std::vector<Endpoint> endpoints,
                std::vector<std::string> groups, ClientConfig config)
-    : endpoints_(std::move(endpoints)), config_(std::move(config)) {
+    : endpoints_(std::move(endpoints)),
+      config_(std::move(config)),
+      jitter_rng_(config_.seed) {
   if (endpoints_.size() != groups.size()) {
     throw std::invalid_argument(
         "fleet::Client needs one group per endpoint");
@@ -29,6 +48,8 @@ Client::Client(std::vector<Endpoint> endpoints,
   router_ = std::make_unique<Router>(std::move(groups), config_.router);
   conns_.resize(endpoints_.size());
   unhealthy_until_.resize(endpoints_.size());
+  // The bucket starts full: a client's very first requests may retry.
+  retry_budget_ = config_.retry.budget_cap;
 }
 
 Client::~Client() {
@@ -40,16 +61,45 @@ Client::~Client() {
 bool Client::ensure_connected(std::size_t shard) {
   auto& conn = conns_[shard];
   if (conn && conn->fd >= 0) return true;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  // Non-blocking connect: a blackholed endpoint (e.g. a partitioned
+  // shard dropping SYNs) costs at most connect_timeout, not the
+  // kernel's multi-minute SYN retry schedule. The socket stays
+  // non-blocking for its lifetime; send_all/await_frame poll for
+  // readiness.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) return false;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(endpoints_[shard].port);
   if (inet_pton(AF_INET, endpoints_[shard].host.c_str(), &addr.sin_addr) !=
-          1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      1) {
     ::close(fd);
     return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return false;
+    }
+    const auto deadline = Clock::now() + config_.connect_timeout;
+    for (;;) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, remaining_ms(deadline));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) {
+        ++counters_.connect_timeouts;
+        ::close(fd);
+        return false;
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      ::close(fd);
+      return false;
+    }
   }
   const int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -66,13 +116,12 @@ void Client::drop_connection(std::size_t shard) {
 }
 
 void Client::mark_unhealthy(std::size_t shard) {
-  unhealthy_until_[shard] =
-      std::chrono::steady_clock::now() + config_.unhealthy_cooldown;
+  unhealthy_until_[shard] = Clock::now() + config_.unhealthy_cooldown;
   router_->set_healthy(shard, false);
 }
 
 Router::Decision Client::route(std::uint64_t tenant_id) {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = Clock::now();
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
     if (!router_->healthy(i) && now >= unhealthy_until_[i]) {
       router_->set_healthy(i, true);  // cooldown over: probe it again
@@ -83,25 +132,35 @@ Router::Decision Client::route(std::uint64_t tenant_id) {
 
 bool Client::send_all(std::size_t shard, const std::vector<std::byte>& bytes) {
   const int fd = conns_[shard]->fd;
+  const auto deadline = Clock::now() + config_.response_timeout;
   std::size_t off = 0;
   while (off < bytes.size()) {
     const auto n =
         ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
     }
-    off += static_cast<std::size_t>(n);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Non-blocking socket with a full send buffer: wait for
+      // writability, bounded by the response timeout.
+      const int ms = remaining_ms(deadline);
+      if (ms <= 0) return false;
+      pollfd pfd{fd, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, ms);
+      if (rc < 0 && errno != EINTR) return false;
+      continue;
+    }
+    return false;
   }
   return true;
 }
 
 std::optional<wire::Frame> Client::await_frame(
     std::size_t shard, std::uint64_t request_id,
-    std::vector<std::byte>& storage) {
+    std::vector<std::byte>& storage, Clock::time_point deadline) {
   Conn& conn = *conns_[shard];
-  const auto deadline =
-      std::chrono::steady_clock::now() + config_.response_timeout;
   std::byte buf[64 * 1024];
   for (;;) {
     // Drain already-buffered frames first.
@@ -121,13 +180,10 @@ std::optional<wire::Frame> Client::await_frame(
     }
     if (conn.reader.poisoned()) return std::nullopt;
 
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) return std::nullopt;
-    const auto remaining =
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int ms = remaining_ms(deadline);
+    if (ms <= 0 || Clock::now() >= deadline) return std::nullopt;
     pollfd pfd{conn.fd, POLLIN, 0};
-    const int rc =
-        ::poll(&pfd, 1, static_cast<int>(remaining.count()) + 1);
+    const int rc = ::poll(&pfd, 1, ms);
     if (rc < 0 && errno != EINTR) return std::nullopt;
     if (rc <= 0) continue;
     const auto n = ::recv(conn.fd, buf, sizeof buf, 0);
@@ -139,63 +195,112 @@ std::optional<wire::Frame> Client::await_frame(
   }
 }
 
-FleetResponse Client::predict(std::uint64_t tenant_id,
-                              const hv::BinVec& query) {
-  ++counters_.requests;
-  FleetResponse out;
+std::optional<wire::Frame> Client::await_either(
+    std::size_t shard_a, std::uint64_t id_a, std::size_t shard_b,
+    std::uint64_t id_b, std::vector<std::byte>& storage,
+    Clock::time_point deadline, std::size_t& winner) {
+  std::byte buf[64 * 1024];
+  const std::size_t shards[2] = {shard_a, shard_b};
+  const std::uint64_t ids[2] = {id_a, id_b};
+  bool alive[2] = {true, true};
+  for (;;) {
+    for (int leg = 0; leg < 2; ++leg) {
+      if (!alive[leg]) continue;
+      Conn& conn = *conns_[shards[leg]];
+      while (auto frame = conn.reader.next()) {
+        if (frame->request_id != ids[leg]) continue;
+        if (frame->type != wire::FrameType::kPredictResponse &&
+            frame->type != wire::FrameType::kError) {
+          continue;
+        }
+        storage.assign(frame->payload.begin(), frame->payload.end());
+        wire::Frame owned = *frame;
+        owned.payload = storage;
+        winner = shards[leg];
+        return owned;
+      }
+      if (conn.reader.poisoned()) {
+        ++counters_.transport_errors;
+        drop_connection(shards[leg]);
+        mark_unhealthy(shards[leg]);
+        alive[leg] = false;
+      }
+    }
+    if (!alive[0] && !alive[1]) return std::nullopt;
 
-  // Route; on connect failure mark the shard down and re-route once.
-  auto decision = route(tenant_id);
-  if (!ensure_connected(decision.shard)) {
-    ++counters_.transport_errors;
-    mark_unhealthy(decision.shard);
-    decision = route(tenant_id);
-    if (!ensure_connected(decision.shard)) {
+    const int ms = remaining_ms(deadline);
+    if (ms <= 0 || Clock::now() >= deadline) return std::nullopt;
+    pollfd pfds[2];
+    int nfds = 0;
+    int leg_of[2] = {-1, -1};
+    for (int leg = 0; leg < 2; ++leg) {
+      if (!alive[leg]) continue;
+      pfds[nfds] = {conns_[shards[leg]]->fd, POLLIN, 0};
+      leg_of[nfds] = leg;
+      ++nfds;
+    }
+    const int rc = ::poll(pfds, static_cast<nfds_t>(nfds), ms);
+    if (rc < 0 && errno != EINTR) return std::nullopt;
+    if (rc <= 0) continue;
+    for (int i = 0; i < nfds; ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      const int leg = leg_of[i];
+      const auto n = ::recv(pfds[i].fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        conns_[shards[leg]]->reader.feed(
+            {buf, static_cast<std::size_t>(n)});
+        continue;
+      }
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
       ++counters_.transport_errors;
-      out.error_message = "connect failed";
-      out.shard = decision.shard;
-      return out;
+      drop_connection(shards[leg]);
+      mark_unhealthy(shards[leg]);
+      alive[leg] = false;
     }
   }
-  out.shard = decision.shard;
-  out.failover = decision.failover;
-  if (decision.failover) ++counters_.failovers;
+}
 
-  const std::uint64_t request_id = next_request_id_++;
-  std::vector<std::byte> frame_bytes;
-  wire::append_predict_request(frame_bytes, tenant_id, request_id, query);
-  if (!send_all(decision.shard, frame_bytes)) {
-    ++counters_.transport_errors;
-    drop_connection(decision.shard);
-    mark_unhealthy(decision.shard);
-    out.error_message = "send failed";
-    return out;
+std::optional<std::size_t> Client::hedge_target(std::size_t primary) const {
+  const auto& group = router_->group(primary);
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (i == primary) continue;
+    if (router_->group(i) != group) continue;  // never cross model groups
+    if (!router_->healthy(i)) continue;
+    return i;
   }
+  return std::nullopt;
+}
 
-  std::vector<std::byte> storage;
-  const auto frame = await_frame(decision.shard, request_id, storage);
-  if (!frame) {
-    ++counters_.transport_errors;
-    drop_connection(decision.shard);
-    mark_unhealthy(decision.shard);
-    out.error_message = "response timeout or connection lost";
-    return out;
+std::optional<std::chrono::nanoseconds> Client::hedge_delay() const {
+  if (!config_.hedge.enabled || endpoints_.size() < 2) return std::nullopt;
+  if (config_.hedge.delay.count() > 0) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+        config_.hedge.delay);
   }
+  // Derived mode: fire the hedge where the tail starts — at the observed
+  // p99 — once the distribution has warmed up.
+  const auto summary = latency_.summarize();
+  if (summary.count < config_.hedge.min_samples) return std::nullopt;
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(summary.p99_ns) + 1);
+}
 
-  if (frame->type == wire::FrameType::kError) {
+void Client::fill_response(const wire::Frame& frame, std::size_t shard,
+                           FleetResponse& out) {
+  out.shard = shard;
+  if (frame.type == wire::FrameType::kError) {
     ++counters_.server_errors;
-    const auto info = wire::parse_error(frame->payload);
+    const auto info = wire::parse_error(frame.payload);
     out.error = info ? info->code : wire::ErrorCode::kNone;
     out.error_message = info ? info->message : "unparseable error frame";
-    return out;
+    return;
   }
-
-  const auto result = wire::parse_predict_response(*frame);
+  const auto result = wire::parse_predict_response(frame);
   if (!result) {
     ++counters_.transport_errors;
-    drop_connection(decision.shard);
+    drop_connection(shard);
     out.error_message = "malformed predict response";
-    return out;
+    return;
   }
   ++counters_.responses;
   out.ok = true;
@@ -208,7 +313,202 @@ FleetResponse Client::predict(std::uint64_t tenant_id,
   if (result->abstained) {
     // The shard's breaker is shedding: route around it until the
     // cooldown expires, then probe again.
+    mark_unhealthy(shard);
+  }
+}
+
+void Client::attempt_once(std::uint64_t tenant_id, const hv::BinVec& query,
+                          Clock::time_point overall_deadline,
+                          FleetResponse& out) {
+  // Route; on connect failure mark the shard down and re-route once.
+  auto decision = route(tenant_id);
+  if (!ensure_connected(decision.shard)) {
+    ++counters_.transport_errors;
     mark_unhealthy(decision.shard);
+    decision = route(tenant_id);
+    if (!ensure_connected(decision.shard)) {
+      ++counters_.transport_errors;
+      out.error_message = "connect failed";
+      out.shard = decision.shard;
+      return;
+    }
+  }
+  out.shard = decision.shard;
+  out.failover = decision.failover;
+  if (decision.failover) ++counters_.failovers;
+
+  const auto now = Clock::now();
+  if (now >= overall_deadline) {
+    // The budget went into backoffs/earlier attempts — don't even send.
+    out.error = wire::ErrorCode::kDeadlineExceeded;
+    out.error_message = "client budget exhausted";
+    return;
+  }
+  // A per-attempt timeout bounds how long one shard may stall before the
+  // retry loop fails over; the wire deadline reflects when *this*
+  // attempt will be abandoned, so the server sheds exactly the work
+  // nobody is waiting for.
+  auto wait_deadline = overall_deadline;
+  if (config_.retry.attempt_timeout.count() > 0) {
+    wait_deadline =
+        std::min(overall_deadline, now + config_.retry.attempt_timeout);
+  }
+  std::uint64_t deadline_ms = 0;
+  if (config_.send_deadline) {
+    deadline_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(wait_deadline -
+                                                              now)
+            .count());
+    if (deadline_ms == 0) deadline_ms = 1;
+  }
+
+  const std::uint64_t request_id = next_request_id_++;
+  std::vector<std::byte> frame_bytes;
+  wire::append_predict_request(frame_bytes, tenant_id, request_id, query,
+                               deadline_ms);
+  if (!send_all(decision.shard, frame_bytes)) {
+    ++counters_.transport_errors;
+    drop_connection(decision.shard);
+    mark_unhealthy(decision.shard);
+    out.error_message = "send failed";
+    return;
+  }
+
+  std::vector<std::byte> storage;
+
+  // Hedge window: give the primary `hedge_delay` to answer before
+  // firing a second attempt at a sibling shard.
+  if (const auto delay = hedge_delay()) {
+    const auto hedge_at = std::min(now + *delay, wait_deadline);
+    if (hedge_at < wait_deadline) {
+      const auto frame =
+          await_frame(decision.shard, request_id, storage, hedge_at);
+      if (frame) {
+        fill_response(*frame, decision.shard, out);
+        return;
+      }
+      const Conn& primary = *conns_[decision.shard];
+      if (primary.reader.poisoned() || primary.fd < 0) {
+        // Not a slow answer — a dead connection. Let the retry loop
+        // handle it rather than hedging onto a half-broken attempt.
+        ++counters_.transport_errors;
+        drop_connection(decision.shard);
+        mark_unhealthy(decision.shard);
+        out.error_message = "response timeout or connection lost";
+        return;
+      }
+      const auto target = hedge_target(decision.shard);
+      if (target && ensure_connected(*target)) {
+        const std::uint64_t hedge_id = next_request_id_++;
+        std::uint64_t hedge_deadline_ms = 0;
+        if (config_.send_deadline) {
+          hedge_deadline_ms = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  wait_deadline - Clock::now())
+                  .count());
+          if (hedge_deadline_ms == 0) hedge_deadline_ms = 1;
+        }
+        std::vector<std::byte> hedge_bytes;
+        wire::append_predict_request(hedge_bytes, tenant_id, hedge_id,
+                                     query, hedge_deadline_ms);
+        if (send_all(*target, hedge_bytes)) {
+          ++counters_.hedged_requests;
+          out.hedged = true;
+          std::size_t winner = decision.shard;
+          const auto won =
+              await_either(decision.shard, request_id, *target, hedge_id,
+                           storage, wait_deadline, winner);
+          if (won) {
+            if (winner != decision.shard) {
+              ++counters_.hedge_wins;
+              out.hedge_won = true;
+              // The loser's eventual answer carries a request id no
+              // future await matches — it is drained and skipped.
+            }
+            fill_response(*won, winner, out);
+            return;
+          }
+          ++counters_.transport_errors;
+          drop_connection(decision.shard);
+          mark_unhealthy(decision.shard);
+          out.error_message = "response timeout or connection lost";
+          return;
+        }
+        ++counters_.transport_errors;
+        drop_connection(*target);
+        mark_unhealthy(*target);
+        // Fall through to a plain wait on the primary.
+      }
+    }
+  }
+
+  const auto frame =
+      await_frame(decision.shard, request_id, storage, wait_deadline);
+  if (!frame) {
+    ++counters_.transport_errors;
+    drop_connection(decision.shard);
+    mark_unhealthy(decision.shard);
+    out.error_message = "response timeout or connection lost";
+    return;
+  }
+  fill_response(*frame, decision.shard, out);
+}
+
+FleetResponse Client::predict(std::uint64_t tenant_id,
+                              const hv::BinVec& query) {
+  ++counters_.requests;
+  retry_budget_ = std::min(config_.retry.budget_cap,
+                           retry_budget_ + config_.retry.budget_per_request);
+  const auto start = Clock::now();
+  const auto overall_deadline = start + config_.response_timeout;
+  const std::size_t max_attempts =
+      std::max<std::size_t>(1, config_.retry.max_attempts);
+
+  FleetResponse out;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Retry only on the bucket's dime, and only when a backoff still
+      // fits inside the overall budget.
+      if (retry_budget_ < 1.0) {
+        ++counters_.retry_budget_exhausted;
+        break;
+      }
+      const auto cap = std::min(
+          config_.retry.max_backoff,
+          config_.retry.initial_backoff *
+              (1u << std::min<std::size_t>(attempt - 1, 20)));
+      const auto backoff = std::chrono::nanoseconds(
+          static_cast<std::int64_t>(jitter_rng_.uniform() *
+                                    static_cast<double>(
+                                        std::chrono::nanoseconds(cap)
+                                            .count())));
+      if (Clock::now() + backoff >= overall_deadline) break;
+      retry_budget_ -= 1.0;
+      ++counters_.retries;
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    }
+    FleetResponse r;
+    r.attempts = attempt + 1;
+    attempt_once(tenant_id, query, overall_deadline, r);
+    r.attempts = attempt + 1;
+    out = std::move(r);
+    if (out.ok) break;
+    // Retryable: transport failures (no error frame), kBusy ("retry
+    // later" by contract — wire.hpp), and kShuttingDown (another shard
+    // may still be up). Everything else is terminal: kBadRequest and
+    // kDimensionMismatch won't improve, kDeadlineExceeded means the
+    // budget is spent.
+    const bool retryable = out.error == wire::ErrorCode::kNone ||
+                           out.error == wire::ErrorCode::kBusy ||
+                           out.error == wire::ErrorCode::kShuttingDown;
+    if (!retryable) break;
+    if (Clock::now() >= overall_deadline) break;
+  }
+  if (out.ok) {
+    latency_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count()));
   }
   return out;
 }
@@ -224,7 +524,9 @@ bool Client::ping(std::size_t shard) {
     return false;
   }
   std::vector<std::byte> storage;
-  const auto frame = await_frame(shard, request_id, storage);
+  const auto frame =
+      await_frame(shard, request_id, storage,
+                  Clock::now() + config_.response_timeout);
   return frame && frame->type == wire::FrameType::kPong;
 }
 

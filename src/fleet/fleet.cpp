@@ -62,10 +62,34 @@ std::future<serve::Response> Fleet::submit(std::uint64_t tenant_id,
 }
 
 std::optional<Fleet::TrySubmitResult> Fleet::try_submit(
-    std::uint64_t tenant_id, hv::BinVec query) {
+    std::uint64_t tenant_id, hv::BinVec query,
+    std::chrono::steady_clock::time_point deadline, SubmitReject* reject) {
+  if (reject) *reject = SubmitReject::kNone;
   const auto d = route(tenant_id);
-  auto future = shards_[d.shard]->server().try_submit(std::move(query));
-  if (!future) return std::nullopt;
+  if (deadline != std::chrono::steady_clock::time_point::max()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      deadline_sheds_.fetch_add(1, std::memory_order_relaxed);
+      if (reject) *reject = SubmitReject::kDeadline;
+      return std::nullopt;
+    }
+    // Queue-aware admission: refusing now costs the client one cheap
+    // error frame; admitting a request the queue cannot serve in time
+    // costs a queue slot, a dequeue, and a shed anyway.
+    const auto wait = std::chrono::nanoseconds(
+        shards_[d.shard]->server().estimated_wait_ns());
+    if (now + wait >= deadline) {
+      deadline_sheds_.fetch_add(1, std::memory_order_relaxed);
+      if (reject) *reject = SubmitReject::kPredictedLate;
+      return std::nullopt;
+    }
+  }
+  auto future =
+      shards_[d.shard]->server().try_submit(std::move(query), deadline);
+  if (!future) {
+    if (reject) *reject = SubmitReject::kQueueFull;
+    return std::nullopt;
+  }
   TrySubmitResult r;
   r.future = std::move(*future);
   r.shard = d.shard;
@@ -77,6 +101,7 @@ FleetStats Fleet::stats() const {
   FleetStats out;
   out.failovers = failovers_.load(std::memory_order_relaxed);
   out.shed_unrouteable = shed_unrouteable_.load(std::memory_order_relaxed);
+  out.deadline_sheds = deadline_sheds_.load(std::memory_order_relaxed);
   out.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     out.shards.push_back(shard->stats());
@@ -87,6 +112,7 @@ FleetStats Fleet::stats() const {
     out.scrub_substituted_bits += s.scrub_substituted_bits;
     out.degraded_responses += s.degraded_responses;
     out.abstained_responses += s.abstained_responses;
+    out.deadline_sheds += s.deadline_sheds;
     out.breaker_trips += s.breaker_trips;
   }
   return out;

@@ -44,6 +44,13 @@ struct Connection {
   /// swap-popped wherever they sit.
   std::vector<Pending> pending;
 
+  /// Last time the peer delivered bytes (idle-reaper clock).
+  std::chrono::steady_clock::time_point last_activity;
+  /// When the currently buffered partial frame started accumulating;
+  /// max() = no partial frame (the read-deadline reaper's clock).
+  std::chrono::steady_clock::time_point partial_since =
+      std::chrono::steady_clock::time_point::max();
+
   std::size_t unflushed() const noexcept { return out.size() - out_off; }
 };
 
@@ -131,6 +138,9 @@ FrontendCounters Frontend::counters() const {
   c.dimension_rejections =
       dimension_rejections_.load(std::memory_order_relaxed);
   c.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  c.deadline_sheds = deadline_sheds_.load(std::memory_order_relaxed);
+  c.reaped_connections =
+      reaped_connections_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -166,12 +176,42 @@ void Frontend::loop_main(Loop& loop) {
           frames_out_.fetch_add(1, std::memory_order_relaxed);
           return true;
         }
-        auto submitted =
-            fleet_.try_submit(frame.tenant_id, std::move(query));
+        // The wire deadline is relative (ms of remaining budget at send
+        // time) — anchor it to our clock here. Clock skew costs only the
+        // one-way network latency, which is already inside the budget.
+        auto deadline = std::chrono::steady_clock::time_point::max();
+        if (frame.deadline_ms != 0) {
+          deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(frame.deadline_ms);
+        }
+        SubmitReject reject = SubmitReject::kNone;
+        auto submitted = fleet_.try_submit(
+            frame.tenant_id, std::move(query),
+            config_.admission_control
+                ? deadline
+                : std::chrono::steady_clock::time_point::max(),
+            &reject);
         if (!submitted) {
-          busy_rejections_.fetch_add(1, std::memory_order_relaxed);
-          wire::append_error(conn.out, frame.tenant_id, frame.request_id,
-                             wire::ErrorCode::kBusy, "shard queue full");
+          if (reject == SubmitReject::kDeadline) {
+            // The budget was spent before we could even enqueue —
+            // retrying is futile and the error code says so.
+            deadline_sheds_.fetch_add(1, std::memory_order_relaxed);
+            wire::append_error(conn.out, frame.tenant_id, frame.request_id,
+                               wire::ErrorCode::kDeadlineExceeded,
+                               "deadline passed before enqueue");
+          } else if (reject == SubmitReject::kPredictedLate) {
+            // Early kBusy: the queue cannot serve it within the budget,
+            // but another shard (or a later retry) still might.
+            deadline_sheds_.fetch_add(1, std::memory_order_relaxed);
+            busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+            wire::append_error(conn.out, frame.tenant_id, frame.request_id,
+                               wire::ErrorCode::kBusy,
+                               "estimated queue wait exceeds deadline");
+          } else {
+            busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+            wire::append_error(conn.out, frame.tenant_id, frame.request_id,
+                               wire::ErrorCode::kBusy, "shard queue full");
+          }
           frames_out_.fetch_add(1, std::memory_order_relaxed);
           return true;
         }
@@ -196,15 +236,24 @@ void Frontend::loop_main(Loop& loop) {
       }
       try {
         const serve::Response r = p.future.get();
-        wire::PredictResult result;
-        result.predicted = r.predicted;
-        result.confidence = r.confidence;
-        result.model_version = r.model_version;
-        result.trusted = r.trusted;
-        result.degraded = r.degraded;
-        result.abstained = r.abstained;
-        wire::append_predict_response(conn.out, p.tenant_id, p.request_id,
-                                      result);
+        if (r.expired) {
+          // Shed in-queue by the server: nobody scored it, so there is
+          // no prediction to frame — surface the spent budget instead.
+          deadline_sheds_.fetch_add(1, std::memory_order_relaxed);
+          wire::append_error(conn.out, p.tenant_id, p.request_id,
+                             wire::ErrorCode::kDeadlineExceeded,
+                             "deadline expired in queue");
+        } else {
+          wire::PredictResult result;
+          result.predicted = r.predicted;
+          result.confidence = r.confidence;
+          result.model_version = r.model_version;
+          result.trusted = r.trusted;
+          result.degraded = r.degraded;
+          result.abstained = r.abstained;
+          wire::append_predict_response(conn.out, p.tenant_id, p.request_id,
+                                        result);
+        }
       } catch (const std::future_error&) {
         wire::append_error(conn.out, p.tenant_id, p.request_id,
                            wire::ErrorCode::kShuttingDown,
@@ -276,6 +325,7 @@ void Frontend::loop_main(Loop& loop) {
         (void)::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
         auto conn = std::make_unique<Connection>(config_.max_payload);
         conn->fd = cfd;
+        conn->last_activity = std::chrono::steady_clock::now();
         loop.conns.emplace(cfd, std::move(conn));
         connections_accepted_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -293,9 +343,11 @@ void Frontend::loop_main(Loop& loop) {
       }
       if ((fds[i].revents & POLLIN) != 0) {
         bool closed = false;
+        bool got_bytes = false;
         for (;;) {
           const auto n = ::recv(fd, read_buf.data(), read_buf.size(), 0);
           if (n > 0) {
+            got_bytes = true;
             conn.reader.feed({read_buf.data(), static_cast<std::size_t>(n)});
             if (static_cast<std::size_t>(n) < read_buf.size()) break;
             continue;
@@ -303,6 +355,9 @@ void Frontend::loop_main(Loop& loop) {
           if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
           closed = true;  // orderly shutdown or hard error
           break;
+        }
+        if (got_bytes) {
+          conn.last_activity = std::chrono::steady_clock::now();
         }
         bool poisoned = false;
         while (auto frame = conn.reader.next()) {
@@ -315,9 +370,43 @@ void Frontend::loop_main(Loop& loop) {
           protocol_errors_.fetch_add(1, std::memory_order_relaxed);
           poisoned = true;
         }
+        // Read-deadline bookkeeping: a partial frame starts the clock,
+        // a drained buffer stops it.
+        if (conn.reader.buffered() > 0) {
+          if (conn.partial_since ==
+              std::chrono::steady_clock::time_point::max()) {
+            conn.partial_since = std::chrono::steady_clock::now();
+          }
+        } else {
+          conn.partial_since = std::chrono::steady_clock::time_point::max();
+        }
         if (poisoned || closed) {
           close_conn(fd);
           continue;
+        }
+      }
+    }
+
+    // Reap connections stuck mid-frame past the read deadline (slowloris
+    // defense) and — when configured — connections idle with nothing in
+    // flight. Both are hard closes: a peer that trickles bytes has no
+    // claim on a graceful goodbye.
+    if (config_.read_deadline.count() > 0 ||
+        config_.idle_timeout.count() > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& [fd, conn] : loop.conns) {
+        const bool stuck_mid_frame =
+            config_.read_deadline.count() > 0 &&
+            conn->partial_since !=
+                std::chrono::steady_clock::time_point::max() &&
+            now - conn->partial_since > config_.read_deadline;
+        const bool idle =
+            config_.idle_timeout.count() > 0 && conn->pending.empty() &&
+            conn->unflushed() == 0 &&
+            now - conn->last_activity > config_.idle_timeout;
+        if (stuck_mid_frame || idle) {
+          reaped_connections_.fetch_add(1, std::memory_order_relaxed);
+          close_conn(fd);
         }
       }
     }

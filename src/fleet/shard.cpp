@@ -36,6 +36,7 @@ ShardStats Shard::stats() const {
   out.quarantined_chunks = s.quarantined_chunks;
   out.degraded_responses = s.degraded_responses;
   out.abstained_responses = s.abstained_responses;
+  out.deadline_sheds = s.deadline_sheds;
   out.breaker_trips = s.breaker_trips;
   out.breaker_open = s.breaker_open;
   out.canary_accuracy = s.canary_accuracy;

@@ -41,7 +41,7 @@ const char* wire_error_name(WireError e) noexcept {
     case WireError::kNone: return "none";
     case WireError::kBadMagic: return "bad magic";
     case WireError::kBadType: return "bad frame type";
-    case WireError::kReservedNotZero: return "reserved bytes not zero";
+    case WireError::kBadVersion: return "unsupported header version";
     case WireError::kOversizedPayload: return "oversized payload length";
     case WireError::kHeaderCrcMismatch: return "header CRC mismatch";
     case WireError::kPayloadCrcMismatch: return "payload CRC mismatch";
@@ -53,17 +53,23 @@ const char* wire_error_name(WireError e) noexcept {
 void append_frame(std::vector<std::byte>& out, FrameType type,
                   std::uint8_t flags, std::uint64_t tenant_id,
                   std::uint64_t request_id,
-                  std::span<const std::byte> payload) {
+                  std::span<const std::byte> payload,
+                  std::uint64_t deadline_ms) {
   const std::size_t header_at = out.size();
+  // A zero deadline encodes as a version-0 header — byte-identical to
+  // what the pre-deadline encoder emitted, so legacy peers keep parsing
+  // us and our compat tests can assert bit-identity.
+  const std::uint16_t version = deadline_ms == 0 ? 0 : 1;
   put<std::uint32_t>(out, kMagic);
   put<std::uint8_t>(out, static_cast<std::uint8_t>(type));
   put<std::uint8_t>(out, flags);
-  put<std::uint16_t>(out, 0);  // reserved
+  put<std::uint16_t>(out, version);
   put<std::uint64_t>(out, tenant_id);
   put<std::uint64_t>(out, request_id);
   put<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
+  if (version >= 1) put<std::uint64_t>(out, deadline_ms);
   const std::uint32_t header_crc =
-      util::crc32c(out.data() + header_at, kHeaderSize - 4);
+      util::crc32c(out.data() + header_at, out.size() - header_at);
   put<std::uint32_t>(out, header_crc);
   out.insert(out.end(), payload.begin(), payload.end());
   put<std::uint32_t>(out, util::crc32c(payload));
@@ -71,7 +77,8 @@ void append_frame(std::vector<std::byte>& out, FrameType type,
 
 void append_predict_request(std::vector<std::byte>& out,
                             std::uint64_t tenant_id, std::uint64_t request_id,
-                            const hv::BinVec& query) {
+                            const hv::BinVec& query,
+                            std::uint64_t deadline_ms) {
   std::vector<std::byte> payload;
   payload.reserve(4 + query.word_count() * 8);
   put<std::uint32_t>(payload, static_cast<std::uint32_t>(query.dimension()));
@@ -79,7 +86,7 @@ void append_predict_request(std::vector<std::byte>& out,
   const auto* p = reinterpret_cast<const std::byte*>(words.data());
   payload.insert(payload.end(), p, p + words.size_bytes());
   append_frame(out, FrameType::kPredictRequest, 0, tenant_id, request_id,
-               payload);
+               payload, deadline_ms);
 }
 
 void append_predict_response(std::vector<std::byte>& out,
@@ -183,29 +190,36 @@ std::optional<Frame> FrameReader::next() {
     error_ = WireError::kBadType;
     return std::nullopt;
   }
-  if (get<std::uint16_t>(head, 6) != 0) {
-    error_ = WireError::kReservedNotZero;
+  const auto version = get<std::uint16_t>(head, 6);
+  if (version > kMaxWireVersion) {
+    // Unknown version means unknown header length: we cannot even find
+    // the CRC, let alone the next frame boundary. Poison, don't skip.
+    error_ = WireError::kBadVersion;
     return std::nullopt;
   }
+  const std::size_t header_size = version == 0 ? kHeaderSize : kHeaderSizeV1;
+  if (buffer_.size() < header_size) return std::nullopt;  // need full header
   const auto payload_len = get<std::uint32_t>(head, 24);
   if (payload_len > max_payload_) {
     error_ = WireError::kOversizedPayload;
     return std::nullopt;
   }
-  if (get<std::uint32_t>(head, 28) !=
-      util::crc32c(buffer_.data(), kHeaderSize - 4)) {
+  if (get<std::uint32_t>(std::span<const std::byte>(buffer_.data(),
+                                                    header_size),
+                         header_size - 4) !=
+      util::crc32c(buffer_.data(), header_size - 4)) {
     error_ = WireError::kHeaderCrcMismatch;
     return std::nullopt;
   }
 
-  const std::size_t total = kHeaderSize + payload_len + kTrailerSize;
+  const std::size_t total = header_size + payload_len + kTrailerSize;
   if (buffer_.size() < total) return std::nullopt;  // wait for the rest
 
-  const std::span<const std::byte> payload(buffer_.data() + kHeaderSize,
+  const std::span<const std::byte> payload(buffer_.data() + header_size,
                                            payload_len);
   if (get<std::uint32_t>(
           std::span<const std::byte>(buffer_.data(), total),
-          kHeaderSize + payload_len) != util::crc32c(payload)) {
+          header_size + payload_len) != util::crc32c(payload)) {
     error_ = WireError::kPayloadCrcMismatch;
     return std::nullopt;
   }
@@ -215,6 +229,7 @@ std::optional<Frame> FrameReader::next() {
   frame.flags = get<std::uint8_t>(head, 5);
   frame.tenant_id = get<std::uint64_t>(head, 8);
   frame.request_id = get<std::uint64_t>(head, 16);
+  frame.deadline_ms = version == 0 ? 0 : get<std::uint64_t>(buffer_, 28);
   frame.payload = payload;
   consumed_ = total;  // released at the next feed()/next()/reset()
   return frame;

@@ -179,9 +179,10 @@ std::future<Response> Server::submit(hv::BinVec query) {
   return future;
 }
 
-std::optional<std::future<Response>> Server::try_submit(hv::BinVec query) {
+std::optional<std::future<Response>> Server::try_submit(
+    hv::BinVec query, std::chrono::steady_clock::time_point deadline) {
   Request request{std::move(query), {}, false, std::promise<Response>(),
-                  std::chrono::steady_clock::now()};
+                  std::chrono::steady_clock::now(), deadline};
   auto future = request.promise.get_future();
   if (!queue_.try_push(request)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -297,6 +298,19 @@ std::uint64_t Server::load_model(const std::string& path) {
   }
 }
 
+std::uint64_t Server::estimated_wait_ns() const {
+  const std::size_t depth = queue_.depth();
+  if (depth == 0) return 0;
+  const double mean_batch_service = service_.mean_ns();
+  const double mean_batch = batch_sizes_.mean();
+  if (mean_batch_service <= 0.0) return 0;  // nothing measured yet
+  // depth / mean_batch batches are ahead of a request admitted now, each
+  // costing roughly one mean batch service time.
+  return static_cast<std::uint64_t>(static_cast<double>(depth) *
+                                    mean_batch_service /
+                                    (mean_batch < 1.0 ? 1.0 : mean_batch));
+}
+
 void Server::drain() {
   while (completed_.load(std::memory_order_acquire) <
          submitted_.load(std::memory_order_acquire)) {
@@ -360,6 +374,7 @@ ServerStats Server::stats() const {
   s.integrity_failures = integrity_failures_.load(std::memory_order_relaxed);
   s.degraded_responses = degraded_.load(std::memory_order_relaxed);
   s.abstained_responses = abstained_.load(std::memory_order_relaxed);
+  s.deadline_sheds = deadline_sheds_.load(std::memory_order_relaxed);
   // Subsystem counters are reported as deltas against the reset_stats()
   // baselines (the scrubber's own atomics back drain() and are never
   // zeroed in place).
@@ -426,6 +441,7 @@ void Server::reset_stats() {
   integrity_failures_.store(0, std::memory_order_relaxed);
   degraded_.store(0, std::memory_order_relaxed);
   abstained_.store(0, std::memory_order_relaxed);
+  deadline_sheds_.store(0, std::memory_order_relaxed);
   queue_wait_.reset();
   service_.reset();
   end_to_end_.reset();
@@ -468,7 +484,28 @@ void Server::worker_main(std::size_t worker_index) {
     pin_current_thread(
         config_.cpu_affinity[worker_index % config_.cpu_affinity.size()]);
   }
-  Batcher<Request> batcher(queue_, config_.max_batch, config_.batch_linger);
+  // Expired requests are shed at dequeue time, before they occupy a batch
+  // slot: the client's budget is spent, so scoring would be pure waste.
+  // The predicate owns the disposal (promise, latency records, counters)
+  // so the batcher stays deadline-agnostic.
+  Batcher<Request> batcher(
+      queue_, config_.max_batch, config_.batch_linger,
+      [this](Request& request) {
+        if (request.deadline ==
+            std::chrono::steady_clock::time_point::max()) {
+          return false;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        if (now < request.deadline) return false;
+        deadline_sheds_.fetch_add(1, std::memory_order_relaxed);
+        queue_wait_.record(elapsed_ns(request.enqueued, now));
+        end_to_end_.record(elapsed_ns(request.enqueued, now));
+        Response response;
+        response.expired = true;
+        completed_.fetch_add(1, std::memory_order_release);
+        request.promise.set_value(response);
+        return true;
+      });
   const model::ConfidenceConfig confidence =
       config_.scrubber.recovery.confidence;
   const double trust_threshold =

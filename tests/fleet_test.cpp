@@ -10,15 +10,21 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "robusthd/fleet/client.hpp"
@@ -81,6 +87,155 @@ Fleet make_fleet(const World& w, std::size_t shards,
     config.shards.push_back(std::move(shard));
   }
   return Fleet(std::move(models), std::move(config));
+}
+
+void set_nonblocking_fd(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void send_prefix(int fd, const std::vector<std::byte>& bytes,
+                 std::size_t limit) {
+  std::size_t off = 0;
+  const std::size_t total = std::min(bytes.size(), limit);
+  while (off < total) {
+    const auto n =
+        ::send(fd, bytes.data() + off, total - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      (void)::poll(&pfd, 1, 100);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;
+  }
+}
+
+/// Minimal wire-speaking TCP server for client fault tests: parses
+/// frames off every connection and hands them to the test's handler,
+/// which sends whatever reply it wants. Handler returns false to close
+/// the connection abortively (RST) right after its (possibly partial)
+/// reply — the "server died mid-response" case.
+class FakeWireServer {
+ public:
+  /// (connection fd, request frame, 1-based request ordinal across all
+  /// connections) -> keep the connection open?
+  using Handler = std::function<bool(int, const wire::Frame&, std::uint64_t)>;
+
+  explicit FakeWireServer(Handler handler) : handler_(std::move(handler)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    (void)::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    (void)::listen(listen_fd_, 16);
+    socklen_t len = sizeof addr;
+    (void)::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    set_nonblocking_fd(listen_fd_);
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~FakeWireServer() {
+    running_.store(false, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+    ::close(listen_fd_);
+  }
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    wire::FrameReader reader;
+  };
+
+  static void rst_close(int fd) {
+    linger lin{};
+    lin.l_onoff = 1;
+    lin.l_linger = 0;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lin, sizeof lin);
+    ::close(fd);
+  }
+
+  void run() {
+    std::vector<Conn> conns;
+    std::byte buf[64 * 1024];
+    while (running_.load(std::memory_order_acquire)) {
+      std::vector<pollfd> pfds;
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      for (const auto& conn : conns) pfds.push_back({conn.fd, POLLIN, 0});
+      (void)::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 10);
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking_fd(fd);
+        conns.push_back({fd, wire::FrameReader()});
+      }
+      for (std::size_t i = 0; i < conns.size();) {
+        auto& conn = conns[i];
+        bool dead = false;
+        for (;;) {
+          const auto n = ::recv(conn.fd, buf, sizeof buf, 0);
+          if (n > 0) {
+            conn.reader.feed({buf, static_cast<std::size_t>(n)});
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          dead = true;  // peer closed or hard error
+          break;
+        }
+        while (!dead) {
+          const auto frame = conn.reader.next();
+          if (!frame) break;
+          const auto ordinal =
+              count_.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (!handler_(conn.fd, *frame, ordinal)) {
+            rst_close(conn.fd);
+            conn.fd = -1;
+            dead = true;
+          }
+        }
+        if (dead || conn.reader.poisoned()) {
+          if (conn.fd >= 0) ::close(conn.fd);
+          conns[i] = std::move(conns.back());
+          conns.pop_back();
+          continue;
+        }
+        ++i;
+      }
+    }
+    for (auto& conn : conns) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+  }
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{true};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Canned healthy predict reply.
+bool reply_predict(int fd, const wire::Frame& frame, std::int32_t predicted) {
+  wire::PredictResult result;
+  result.predicted = predicted;
+  result.confidence = 0.75;
+  result.trusted = true;
+  result.model_version = 1;
+  std::vector<std::byte> out;
+  wire::append_predict_response(out, frame.tenant_id, frame.request_id,
+                                result);
+  send_prefix(fd, out, out.size());
+  return true;
 }
 
 void expect_identical(const serve::Response& fleet_r,
@@ -393,6 +548,271 @@ TEST(Fleet, QuarantineDegradedFlagPropagatesOverTheWire) {
   const auto stats = fleet.stats();
   EXPECT_GT(stats.shards[0].quarantined_chunks, 0u);
   EXPECT_GE(stats.degraded_responses, 1u);
+
+  frontend.stop();
+  fleet.shutdown();
+}
+
+// ------------------------------------------- deadlines and admission --
+
+TEST(Fleet, TrySubmitShedsPastDeadlineAndAcceptsLiveOne) {
+  const auto w = make_world(0x99);
+  auto fleet = make_fleet(w, 1);
+
+  SubmitReject reject = SubmitReject::kNone;
+  const auto dead = fleet.try_submit(
+      0, w.queries[0],
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1),
+      &reject);
+  EXPECT_FALSE(dead.has_value());
+  EXPECT_EQ(reject, SubmitReject::kDeadline);
+  EXPECT_EQ(fleet.stats().deadline_sheds, 1u);
+
+  auto live = fleet.try_submit(
+      0, w.queries[0],
+      std::chrono::steady_clock::now() + std::chrono::seconds(5), &reject);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_EQ(reject, SubmitReject::kNone);
+  const auto response = live->future.get();
+  EXPECT_FALSE(response.expired);
+  EXPECT_GE(response.predicted, 0);
+
+  fleet.shutdown();
+}
+
+TEST(Fleet, LegacyClientWithoutDeadlinesStillServed) {
+  const auto w = make_world(0xaa);
+  auto fleet = make_fleet(w, 1);
+  Frontend frontend(fleet);
+  frontend.start();
+
+  ClientConfig config;
+  config.send_deadline = false;  // emits version-0 frames, bit for bit
+  Client client({{"127.0.0.1", frontend.ports()[0]}}, {"default"},
+                std::move(config));
+  const auto response = client.predict(0, w.queries[0]);
+  ASSERT_TRUE(response.ok) << response.error_message;
+  EXPECT_GE(response.predicted, 0);
+  EXPECT_EQ(frontend.counters().deadline_sheds, 0u);
+
+  frontend.stop();
+  fleet.shutdown();
+}
+
+TEST(Fleet, SlowlorisPartialFrameIsReaped) {
+  const auto w = make_world(0xbb);
+  auto fleet = make_fleet(w, 1);
+  FrontendConfig fc;
+  fc.read_deadline = std::chrono::milliseconds(50);
+  Frontend frontend(fleet, fc);
+  frontend.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(frontend.ports()[0]);
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  // First 8 bytes of a valid header (magic + type + flags + version),
+  // then silence: a classic slowloris holding a torn frame open.
+  std::array<unsigned char, 8> partial{0x52, 0x48, 0x46, 0x31, 1, 0, 0, 0};
+  ASSERT_GT(::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL), 0);
+  timeval tv{2, 0};  // bound the blocking recv so a regression fails fast
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  char buf[16];
+  const auto n = ::recv(fd, buf, sizeof buf, 0);
+  EXPECT_LE(n, 0);  // the reaper closed us, no bytes arrived
+  ::close(fd);
+  EXPECT_GE(frontend.counters().reaped_connections, 1u);
+
+  frontend.stop();
+  fleet.shutdown();
+}
+
+// ------------------------------------------------ client retry policy --
+
+TEST(Fleet, BusyErrorFrameIsRetriedNotTerminal) {
+  const auto w = make_world(0xcc);
+  // Regression: wire.hpp documents kBusy as "retry later", but the
+  // client used to treat any error frame as terminal.
+  FakeWireServer server([](int fd, const wire::Frame& frame,
+                           std::uint64_t ordinal) {
+    if (ordinal == 1) {
+      std::vector<std::byte> out;
+      wire::append_error(out, frame.tenant_id, frame.request_id,
+                         wire::ErrorCode::kBusy, "queue full, retry later");
+      send_prefix(fd, out, out.size());
+      return true;
+    }
+    return reply_predict(fd, frame, 2);
+  });
+
+  ClientConfig config;
+  config.retry.initial_backoff = std::chrono::milliseconds(1);
+  Client client({{"127.0.0.1", server.port()}}, {"default"},
+                std::move(config));
+  const auto response = client.predict(7, w.queries[0]);
+  ASSERT_TRUE(response.ok) << response.error_message;
+  EXPECT_EQ(response.predicted, 2);
+  EXPECT_EQ(response.attempts, 2u);
+  EXPECT_EQ(client.counters().retries, 1u);
+  EXPECT_EQ(client.counters().server_errors, 1u);
+  // kBusy is backpressure, not sickness: the connection survives and
+  // the shard is not marked unhealthy.
+  EXPECT_EQ(client.counters().reconnects, 0u);
+  EXPECT_TRUE(client.router().healthy(0));
+}
+
+TEST(Fleet, ConnectTimeoutFailsFastOnSaturatedBacklog) {
+  // A listener that never accepts, with its accept queue pre-filled, so
+  // further SYNs are dropped — the classic blackholed-endpoint shape.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 0), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  std::vector<int> fillers;
+  for (int i = 0; i < 8; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    set_nonblocking_fd(fd);
+    (void)::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    fillers.push_back(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto w = make_world(0xdd, /*queries_per_class=*/1);
+  ClientConfig config;
+  config.connect_timeout = std::chrono::milliseconds(150);
+  config.response_timeout = std::chrono::milliseconds(1000);
+  config.retry.max_attempts = 1;
+  Client client({{"127.0.0.1", ntohs(addr.sin_port)}}, {"default"},
+                std::move(config));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto response = client.predict(0, w.queries[0]);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(response.ok);
+  EXPECT_GE(client.counters().connect_timeouts, 1u);
+  EXPECT_GE(client.counters().transport_errors, 1u);
+  // Two bounded connect attempts (route + one re-route), not a
+  // kernel-default multi-minute hang.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(900));
+
+  for (const int fd : fillers) ::close(fd);
+  ::close(listen_fd);
+}
+
+TEST(Fleet, StalledShardTimesOutAndFailsOver) {
+  const auto w = make_world(0xee, /*queries_per_class=*/2);
+  // Shard 0 from the client's view: accepts and reads, never answers.
+  FakeWireServer stall([](int, const wire::Frame&, std::uint64_t) {
+    return true;
+  });
+  // Shard 1: a real single-shard fleet behind a frontend.
+  auto fleet = make_fleet(w, 1);
+  Frontend frontend(fleet);
+  frontend.start();
+
+  ClientConfig config;
+  config.retry.attempt_timeout = std::chrono::milliseconds(100);
+  config.retry.initial_backoff = std::chrono::milliseconds(1);
+  config.response_timeout = std::chrono::milliseconds(2000);
+  Client client(
+      {{"127.0.0.1", stall.port()}, {"127.0.0.1", frontend.ports()[0]}},
+      {"default", "default"}, std::move(config));
+
+  // A tenant whose primary is the stalled endpoint.
+  Router reference({"default", "default"}, RouterConfig{});
+  std::uint64_t victim = 0;
+  while (reference.route(victim) != 0) ++victim;
+
+  const auto response = client.predict(victim, w.queries[0]);
+  ASSERT_TRUE(response.ok) << response.error_message;
+  EXPECT_EQ(response.shard, 1u);
+  EXPECT_EQ(response.attempts, 2u);
+  EXPECT_TRUE(response.failover);
+  EXPECT_GE(client.counters().transport_errors, 1u);
+  EXPECT_EQ(client.counters().retries, 1u);
+  EXPECT_FALSE(client.router().healthy(0));
+
+  frontend.stop();
+  fleet.shutdown();
+}
+
+TEST(Fleet, MidResponseResetIsRetried) {
+  const auto w = make_world(0xff, /*queries_per_class=*/2);
+  // First request: 12 bytes of a valid response, then a hard RST — a
+  // server dying mid-write. Second request (fresh connection): answers.
+  FakeWireServer server([](int fd, const wire::Frame& frame,
+                           std::uint64_t ordinal) {
+    if (ordinal == 1) {
+      wire::PredictResult result;
+      result.predicted = 3;
+      std::vector<std::byte> out;
+      wire::append_predict_response(out, frame.tenant_id, frame.request_id,
+                                    result);
+      send_prefix(fd, out, 12);
+      return false;  // RST with a torn frame on the wire
+    }
+    return reply_predict(fd, frame, 3);
+  });
+
+  ClientConfig config;
+  config.retry.initial_backoff = std::chrono::milliseconds(1);
+  config.unhealthy_cooldown = std::chrono::milliseconds(1);
+  Client client({{"127.0.0.1", server.port()}}, {"default"},
+                std::move(config));
+  const auto response = client.predict(9, w.queries[0]);
+  ASSERT_TRUE(response.ok) << response.error_message;
+  EXPECT_EQ(response.predicted, 3);
+  EXPECT_EQ(response.attempts, 2u);
+  EXPECT_GE(client.counters().transport_errors, 1u);
+  EXPECT_GE(client.counters().reconnects, 1u);
+  // The torn frame never surfaced as data: exactly one (valid) response.
+  EXPECT_EQ(client.counters().responses, 1u);
+}
+
+TEST(Fleet, HedgedRequestRescuesSlowPrimary) {
+  const auto w = make_world(0x101, /*queries_per_class=*/2);
+  FakeWireServer stall([](int, const wire::Frame&, std::uint64_t) {
+    return true;
+  });
+  auto fleet = make_fleet(w, 1);
+  Frontend frontend(fleet);
+  frontend.start();
+
+  ClientConfig config;
+  config.hedge.enabled = true;
+  config.hedge.delay = std::chrono::milliseconds(10);
+  config.retry.max_attempts = 1;  // isolate hedging from retries
+  config.response_timeout = std::chrono::milliseconds(2000);
+  Client client(
+      {{"127.0.0.1", stall.port()}, {"127.0.0.1", frontend.ports()[0]}},
+      {"default", "default"}, std::move(config));
+
+  Router reference({"default", "default"}, RouterConfig{});
+  std::uint64_t victim = 0;
+  while (reference.route(victim) != 0) ++victim;
+
+  const auto response = client.predict(victim, w.queries[0]);
+  ASSERT_TRUE(response.ok) << response.error_message;
+  EXPECT_TRUE(response.hedged);
+  EXPECT_TRUE(response.hedge_won);
+  EXPECT_EQ(response.shard, 1u);
+  EXPECT_EQ(response.attempts, 1u);
+  EXPECT_EQ(client.counters().hedged_requests, 1u);
+  EXPECT_EQ(client.counters().hedge_wins, 1u);
+  EXPECT_EQ(client.counters().retries, 0u);
 
   frontend.stop();
   fleet.shutdown();

@@ -99,6 +99,98 @@ TEST(FleetWire, ErrorRoundTripAndMessageBound) {
   EXPECT_EQ(info->message.size(), 256u);  // truncated, not trusted
 }
 
+TEST(FleetWire, DeadlineRoundTripsInV1Header) {
+  const auto query = make_query(777, 13);
+  std::vector<std::byte> bytes;
+  append_predict_request(bytes, 3, 44, query, /*deadline_ms=*/2500);
+  // A nonzero deadline widens the header to the v1 layout.
+  const std::size_t payload_size = 4 + query.word_count() * 8;
+  EXPECT_EQ(bytes.size(), kHeaderSizeV1 + payload_size + kTrailerSize);
+  FrameReader reader;
+  const auto frames = drain(reader, bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].deadline_ms, 2500u);
+  EXPECT_EQ(frames[0].tenant_id, 3u);
+  EXPECT_EQ(frames[0].request_id, 44u);
+  hv::BinVec decoded;
+  ASSERT_TRUE(parse_predict_request(frames[0].payload, decoded));
+  EXPECT_EQ(decoded, query);
+  EXPECT_FALSE(reader.poisoned());
+}
+
+TEST(FleetWire, ZeroDeadlineEncodesBitIdenticalLegacyFrame) {
+  // Acceptance criterion: a deadline-less frame must be byte-for-byte
+  // what the pre-deadline encoder produced, so old peers keep working.
+  // Rebuild the legacy 32-byte-header frame by hand and compare.
+  const auto query = make_query(320, 21);
+  const auto bytes = request_frame(9, 77, query);
+
+  std::vector<std::byte> legacy;
+  auto put32 = [&legacy](std::uint32_t v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    legacy.insert(legacy.end(), p, p + 4);
+  };
+  auto put64 = [&legacy](std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    legacy.insert(legacy.end(), p, p + 8);
+  };
+  std::vector<std::byte> payload;
+  {
+    const std::uint32_t dim = static_cast<std::uint32_t>(query.dimension());
+    const auto* p = reinterpret_cast<const std::byte*>(&dim);
+    payload.insert(payload.end(), p, p + 4);
+    const auto words = query.words();
+    const auto* w = reinterpret_cast<const std::byte*>(words.data());
+    payload.insert(payload.end(), w, w + words.size_bytes());
+  }
+  put32(kMagic);
+  legacy.push_back(std::byte{1});  // kPredictRequest
+  legacy.push_back(std::byte{0});  // flags
+  legacy.push_back(std::byte{0});  // reserved / version 0
+  legacy.push_back(std::byte{0});
+  put64(9);   // tenant
+  put64(77);  // request
+  put32(static_cast<std::uint32_t>(payload.size()));
+  put32(util::crc32c(legacy.data(), kHeaderSize - 4));
+  legacy.insert(legacy.end(), payload.begin(), payload.end());
+  put32(util::crc32c(payload));
+
+  EXPECT_EQ(bytes, legacy);
+}
+
+TEST(FleetWire, V1EverySingleBitFlipIsRejected) {
+  // Deadline-field fuzz: corrupting any bit of a v1 frame — including
+  // the new deadline bytes — must poison the reader, never yield a
+  // frame with a wrong deadline.
+  const auto query = make_query(200, 8);
+  std::vector<std::byte> bytes;
+  append_predict_request(bytes, 21, 22, query, /*deadline_ms=*/999);
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    auto corrupted = bytes;
+    corrupted[bit / 8] ^= std::byte{1} << (bit % 8);
+    FrameReader reader;
+    const auto frames = drain(reader, corrupted);
+    EXPECT_TRUE(frames.empty()) << "flip at bit " << bit;
+    EXPECT_TRUE(reader.poisoned()) << "flip at bit " << bit;
+  }
+}
+
+TEST(FleetWire, V1EveryTruncationParksWithoutAFrame) {
+  const auto query = make_query(300, 3);
+  std::vector<std::byte> bytes;
+  append_predict_request(bytes, 4, 5, query, /*deadline_ms=*/17);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    FrameReader reader;
+    reader.feed({bytes.data(), len});
+    EXPECT_FALSE(reader.next().has_value()) << "prefix length " << len;
+    EXPECT_FALSE(reader.poisoned()) << "prefix length " << len;
+    reader.feed({bytes.data() + len, bytes.size() - len});
+    const auto f = reader.next();
+    ASSERT_TRUE(f.has_value()) << "prefix length " << len;
+    EXPECT_EQ(f->deadline_ms, 17u) << "prefix length " << len;
+  }
+}
+
 TEST(FleetWire, MultipleFramesInOneFeed) {
   const auto query = make_query(256, 1);
   std::vector<std::byte> bytes = request_frame(1, 1, query);
@@ -206,7 +298,7 @@ TEST(FleetWire, MaliciousLengthWithinBoundNeverCompletes) {
   EXPECT_EQ(reader.buffered(), bytes.size());
 }
 
-TEST(FleetWire, BadMagicBadTypeAndReservedAreRejected) {
+TEST(FleetWire, BadMagicBadTypeAndBadVersionAreRejected) {
   {
     auto bytes = request_frame(1, 1, make_query(64, 1));
     bytes[0] = std::byte{0x00};
@@ -224,12 +316,23 @@ TEST(FleetWire, BadMagicBadTypeAndReservedAreRejected) {
     EXPECT_EQ(reader.error(), WireError::kBadType);
   }
   {
+    // A version this build does not know means an unknown header length
+    // — the reader must poison rather than guess where the CRC lives.
     auto bytes = request_frame(1, 1, make_query(64, 1));
-    bytes[6] = std::byte{0x01};  // reserved must be zero
-    fix_header_crc(bytes);
+    const std::uint16_t future = kMaxWireVersion + 1;
+    std::memcpy(bytes.data() + 6, &future, 2);
     FrameReader reader;
     EXPECT_TRUE(drain(reader, bytes).empty());
-    EXPECT_EQ(reader.error(), WireError::kReservedNotZero);
+    EXPECT_EQ(reader.error(), WireError::kBadVersion);
+  }
+  {
+    // Flipping version 0 → 1 without supplying the wider header makes
+    // the CRC land on payload bytes: caught as a header CRC mismatch.
+    auto bytes = request_frame(1, 1, make_query(64, 1));
+    bytes[6] = std::byte{0x01};
+    FrameReader reader;
+    EXPECT_TRUE(drain(reader, bytes).empty());
+    EXPECT_EQ(reader.error(), WireError::kHeaderCrcMismatch);
   }
 }
 

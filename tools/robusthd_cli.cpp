@@ -59,12 +59,19 @@
 //       queries, then serve for --seconds (0 = until killed) and print
 //       the per-shard health/repair counters (docs/fleet.md).
 //   fleet-bench [--shards N] [--clients N] [--seconds S] [--dimension D]
-//           [--rate R] [--gate G]
+//           [--rate R] [--gate G] [--net-delay-ms MS] [--net-drop R]
+//           [--net-reset R] [--partition I]
 //       Closed-loop loopback throughput: measures 1 shard vs --shards
 //       shards under --clients client threads per shard, prints QPS /
 //       latency / repair counters and the core-aware weak-scaling
 //       efficiency; with --gate, exits nonzero below the floor (the
-//       same measurement as bench/fleet_throughput.cpp).
+//       same measurement as bench/fleet_throughput.cpp). Any --net-*
+//       flag routes the traffic through the in-process NetChaos proxy
+//       (fleet/netchaos.hpp): --net-delay-ms holds every chunk,
+//       --net-drop / --net-reset silently swallow or RST-kill at the
+//       given per-chunk probability, and --partition I blackholes
+//       shard I at the midpoint of the multi-shard run so the client's
+//       failover and retry machinery shows up in the numbers.
 //
 // Flags are strict: every flag takes exactly one value, and a flag a
 // subcommand does not document is rejected (run `robusthd <cmd> --help`).
@@ -186,9 +193,13 @@ const std::vector<CommandSpec>& command_specs() {
        "  --rate R                      mid-run bit-flip rate (default 0.05)\n"
        "  --gate G                      efficiency floor, exit nonzero below\n"
        "  --seed S                      world seed\n"
-       "  --layout rowmajor|arena       plane-memory scoring layout (default arena)\n",
+       "  --layout rowmajor|arena       plane-memory scoring layout (default arena)\n"
+       "  --net-delay-ms MS             NetChaos: hold every chunk MS ms\n"
+       "  --net-drop R                  NetChaos: drop chunks at rate R [0,1]\n"
+       "  --net-reset R                 NetChaos: inject RSTs at rate R [0,1]\n"
+       "  --partition I                 NetChaos: blackhole shard I mid-run\n",
        {"shards", "clients", "seconds", "dimension", "rate", "gate", "seed",
-        "layout"}},
+        "layout", "net-delay-ms", "net-drop", "net-reset", "partition"}},
       {"info", "print a stored model's shape and format",
        "  --model FILE                  stored model (required)\n",
        {"model"}},
@@ -999,7 +1010,9 @@ struct FleetPoint {
 FleetPoint run_fleet_point(const model::HdcModel& model,
                            const std::vector<hv::BinVec>& queries,
                            std::size_t shards, std::size_t clients,
-                           double seconds, double fault_rate) {
+                           double seconds, double fault_rate,
+                           const fleet::NetChaosConfig* net = nullptr,
+                           long partition = -1) {
   auto fleet = make_fleet(model, shards, /*workers=*/1);
   fleet::Frontend frontend(fleet);
   frontend.start();
@@ -1009,15 +1022,28 @@ FleetPoint run_fleet_point(const model::HdcModel& model,
     endpoints.push_back({"127.0.0.1", port});
     groups.push_back("default");
   }
+  std::unique_ptr<fleet::NetChaos> chaos;
+  if (net != nullptr) {
+    chaos = std::make_unique<fleet::NetChaos>(endpoints, *net);
+    chaos->start();
+    endpoints = chaos->endpoints();
+  }
 
   serve::LatencyHistogram latency;
   std::atomic<bool> measuring{false};
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> responses{0};
   std::vector<std::thread> threads;
+  fleet::ClientConfig client_config;
+  if (chaos) {
+    // Under injected faults a dropped chunk must burn one attempt's
+    // slice, not the whole predict budget.
+    client_config.retry.attempt_timeout = std::chrono::milliseconds(250);
+    client_config.retry.initial_backoff = std::chrono::milliseconds(1);
+  }
   for (std::size_t t = 0; t < clients; ++t) {
     threads.emplace_back([&, t] {
-      fleet::Client client(endpoints, groups);
+      fleet::Client client(endpoints, groups, client_config);
       std::uint64_t tenant = t;
       std::size_t q = t;
       while (!stop.load(std::memory_order_relaxed)) {
@@ -1047,6 +1073,9 @@ FleetPoint run_fleet_point(const model::HdcModel& model,
           fault_rate, fault::AttackMode::kRandom, 0x5eed + s);
     }
   }
+  if (chaos && partition >= 0 && static_cast<std::size_t>(partition) < shards) {
+    chaos->set_blackholed(static_cast<std::size_t>(partition), true);
+  }
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds / 2.0));
   const auto t1 = std::chrono::steady_clock::now();
   stop.store(true, std::memory_order_relaxed);
@@ -1060,6 +1089,17 @@ FleetPoint run_fleet_point(const model::HdcModel& model,
   point.p99_ms = summary.p99_ns / 1e6;
   fleet.drain();
   point.stats = fleet.stats();
+  if (chaos) {
+    const auto c = chaos->counters();
+    std::printf("netchaos: %llu conns, %llu delayed, %llu dropped, "
+                "%llu resets, %llu blackholed chunks\n",
+                static_cast<unsigned long long>(c.connections),
+                static_cast<unsigned long long>(c.chunks_delayed),
+                static_cast<unsigned long long>(c.chunks_dropped),
+                static_cast<unsigned long long>(c.resets_injected),
+                static_cast<unsigned long long>(c.blackholed_chunks));
+    chaos->stop();
+  }
   frontend.stop();
   fleet.shutdown();
   return point;
@@ -1104,12 +1144,46 @@ int cmd_fleet_bench(const Args& args) {
   const std::size_t cores =
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
-  const auto base =
-      run_fleet_point(model, queries, 1, clients_per_shard, seconds, rate);
+  // Optional NetChaos faults between the clients and the frontend.
+  const long net_delay_ms = args.number("net-delay-ms", 0);
+  const double net_drop = args.real("net-drop", 0.0);
+  const double net_reset = args.real("net-reset", 0.0);
+  const long partition = args.number("partition", -1);
+  if (net_delay_ms < 0) {
+    std::fprintf(stderr, "--net-delay-ms must be >= 0\n");
+    return 2;
+  }
+  if (net_drop < 0.0 || net_drop > 1.0 || net_reset < 0.0 || net_reset > 1.0) {
+    std::fprintf(stderr, "--net-drop / --net-reset must be in [0,1]\n");
+    return 2;
+  }
+  if (partition >= 0 && static_cast<std::size_t>(partition) >= shards) {
+    std::fprintf(stderr, "--partition %ld out of range (shards=%zu)\n",
+                 partition, shards);
+    return 2;
+  }
+  if (partition >= 0 && shards < 2) {
+    std::fprintf(stderr, "--partition needs --shards >= 2 to fail over to\n");
+    return 2;
+  }
+  const bool use_net =
+      net_delay_ms > 0 || net_drop > 0.0 || net_reset > 0.0 || partition >= 0;
+  fleet::NetChaosConfig net;
+  net.delay = std::chrono::milliseconds(net_delay_ms);
+  net.drop_rate = net_drop;
+  net.reset_rate = net_reset;
+  const fleet::NetChaosConfig* net_ptr = use_net ? &net : nullptr;
+
+  // The 1-shard reference sees the same wire faults (a fair baseline)
+  // but never the partition — with no twin there is nowhere to fail
+  // over, so the partition only applies to the multi-shard point.
+  const auto base = run_fleet_point(model, queries, 1, clients_per_shard,
+                                    seconds, rate, net_ptr);
   std::printf("shards=1 clients=%zu: %.0f qps, p50 %.3f ms, p99 %.3f ms\n",
               clients_per_shard, base.qps, base.p50_ms, base.p99_ms);
-  const auto scaled = run_fleet_point(
-      model, queries, shards, clients_per_shard * shards, seconds, rate);
+  const auto scaled =
+      run_fleet_point(model, queries, shards, clients_per_shard * shards,
+                      seconds, rate, net_ptr, partition);
   std::printf("shards=%zu clients=%zu: %.0f qps, p50 %.3f ms, p99 %.3f ms\n",
               shards, clients_per_shard * shards, scaled.qps, scaled.p50_ms,
               scaled.p99_ms);
